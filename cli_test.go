@@ -1,0 +1,284 @@
+package parmonc_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildCLI compiles a command into a temp dir once per test binary.
+var cliCache = map[string]string{}
+
+func buildCLI(t *testing.T, pkg string) string {
+	t.Helper()
+	if p, ok := cliCache[pkg]; ok {
+		return p
+	}
+	dir, err := os.MkdirTemp("", "parmonc-cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, "./"+pkg)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	cliCache[pkg] = bin
+	return bin
+}
+
+func runCLI(t *testing.T, dir string, bin string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIRunJSON(t *testing.T) {
+	bin := buildCLI(t, "cmd/parmonc")
+	dir := t.TempDir()
+	out, err := runCLI(t, dir, bin, "run", "-workload", "pi", "-maxsv", "50000",
+		"-perpass", "5ms", "-peraver", "10ms", "-json")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	var res struct {
+		N      int64     `json:"total_sample_volume"`
+		Mean   []float64 `json:"mean"`
+		AbsErr []float64 `json:"abs_err"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if res.N != 50000 {
+		t.Fatalf("N = %d", res.N)
+	}
+	if math.Abs(res.Mean[0]-math.Pi/4) > res.AbsErr[0]*4/3 {
+		t.Fatalf("mean %g outside bound of π/4", res.Mean[0])
+	}
+	// Files written into the working directory.
+	if _, err := os.Stat(filepath.Join(dir, "parmonc_data", "results", "func.dat")); err != nil {
+		t.Fatal("func.dat missing")
+	}
+}
+
+func TestCLIRunResumeManaverFlow(t *testing.T) {
+	parmoncBin := buildCLI(t, "cmd/parmonc")
+	manaverBin := buildCLI(t, "cmd/manaver")
+	dir := t.TempDir()
+
+	if out, err := runCLI(t, dir, parmoncBin, "run", "-workload", "pi", "-maxsv", "20000",
+		"-perpass", "5ms", "-peraver", "10ms"); err != nil {
+		t.Fatalf("first run: %v\n%s", err, out)
+	}
+	if out, err := runCLI(t, dir, parmoncBin, "run", "-workload", "pi", "-maxsv", "20000",
+		"-res", "-seqnum", "1", "-perpass", "5ms", "-peraver", "10ms"); err != nil {
+		t.Fatalf("resume: %v\n%s", err, out)
+	}
+	out, err := runCLI(t, dir, manaverBin)
+	if err != nil {
+		t.Fatalf("manaver: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "total sample volume") || !strings.Contains(out, "40000") {
+		t.Fatalf("manaver output:\n%s", out)
+	}
+}
+
+func TestCLIResumeSameSeqnumFails(t *testing.T) {
+	bin := buildCLI(t, "cmd/parmonc")
+	dir := t.TempDir()
+	if out, err := runCLI(t, dir, bin, "run", "-workload", "pi", "-maxsv", "1000",
+		"-perpass", "5ms", "-peraver", "10ms"); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	out, err := runCLI(t, dir, bin, "run", "-workload", "pi", "-maxsv", "1000",
+		"-res", "-perpass", "5ms", "-peraver", "10ms")
+	if err == nil {
+		t.Fatalf("same-seqnum resume accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "different experiments subsequence") {
+		t.Fatalf("unexpected error output:\n%s", out)
+	}
+}
+
+func TestCLIGenparamRoundTrip(t *testing.T) {
+	genparamBin := buildCLI(t, "cmd/genparam")
+	parmoncBin := buildCLI(t, "cmd/parmonc")
+	dir := t.TempDir()
+	if out, err := runCLI(t, dir, genparamBin, "100", "80", "40"); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "parmonc_genparam.dat")); err != nil {
+		t.Fatal("genparam file missing")
+	}
+	// The run picks the custom exponents up (visible in func_log.dat).
+	if out, err := runCLI(t, dir, parmoncBin, "run", "-workload", "pi", "-maxsv", "1000",
+		"-perpass", "5ms", "-peraver", "10ms"); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	logRaw, err := os.ReadFile(filepath.Join(dir, "parmonc_data", "results", "func_log.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(logRaw), "ne=100 np=80 nr=40") {
+		t.Fatalf("custom leaps not used:\n%s", logRaw)
+	}
+}
+
+func TestCLIGenparamRejectsBadArgs(t *testing.T) {
+	bin := buildCLI(t, "cmd/genparam")
+	dir := t.TempDir()
+	if out, err := runCLI(t, dir, bin, "40", "80", "100"); err == nil {
+		t.Fatalf("inverted exponents accepted:\n%s", out)
+	}
+	if out, err := runCLI(t, dir, bin, "1", "2"); err == nil {
+		t.Fatalf("missing argument accepted:\n%s", out)
+	}
+}
+
+func TestCLIListWorkloads(t *testing.T) {
+	bin := buildCLI(t, "cmd/parmonc")
+	out, err := runCLI(t, t.TempDir(), bin, "list")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, w := range []string{"pi", "diffusion", "transport", "dsmc", "chem", "option", "dirichlet", "density"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("workload %s missing from list:\n%s", w, out)
+		}
+	}
+}
+
+func TestCLIUnknownWorkload(t *testing.T) {
+	bin := buildCLI(t, "cmd/parmonc")
+	out, err := runCLI(t, t.TempDir(), bin, "run", "-workload", "nope", "-maxsv", "10")
+	if err == nil {
+		t.Fatalf("unknown workload accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "available") {
+		t.Fatalf("error does not list workloads:\n%s", out)
+	}
+}
+
+func TestCLIFig2Capacities(t *testing.T) {
+	bin := buildCLI(t, "cmd/fig2")
+	out, err := runCLI(t, t.TempDir(), bin, "-capacities")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"2^126", "131072", "1024"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("capacities output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIFig2PanelA(t *testing.T) {
+	bin := buildCLI(t, "cmd/fig2")
+	out, err := runCLI(t, t.TempDir(), bin, "-panel", "a")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "M=1") || !strings.Contains(out, "M=8") || !strings.Contains(out, "speedup") {
+		t.Fatalf("panel a output:\n%s", out)
+	}
+}
+
+func TestCLICoordWorkerDistributedJob(t *testing.T) {
+	bin := buildCLI(t, "cmd/parmonc")
+	dir := t.TempDir()
+
+	// Reserve a port for the coordinator.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	coord := exec.Command(bin, "coord", "-workload", "pi", "-maxsv", "30000",
+		"-addr", addr, "-peraver", "10ms", "-pass-every", "500")
+	coord.Dir = dir
+	var coordOut strings.Builder
+	coord.Stdout = &coordOut
+	coord.Stderr = &coordOut
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	// Give the listener a moment, then attach two workers.
+	time.Sleep(300 * time.Millisecond)
+	workerErr := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			w := exec.Command(bin, "worker", "-workload", "pi", "-addr", addr)
+			w.Dir = dir
+			out, err := w.CombinedOutput()
+			if err != nil {
+				err = fmt.Errorf("%v\n%s", err, out)
+			}
+			workerErr <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-workerErr; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator: %v\n%s", err, coordOut.String())
+	}
+	if !strings.Contains(coordOut.String(), "job finished") {
+		t.Fatalf("coordinator output:\n%s", coordOut.String())
+	}
+	// Results on disk: π/4 within a loose bound.
+	raw, err := os.ReadFile(filepath.Join(dir, "parmonc_data", "results", "func.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	if _, err := fmt.Sscanf(strings.TrimSpace(string(raw)), "%g", &mean); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-math.Pi/4) > 0.02 {
+		t.Fatalf("distributed mean %g", mean)
+	}
+}
+
+func TestCLIRngtestPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rngtest CLI is slow")
+	}
+	bin := buildCLI(t, "cmd/rngtest")
+	out, err := runCLI(t, t.TempDir(), bin, "-n", "100000", "-cross", "2")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "all tests passed") {
+		t.Fatalf("rngtest output:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("rngtest reported failures:\n%s", out)
+	}
+}
+
+func TestCLIFig2Ablation(t *testing.T) {
+	bin := buildCLI(t, "cmd/fig2")
+	out, err := runCLI(t, t.TempDir(), bin, "-ablation")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "pass-every") || !strings.Contains(out, "15330") {
+		t.Fatalf("ablation output:\n%s", out)
+	}
+}

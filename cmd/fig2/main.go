@@ -1,0 +1,207 @@
+// Command fig2 regenerates the paper's performance evaluation (Fig. 2):
+// the computer time T_comp(L) to simulate L realizations in total on M
+// processors, under the strictest exchange conditions (a message to the
+// collector after every realization).
+//
+//	fig2 -panel a|b|c|d|all     # paper-scale curves via the cluster simulator
+//	fig2 -real                  # measured curves with goroutine workers (small M)
+//	fig2 -capacities            # the Sec. 2.4 RNG capacity table
+//	fig2 -ablation              # exchange-strictness ablation at M = 512
+//
+// The simulator uses the paper's parameters (τ ≈ 7.7 s per realization,
+// ≈120 KB per message); the -real mode runs the actual library on a
+// scaled-down SDE workload and reports measured wall times, validating
+// the same shape at laptop scale.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parmonc/internal/clustersim"
+	"parmonc/internal/core"
+	"parmonc/internal/lcg"
+	"parmonc/internal/rng"
+	"parmonc/internal/sde"
+)
+
+// panels reproduces the Fig. 2 layout: processor counts and total sample
+// volumes per panel.
+var panels = map[string]struct {
+	ms []int
+	ls []int64
+}{
+	"a": {ms: []int{1, 8}, ls: []int64{200, 400, 600, 800, 1000}},
+	"b": {ms: []int{8, 16, 32}, ls: []int64{1500, 3000, 4500, 6000, 7500}},
+	"c": {ms: []int{32, 64, 128}, ls: []int64{5000, 10000, 15000, 20000, 25000}},
+	"d": {ms: []int{128, 256, 512}, ls: []int64{15000, 30000, 45000, 60000, 75000}},
+}
+
+func main() {
+	panel := flag.String("panel", "all", "figure panel to regenerate: a, b, c, d or all")
+	real := flag.Bool("real", false, "measure real goroutine workers instead of the cluster simulator")
+	capacities := flag.Bool("capacities", false, "print the Sec. 2.4 RNG capacity table instead")
+	ablation := flag.Bool("ablation", false, "print the exchange-strictness ablation table instead")
+	tau := flag.Float64("tau", 7.7, "seconds per realization in the simulator")
+	flag.Parse()
+
+	if *capacities {
+		printCapacities()
+		return
+	}
+	if *ablation {
+		if err := runAblation(*tau); err != nil {
+			fmt.Fprintf(os.Stderr, "fig2: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *real {
+		if err := runReal(); err != nil {
+			fmt.Fprintf(os.Stderr, "fig2: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	names := []string{*panel}
+	if *panel == "all" {
+		names = []string{"a", "b", "c", "d"}
+	}
+	for _, name := range names {
+		p, ok := panels[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fig2: unknown panel %q\n", name)
+			os.Exit(2)
+		}
+		if err := runPanel(name, p.ms, p.ls, *tau); err != nil {
+			fmt.Fprintf(os.Stderr, "fig2: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func printCapacities() {
+	p := rng.DefaultParams()
+	fmt.Println("PARMONC parallel RNG capacities (Sec. 2.4)")
+	fmt.Printf("  base generator period          2^%d\n", lcg.PeriodLog2)
+	fmt.Printf("  usable half-period             2^%d\n", lcg.UsableLog2)
+	fmt.Printf("  experiment leap n_e            2^%d\n", p.ExperimentLeapLog2)
+	fmt.Printf("  processor leap n_p             2^%d\n", p.ProcessorLeapLog2)
+	fmt.Printf("  realization leap n_r           2^%d\n", p.RealizationLeapLog2)
+	fmt.Printf("  stochastic experiments         %s (≈ 10^3)\n", p.MaxExperiments())
+	fmt.Printf("  processors per experiment      %s (≈ 10^5)\n", p.MaxProcessors())
+	fmt.Printf("  realizations per processor     %s (≈ 10^16)\n", p.MaxRealizations())
+	fmt.Printf("  random numbers per realization %s (≈ 10^13)\n", p.RealizationBudget())
+}
+
+func runPanel(name string, ms []int, ls []int64, tau float64) error {
+	fmt.Printf("\nFig. 2%s — T_comp(L) in seconds, simulated cluster (τ = %.2fs, 120 KB/msg, strict exchange)\n", name, tau)
+	fmt.Printf("%8s", "L")
+	for _, m := range ms {
+		fmt.Printf("  %10s", fmt.Sprintf("M=%d", m))
+	}
+	fmt.Println()
+	for _, l := range ls {
+		fmt.Printf("%8d", l)
+		for _, m := range ms {
+			p := clustersim.PaperParams(m)
+			p.TauSeconds = tau
+			res, err := clustersim.Simulate(p, l)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %10.1f", res.TCompSeconds)
+		}
+		fmt.Println()
+	}
+	// Speedup summary at the largest L.
+	largest := ls[len(ls)-1]
+	base := clustersim.PaperParams(1)
+	base.TauSeconds = tau
+	b, err := clustersim.Simulate(base, largest)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("speedup at L=%d:", largest)
+	for _, m := range ms {
+		p := clustersim.PaperParams(m)
+		p.TauSeconds = tau
+		r, err := clustersim.Simulate(p, largest)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  M=%d→%.1fx", m, b.TCompSeconds/r.TCompSeconds)
+	}
+	fmt.Println()
+	return nil
+}
+
+// runAblation prints T_comp and message counts for several exchange
+// strictness levels at M = 512 — quantifying the premium of the paper's
+// "strictest conditions".
+func runAblation(tau float64) error {
+	const L = 15360
+	fmt.Printf("\nexchange-strictness ablation — M = 512, L = %d, τ = %.2fs (simulated)\n", L, tau)
+	fmt.Printf("%12s  %12s  %12s  %14s  %10s\n", "pass-every", "T_comp (s)", "messages", "collector busy", "saturationM*")
+	for _, passEvery := range []int64{1, 5, 10, 50, 100} {
+		p := clustersim.PaperParams(512)
+		p.TauSeconds = tau
+		p.PassEvery = passEvery
+		res, err := clustersim.Simulate(p, L)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%12d  %12.1f  %12d  %13.1fs  %10.0f\n",
+			passEvery, res.TCompSeconds, res.Messages, res.CollectorBusy,
+			clustersim.SaturationProcessors(p))
+	}
+	return nil
+}
+
+// runReal measures actual wall times with goroutine workers on a scaled
+// SDE workload (mesh 1e-4 instead of the paper's 1e-6 so one realization
+// takes milliseconds, not seconds).
+func runReal() error {
+	ms := []int{1, 2, 4, 8}
+	ls := []int64{64, 128, 256}
+	fmt.Println("\nreal goroutine-worker measurement — T_comp(L) in seconds (scaled SDE workload, strict exchange)")
+	fmt.Printf("%8s", "L")
+	for _, m := range ms {
+		fmt.Printf("  %10s", fmt.Sprintf("M=%d", m))
+	}
+	fmt.Println()
+	for _, l := range ls {
+		fmt.Printf("%8d", l)
+		for _, m := range ms {
+			dir, err := os.MkdirTemp("", "fig2real")
+			if err != nil {
+				return err
+			}
+			cfg := core.Config{
+				Nrow: 100, Ncol: 2,
+				MaxSamples:     l,
+				Workers:        m,
+				WorkDir:        dir,
+				StrictExchange: true,
+				PassPeriod:     time.Second,
+				AverPeriod:     time.Second,
+			}
+			start := time.Now()
+			_, err = core.RunFactory(context.Background(), cfg, func(int) (core.Realization, error) {
+				return sde.PaperRealization(1e-4, 10.0, 100)
+			})
+			elapsed := time.Since(start)
+			os.RemoveAll(dir)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %10.3f", elapsed.Seconds())
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+// Command genparam computes the parallel RNG leap multipliers for
+// user-chosen leap exponents and stores them in parmonc_genparam.dat in
+// the working directory, exactly as the paper's genparam does
+// (Sec. 3.5):
+//
+//	genparam ne np nr
+//
+// where ne, np, nr are exponents of 2 for the experiment, processor and
+// realization leaps. Subsequent simulations in the same directory pick
+// the parameters up automatically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"parmonc/internal/rng"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "working directory to write parmonc_genparam.dat into")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: genparam [-dir DIR] ne np nr\n")
+		fmt.Fprintf(os.Stderr, "  ne, np, nr: leap exponents of 2 (defaults in the library: 115 98 43)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 3 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	exps := make([]uint, 3)
+	for i, arg := range flag.Args() {
+		v, err := strconv.ParseUint(arg, 10, 8)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genparam: bad exponent %q: %v\n", arg, err)
+			os.Exit(2)
+		}
+		exps[i] = uint(v)
+	}
+	d, err := rng.ComputeGenparam(exps[0], exps[1], exps[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genparam: %v\n", err)
+		os.Exit(1)
+	}
+	if err := rng.WriteGenparam(*dir, d); err != nil {
+		fmt.Fprintf(os.Stderr, "genparam: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s/%s\n", *dir, rng.GenparamFile)
+	fmt.Printf("  n_e = 2^%-3d  Â(n_e) = %s\n", d.Params.ExperimentLeapLog2, d.ExpMult.Hex())
+	fmt.Printf("  n_p = 2^%-3d  Â(n_p) = %s\n", d.Params.ProcessorLeapLog2, d.ProcMult.Hex())
+	fmt.Printf("  n_r = 2^%-3d  Â(n_r) = %s\n", d.Params.RealizationLeapLog2, d.RealizeMult.Hex())
+	fmt.Printf("capacity: %s experiments × %s processors × %s realizations\n",
+		d.Params.MaxExperiments(), d.Params.MaxProcessors(), d.Params.MaxRealizations())
+}

@@ -1,0 +1,30 @@
+// Command manaver averages the subtotal sample moments stored by the
+// workers of an interrupted simulation and rewrites the results files —
+// the paper's manaver (Sec. 3.4). "It is launched after the termination
+// of a job on a cluster ... when the sample moments stored in the files
+// with results correspond to a smaller sample volume than the one that
+// was actually obtained on all the processors."
+//
+// Run it in the working directory of the simulation (or pass -dir).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parmonc/internal/core"
+	"parmonc/internal/report"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "working directory holding parmonc_data")
+	flag.Parse()
+	rep, err := core.Manaver(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "manaver: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("averaged results rewritten in %s/parmonc_data/results\n", *dir)
+	report.Summary(os.Stdout, rep)
+}

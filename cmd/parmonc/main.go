@@ -1,0 +1,311 @@
+// Command parmonc runs a built-in Monte Carlo workload under the
+// library, in one of three modes:
+//
+//	parmonc run   -workload pi -maxsv 1000000 -workers 8   # single process
+//	parmonc coord -workload pi -maxsv 1000000 -addr :7070  # rank 0 of a cluster
+//	parmonc worker -addr host:7070 -workload pi            # additional rank
+//
+// The run mode is the Go analogue of launching the paper's MPI program
+// on one node; coord + worker reproduce the multi-node deployment, with
+// TCP RPC standing in for MPI (see internal/cluster). The simulation
+// results land in parmonc_data/ of the working directory in the file
+// layout of the original library.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"parmonc/internal/cluster"
+	"parmonc/internal/core"
+	"parmonc/internal/report"
+	"parmonc/internal/rng"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "coord":
+		err = cmdCoord(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	case "list":
+		cmdList()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "parmonc: unknown mode %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parmonc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: parmonc <mode> [flags]
+
+modes:
+  run          simulate with in-process workers (goroutines)
+  experiments  run several independent stochastic experiments and pool them
+  coord        start the rank-0 coordinator of a distributed job
+  worker       join a distributed job as a worker
+  list         list built-in workloads
+`)
+}
+
+// signalContext returns a context cancelled by SIGINT/SIGTERM — the
+// "job killed by the scheduler" path; the library saves results on the
+// way out.
+func signalContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-ch
+		cancel()
+	}()
+	return ctx, cancel
+}
+
+func cmdList() {
+	ws := workloads()
+	names := make([]string, 0, len(ws))
+	for n := range ws {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		w := ws[n]
+		fmt.Printf("%-12s %3d×%-2d  %s\n", w.name, w.nrow, w.ncol, w.description)
+	}
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	name := fs.String("workload", "pi", "built-in workload name (see `parmonc list`)")
+	maxsv := fs.Int64("maxsv", 100000, "maximal sample volume (0 = run until interrupted)")
+	workers := fs.Int("workers", 0, "parallel workers M (0 = GOMAXPROCS)")
+	seqnum := fs.Uint64("seqnum", 0, "experiments subsequence number")
+	res := fs.Bool("res", false, "resume the previous simulation in this directory")
+	dir := fs.String("dir", ".", "working directory")
+	perpass := fs.Duration("perpass", time.Minute, "period of passing subtotals to the collector")
+	peraver := fs.Duration("peraver", 2*time.Minute, "period of averaging and saving results")
+	strict := fs.Bool("strict", false, "exchange after every realization (Fig. 2 conditions)")
+	snapshots := fs.Bool("worker-snapshots", true, "write per-worker snapshots for manaver")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON on stdout")
+	fs.Parse(args)
+
+	w, err := lookupWorkload(*name)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := signalContext()
+	defer cancel()
+
+	cfg := core.Config{
+		Nrow:                w.nrow,
+		Ncol:                w.ncol,
+		MaxSamples:          *maxsv,
+		Resume:              *res,
+		SeqNum:              *seqnum,
+		Workers:             *workers,
+		PassPeriod:          *perpass,
+		AverPeriod:          *peraver,
+		StrictExchange:      *strict,
+		WorkDir:             *dir,
+		SaveWorkerSnapshots: *snapshots,
+	}
+	result, err := core.RunFactory(ctx, cfg, w.factory)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return printJSON(result)
+	}
+	printSummary(result, *dir)
+	return nil
+}
+
+// jsonResult is the machine-readable run summary of the -json flag.
+type jsonResult struct {
+	Workload    string    `json:"workload,omitempty"`
+	N           int64     `json:"total_sample_volume"`
+	NewSamples  int64     `json:"new_samples"`
+	Nrow        int       `json:"rows"`
+	Ncol        int       `json:"cols"`
+	Mean        []float64 `json:"mean"`
+	AbsErr      []float64 `json:"abs_err"`
+	RelErr      []float64 `json:"rel_err_pct"`
+	Var         []float64 `json:"variance"`
+	MaxAbsErr   float64   `json:"max_abs_err"`
+	MaxRelErr   float64   `json:"max_rel_err_pct"`
+	ElapsedSec  float64   `json:"elapsed_seconds"`
+	Interrupted bool      `json:"interrupted"`
+}
+
+func printJSON(result core.Result) error {
+	rep := result.Report
+	out := jsonResult{
+		N:           rep.N,
+		NewSamples:  result.NewSamples,
+		Nrow:        rep.Nrow,
+		Ncol:        rep.Ncol,
+		Mean:        rep.Mean,
+		AbsErr:      rep.AbsErr,
+		RelErr:      rep.RelErr,
+		Var:         rep.Var,
+		MaxAbsErr:   rep.MaxAbsErr,
+		MaxRelErr:   rep.MaxRelErr,
+		ElapsedSec:  result.Elapsed.Seconds(),
+		Interrupted: result.Interrupted,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func printSummary(result core.Result, dir string) {
+	status := "completed"
+	if result.Interrupted {
+		status = "interrupted (results saved)"
+	}
+	fmt.Printf("simulation %s in %s (%d new samples)\n",
+		status, result.Elapsed.Round(time.Millisecond), result.NewSamples)
+	report.Summary(os.Stdout, result.Report)
+	fmt.Printf("%-28s %s/parmonc_data/results\n", "results in", dir)
+	report.Table(os.Stdout, result.Report, 5)
+}
+
+func cmdCoord(args []string) error {
+	fs := flag.NewFlagSet("coord", flag.ExitOnError)
+	name := fs.String("workload", "pi", "built-in workload name")
+	maxsv := fs.Int64("maxsv", 100000, "total sample volume target (0 = until interrupted)")
+	seqnum := fs.Uint64("seqnum", 0, "experiments subsequence number")
+	res := fs.Bool("res", false, "resume the previous simulation")
+	dir := fs.String("dir", ".", "working directory")
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	peraver := fs.Duration("peraver", 2*time.Minute, "period of saving results")
+	passEvery := fs.Int64("pass-every", 100, "worker pushes after this many realizations")
+	snapshots := fs.Bool("worker-snapshots", true, "write per-worker snapshots for manaver")
+	fs.Parse(args)
+
+	w, err := lookupWorkload(*name)
+	if err != nil {
+		return err
+	}
+	params, err := rng.LoadParams(*dir)
+	if err != nil {
+		return err
+	}
+	spec := cluster.JobSpec{
+		SeqNum:     *seqnum,
+		Nrow:       w.nrow,
+		Ncol:       w.ncol,
+		MaxSamples: *maxsv,
+		Params:     params,
+		Gamma:      3,
+		PassEvery:  *passEvery,
+		Workload:   w.name,
+	}
+	coord, err := cluster.NewCoordinator(spec, cluster.CoordinatorConfig{
+		WorkDir:             *dir,
+		AverPeriod:          *peraver,
+		Resume:              *res,
+		SaveWorkerSnapshots: *snapshots,
+	}, *addr)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	fmt.Printf("coordinator listening on %s (workload %s, target %d)\n", coord.Addr(), w.name, *maxsv)
+
+	ctx, cancel := signalContext()
+	defer cancel()
+	rep, err := coord.Wait(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job finished: N = %d, max abs err %g, max rel err %g%%\n",
+		rep.N, rep.MaxAbsErr, rep.MaxRelErr)
+	return nil
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	name := fs.String("workload", "pi", "built-in workload name")
+	maxsv := fs.Int64("maxsv", 100000, "maximal sample volume per experiment")
+	count := fs.Int("count", 3, "number of independent experiments")
+	first := fs.Uint64("first-seqnum", 0, "subsequence number of the first experiment")
+	workers := fs.Int("workers", 0, "parallel workers per experiment (0 = GOMAXPROCS)")
+	dir := fs.String("dir", ".", "working directory (one subdirectory per experiment)")
+	perpass := fs.Duration("perpass", time.Minute, "period of passing subtotals")
+	peraver := fs.Duration("peraver", 2*time.Minute, "period of saving results")
+	fs.Parse(args)
+
+	if *count < 1 {
+		return fmt.Errorf("count %d must be >= 1", *count)
+	}
+	w, err := lookupWorkload(*name)
+	if err != nil {
+		return err
+	}
+	seqnums := make([]uint64, *count)
+	for i := range seqnums {
+		seqnums[i] = *first + uint64(i)
+	}
+	ctx, cancel := signalContext()
+	defer cancel()
+
+	cfg := core.Config{
+		Nrow:       w.nrow,
+		Ncol:       w.ncol,
+		MaxSamples: *maxsv,
+		Workers:    *workers,
+		PassPeriod: *perpass,
+		AverPeriod: *peraver,
+		WorkDir:    *dir,
+	}
+	res, err := core.RunExperiments(ctx, cfg, seqnums, w.factory)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d independent experiments of workload %s, %d samples each\n", *count, w.name, *maxsv)
+	report.Compare(os.Stdout, res.Reports, res.Combined, 0, 0)
+	fmt.Println("\npooled report:")
+	report.Summary(os.Stdout, res.Combined)
+	return nil
+}
+
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	name := fs.String("workload", "pi", "built-in workload name (must match the coordinator)")
+	addr := fs.String("addr", "127.0.0.1:7070", "coordinator address")
+	fs.Parse(args)
+
+	w, err := lookupWorkload(*name)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := signalContext()
+	defer cancel()
+	fmt.Printf("worker joining %s (workload %s)\n", *addr, w.name)
+	return cluster.RunNamedWorker(ctx, *addr, w.name, w.factory)
+}

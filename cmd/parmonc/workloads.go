@@ -1,0 +1,222 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"parmonc/dist"
+	"parmonc/internal/branching"
+	"parmonc/internal/chem"
+	"parmonc/internal/core"
+	"parmonc/internal/dsmc"
+	"parmonc/internal/finance"
+	"parmonc/internal/histogram"
+	"parmonc/internal/ising"
+	"parmonc/internal/queueing"
+	"parmonc/internal/rng"
+	"parmonc/internal/sde"
+	"parmonc/internal/smoluchowski"
+	"parmonc/internal/transport"
+	"parmonc/internal/turbulence"
+	"parmonc/internal/wos"
+)
+
+// workload is a named, ready-to-run realization with fixed matrix
+// dimensions. In the original PARMONC the user links their own routine;
+// this command ships the workloads used in the paper's evaluation and
+// this repository's examples so that coordinator and worker processes
+// agree on the job by name.
+type workload struct {
+	name        string
+	description string
+	nrow, ncol  int
+	factory     core.Factory
+}
+
+// workloads returns the registry of built-in workloads.
+func workloads() map[string]workload {
+	ws := []workload{
+		{
+			name:        "pi",
+			description: "estimate π/4 by rejection in the unit square",
+			nrow:        1, ncol: 1,
+			factory: func(int) (core.Realization, error) {
+				return func(src *rng.Stream, out []float64) error {
+					x, y := src.Float64(), src.Float64()
+					if x*x+y*y < 1 {
+						out[0] = 1
+					}
+					return nil
+				}, nil
+			},
+		},
+		{
+			name:        "diffusion",
+			description: "the paper's Sec. 4 SDE test (scaled mesh): E y(t_i) on a 100×2 grid",
+			nrow:        100, ncol: 2,
+			factory: func(int) (core.Realization, error) {
+				return sde.PaperRealization(1e-3, 10.0, 100)
+			},
+		},
+		{
+			name:        "transport",
+			description: "1-D slab transmission/reflection/absorption probabilities",
+			nrow:        1, ncol: transport.NOutcomes,
+			factory: func(int) (core.Realization, error) {
+				slab := transport.Slab{Thickness: 2, SigmaT: 1, SigmaS: 0.8, Mu0: 1}
+				return func(src *rng.Stream, out []float64) error {
+					return slab.History(src, out)
+				}, nil
+			},
+		},
+		{
+			name:        "coagulation",
+			description: "Smoluchowski constant-kernel cluster counts at 4 times",
+			nrow:        4, ncol: 1,
+			factory: func(int) (core.Realization, error) {
+				sys := smoluchowski.System{N0: 500, Volume: 500, Kernel: smoluchowski.ConstantKernel(1), K0: 1}
+				times := []float64{0.5, 1, 2, 4}
+				return func(src *rng.Stream, out []float64) error {
+					return sys.ClusterCounts(src, times, out)
+				}, nil
+			},
+		},
+		{
+			name:        "mm1",
+			description: "M/M/1 queue batch-mean waiting time (λ=0.6, μ=1)",
+			nrow:        1, ncol: 1,
+			factory: func(int) (core.Realization, error) {
+				q := queueing.MM1{Lambda: 0.6, Mu: 1, Warmup: 2000, Batch: 2000}
+				return func(src *rng.Stream, out []float64) error {
+					return q.BatchMeanWait(src, out)
+				}, nil
+			},
+		},
+		{
+			name:        "ising",
+			description: "2-D Ising replica observables at β=0.3 on a 16×16 lattice",
+			nrow:        1, ncol: ising.NObservables,
+			factory: func(int) (core.Realization, error) {
+				m := ising.Model{L: 16, Beta: 0.3, Sweeps: 60, Warmup: 30}
+				return func(src *rng.Stream, out []float64) error {
+					return m.Replica(src, out)
+				}, nil
+			},
+		},
+		{
+			name:        "branching",
+			description: "Galton–Watson (Poisson offspring, μ=1.5) population and extinction",
+			nrow:        1, ncol: branching.NOutcomes,
+			factory: func(int) (core.Realization, error) {
+				p := branching.Process{Mu: 1.5, Generations: 40}
+				return func(src *rng.Stream, out []float64) error {
+					return p.Realize(src, out)
+				}, nil
+			},
+		},
+		{
+			name:        "dsmc",
+			description: "Boltzmann/DSMC Maxwell-gas temperature relaxation at 5 times",
+			nrow:        5, ncol: dsmc.NMoments,
+			factory: func(int) (core.Realization, error) {
+				g := dsmc.Gas{N: 200, Nu: 1, Tx: 3, Ty: 1}
+				times := []float64{0.5, 1, 2, 4, 8}
+				return func(src *rng.Stream, out []float64) error {
+					return g.Relax(src, times, out)
+				}, nil
+			},
+		},
+		{
+			name:        "chem",
+			description: "Gillespie SSA, reversible isomerization A⇌B at 4 times",
+			nrow:        4, ncol: 2,
+			factory: func(int) (core.Realization, error) {
+				net := chem.Isomerization(2, 1, 150, 0)
+				times := []float64{0.3, 1, 2, 5}
+				return func(src *rng.Stream, out []float64) error {
+					return net.Trajectory(src, times, []int{0, 1}, out)
+				}, nil
+			},
+		},
+		{
+			name:        "option",
+			description: "European call/put under GBM (S0=100, K=105, r=5%, σ=20%, T=1)",
+			nrow:        1, ncol: finance.NPayoffs,
+			factory: func(int) (core.Realization, error) {
+				o := finance.Option{S0: 100, Strike: 105, Rate: 0.05, Sigma: 0.2, T: 1}
+				r, err := o.EuropeanRealization()
+				if err != nil {
+					return nil, err
+				}
+				return func(src *rng.Stream, out []float64) error {
+					return r(src, out)
+				}, nil
+			},
+		},
+		{
+			name:        "dispersion",
+			description: "turbulent dispersion σ_x(t) vs Taylor's law at 5 times",
+			nrow:        5, ncol: 1,
+			factory: func(int) (core.Realization, error) {
+				f := turbulence.Flow{SigmaV: 1.5, TL: 1, Dt: 0.02}
+				times := []float64{0.2, 0.5, 1, 2, 5}
+				return func(src *rng.Stream, out []float64) error {
+					return f.Disperse(src, times, out)
+				}, nil
+			},
+		},
+		{
+			name:        "dirichlet",
+			description: "walk-on-spheres solution of Δu=0 on the unit disk at (0.3, 0.2)",
+			nrow:        1, ncol: 1,
+			factory: func(int) (core.Realization, error) {
+				solver := wos.Solver{
+					Domain:   wos.Disk{Radius: 1},
+					Boundary: func(p [2]float64) float64 { return p[0]*p[0] - p[1]*p[1] },
+					Epsilon:  1e-4,
+				}
+				x0 := [2]float64{0.3, 0.2}
+				return func(src *rng.Stream, out []float64) error {
+					return solver.Walk(src, x0, out)
+				}, nil
+			},
+		},
+		{
+			name:        "density",
+			description: "histogram density of Exp(1) on [0,3) with per-bin error bars",
+			nrow:        1, ncol: 15,
+			factory: func(int) (core.Realization, error) {
+				spec := histogram.Spec{Bins: 15, A: 0, B: 3}
+				r, err := spec.Realization(func(src dist.Source) float64 {
+					return dist.Exponential(src, 1)
+				})
+				if err != nil {
+					return nil, err
+				}
+				return func(src *rng.Stream, out []float64) error {
+					return r(src, out)
+				}, nil
+			},
+		},
+	}
+	m := make(map[string]workload, len(ws))
+	for _, w := range ws {
+		m[w.name] = w
+	}
+	return m
+}
+
+// lookupWorkload resolves a workload name with a helpful error.
+func lookupWorkload(name string) (workload, error) {
+	ws := workloads()
+	w, ok := ws[name]
+	if !ok {
+		names := make([]string, 0, len(ws))
+		for n := range ws {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return workload{}, fmt.Errorf("unknown workload %q; available: %v", name, names)
+	}
+	return w, nil
+}

@@ -1,0 +1,132 @@
+// Command rngtest runs the statistical test battery against the
+// library's parallel generator — the "rigorous statistical testing" the
+// paper reports for the 128-bit generator — and optionally against the
+// 40-bit baseline.
+//
+//	rngtest                    # battery on the main stream + substreams
+//	rngtest -n 1000000         # bigger sample per test
+//	rngtest -baseline          # also test the 40-bit generator
+//	rngtest -cross 16          # cross-correlation over 16 substream pairs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parmonc/internal/baseline"
+	"parmonc/internal/rng"
+	"parmonc/internal/rngtest"
+)
+
+const alpha = 1e-4
+
+func main() {
+	n := flag.Int("n", 200000, "samples per test")
+	doBaseline := flag.Bool("baseline", false, "also test the 40-bit baseline generator")
+	cross := flag.Int("cross", 8, "number of substream pairs for cross-correlation")
+	flag.Parse()
+
+	failures := 0
+	printVerdict := func(failures *int, v rngtest.Verdict) {
+		status := "pass"
+		if !v.Pass(alpha) {
+			status = "FAIL"
+			*failures++
+		}
+		fmt.Printf("  %-4s %s\n", status, v)
+	}
+	runBattery := func(label string, src rngtest.Source) {
+		fmt.Printf("\n%s\n", label)
+		verdicts, err := rngtest.Battery(src, *n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rngtest: %v\n", err)
+			os.Exit(1)
+		}
+		for _, v := range verdicts {
+			status := "pass"
+			if !v.Pass(alpha) {
+				status = "FAIL"
+				failures++
+			}
+			fmt.Printf("  %-4s %s\n", status, v)
+		}
+	}
+
+	mainStream, err := rng.NewStream(rng.DefaultParams(), rng.Coord{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rngtest: %v\n", err)
+		os.Exit(1)
+	}
+	runBattery("main stream (experiment 0, processor 0)", mainStream)
+
+	// Standalone tests with their own sample-size constraints.
+	extra, err := rng.NewStream(rng.DefaultParams(), rng.Coord{Processor: 9})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rngtest: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nextra tests (processor 9 substream)")
+	if *n/10 >= 13000 { // collision test needs ≥5 expected collisions
+		v, err := rngtest.CollisionTest(extra, *n/10, 1<<24)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rngtest: %v\n", err)
+			os.Exit(1)
+		}
+		printVerdict(&failures, v)
+	}
+	if v, err := rngtest.MaximumOfT(extra, *n/10, 5, 50); err == nil {
+		printVerdict(&failures, v)
+	} else {
+		fmt.Fprintf(os.Stderr, "rngtest: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, c := range []rng.Coord{
+		{Processor: 1},
+		{Processor: 4096},
+		{Experiment: 3, Processor: 17},
+	} {
+		s, err := rng.NewStream(rng.DefaultParams(), c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rngtest: %v\n", err)
+			os.Exit(1)
+		}
+		runBattery(fmt.Sprintf("substream %+v", c), s)
+	}
+
+	fmt.Printf("\ncross-correlation between %d adjacent processor substreams\n", *cross)
+	for i := 0; i < *cross; i++ {
+		a, err := rng.NewStream(rng.DefaultParams(), rng.Coord{Processor: uint64(2 * i)})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rngtest: %v\n", err)
+			os.Exit(1)
+		}
+		b, err := rng.NewStream(rng.DefaultParams(), rng.Coord{Processor: uint64(2*i + 1)})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rngtest: %v\n", err)
+			os.Exit(1)
+		}
+		v, err := rngtest.CrossCorrelation(a, b, *n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rngtest: %v\n", err)
+			os.Exit(1)
+		}
+		status := "pass"
+		if !v.Pass(alpha) {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("  %-4s procs %d↔%d  %s\n", status, 2*i, 2*i+1, v)
+	}
+
+	if *doBaseline {
+		runBattery("baseline 40-bit generator (period 2^38)", baseline.New40())
+	}
+
+	if failures > 0 {
+		fmt.Printf("\n%d test(s) FAILED at α = %g\n", failures, alpha)
+		os.Exit(1)
+	}
+	fmt.Printf("\nall tests passed at α = %g\n", alpha)
+}

@@ -1,0 +1,68 @@
+// Command spectral runs the exact 2-D and 3-D spectral tests on an LCG
+// multiplier — the selection criterion of Dyadkin & Hamilton's study of
+// 128-bit multipliers (the paper's reference [14] for the generator
+// parameters).
+//
+//	spectral                      # the library multiplier A = 5^101 mod 2^128
+//	spectral -a 137 -m 256        # arbitrary multiplier and modulus
+//	spectral -a5exp 17 -r 40      # the 40-bit baseline generator
+//
+// The modulus for a maximal-period multiplicative generator mod 2^r is
+// the period lattice 2^(r-2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+
+	"parmonc/internal/lcg"
+	"parmonc/internal/rngtest"
+)
+
+func main() {
+	aStr := flag.String("a", "", "multiplier (decimal); default: the library multiplier")
+	mStr := flag.String("m", "", "modulus (decimal); default: 2^(r-2)")
+	a5exp := flag.Uint("a5exp", 0, "use multiplier 5^k mod 2^r instead of -a")
+	r := flag.Uint("r", 128, "modulus exponent for defaults (period lattice 2^(r-2))")
+	flag.Parse()
+
+	a := new(big.Int)
+	switch {
+	case *aStr != "":
+		if _, ok := a.SetString(*aStr, 10); !ok {
+			fmt.Fprintf(os.Stderr, "spectral: bad multiplier %q\n", *aStr)
+			os.Exit(2)
+		}
+	case *a5exp > 0:
+		mod := new(big.Int).Lsh(big.NewInt(1), *r)
+		a.Exp(big.NewInt(5), big.NewInt(int64(*a5exp)), mod)
+	default:
+		a.SetString(lcg.DefaultMultiplier.String(), 10)
+	}
+	m := new(big.Int)
+	if *mStr != "" {
+		if _, ok := m.SetString(*mStr, 10); !ok {
+			fmt.Fprintf(os.Stderr, "spectral: bad modulus %q\n", *mStr)
+			os.Exit(2)
+		}
+	} else {
+		m.Lsh(big.NewInt(1), *r-2)
+	}
+
+	fmt.Printf("multiplier a = %s\n", a)
+	fmt.Printf("modulus    m = %s\n", m)
+	r2, err := rngtest.SpectralTest2D(a, m)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spectral: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  2-D: ν₂² = %s\n       S₂  = %.4f\n", r2.Nu2Squared, r2.S2)
+	r3, err := rngtest.SpectralTest3D(a, m)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spectral: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  3-D: ν₃² = %s\n       S₃  = %.4f\n", r3.Nu2Squared, r3.S2)
+}

@@ -1,0 +1,78 @@
+package dist_test
+
+import (
+	"fmt"
+	"math"
+
+	"parmonc"
+	"parmonc/dist"
+)
+
+// source returns a deterministic library stream for the examples.
+func source() dist.Source {
+	s, err := parmonc.NewStream(parmonc.DefaultParams(), parmonc.Coord{})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ExampleNormal shows the cached Box–Muller sampler inside a
+// realization routine.
+func ExampleNormal() {
+	src := source()
+	n := &dist.Normal{Mu: 10, Sigma: 2}
+	var sum float64
+	const count = 100000
+	for i := 0; i < count; i++ {
+		sum += n.Sample(src)
+	}
+	fmt.Printf("mean within 0.1 of 10: %v\n", math.Abs(sum/count-10) < 0.1)
+	// Output:
+	// mean within 0.1 of 10: true
+}
+
+// ExampleExponential estimates the mean free path of a particle in a
+// medium with unit cross-section.
+func ExampleExponential() {
+	src := source()
+	var sum float64
+	const count = 100000
+	for i := 0; i < count; i++ {
+		sum += dist.Exponential(src, 1)
+	}
+	fmt.Printf("mean free path within 0.02 of 1: %v\n", math.Abs(sum/count-1) < 0.02)
+	// Output:
+	// mean free path within 0.02 of 1: true
+}
+
+// ExampleNewAlias draws from a discrete distribution in O(1) per
+// sample.
+func ExampleNewAlias() {
+	a, err := dist.NewAlias([]float64{7, 2, 1})
+	if err != nil {
+		panic(err)
+	}
+	src := source()
+	counts := make([]int, 3)
+	for i := 0; i < 100000; i++ {
+		counts[a.Sample(src)]++
+	}
+	fmt.Printf("category 0 most frequent: %v\n", counts[0] > counts[1] && counts[1] > counts[2])
+	// Output:
+	// category 0 most frequent: true
+}
+
+// ExamplePoisson counts events in a window with rate 3.
+func ExamplePoisson() {
+	src := source()
+	var sum int64
+	const count = 100000
+	for i := 0; i < count; i++ {
+		sum += dist.Poisson(src, 3)
+	}
+	mean := float64(sum) / count
+	fmt.Printf("mean within 0.05 of 3: %v\n", math.Abs(mean-3) < 0.05)
+	// Output:
+	// mean within 0.05 of 3: true
+}

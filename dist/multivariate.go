@@ -1,0 +1,167 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// MVNormal samples from a multivariate normal distribution N(Mu, Σ)
+// given the covariance matrix via its Cholesky factor. Construct with
+// NewMVNormal, which factors Σ once; each Sample costs d standard
+// normals and a triangular multiply.
+type MVNormal struct {
+	dim    int
+	mu     []float64
+	chol   []float64 // lower-triangular Cholesky factor, row-major
+	normal Normal
+}
+
+// NewMVNormal builds a sampler for N(mu, sigma), where sigma is the
+// row-major dim×dim covariance matrix. It returns an error if sigma is
+// not symmetric positive definite.
+func NewMVNormal(mu, sigma []float64) (*MVNormal, error) {
+	d := len(mu)
+	if d == 0 {
+		return nil, fmt.Errorf("dist: empty mean vector")
+	}
+	if len(sigma) != d*d {
+		return nil, fmt.Errorf("dist: covariance has %d entries, want %d", len(sigma), d*d)
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if math.Abs(sigma[i*d+j]-sigma[j*d+i]) > 1e-12*(1+math.Abs(sigma[i*d+j])) {
+				return nil, fmt.Errorf("dist: covariance not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	chol, err := Cholesky(sigma, d)
+	if err != nil {
+		return nil, err
+	}
+	m := &MVNormal{dim: d, mu: make([]float64, d), chol: chol}
+	copy(m.mu, mu)
+	return m, nil
+}
+
+// Dim returns the dimension.
+func (m *MVNormal) Dim() int { return m.dim }
+
+// Sample draws one vector into out (length Dim).
+func (m *MVNormal) Sample(src Source, out []float64) error {
+	if len(out) != m.dim {
+		return fmt.Errorf("dist: out has length %d, want %d", len(out), m.dim)
+	}
+	z := make([]float64, m.dim)
+	for i := range z {
+		z[i] = m.normal.Sample(src)
+	}
+	for i := 0; i < m.dim; i++ {
+		v := m.mu[i]
+		row := m.chol[i*m.dim : (i+1)*m.dim]
+		for j := 0; j <= i; j++ {
+			v += row[j] * z[j]
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+// Cholesky returns the lower-triangular factor L with L·Lᵀ = a for a
+// row-major d×d symmetric positive definite matrix. The upper triangle
+// of the result is zero.
+func Cholesky(a []float64, d int) ([]float64, error) {
+	if len(a) != d*d || d <= 0 {
+		return nil, fmt.Errorf("dist: cholesky of %d entries with d=%d", len(a), d)
+	}
+	l := make([]float64, d*d)
+	for i := 0; i < d; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*d+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*d+k] * l[j*d+k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("dist: matrix not positive definite (pivot %d: %g)", i, sum)
+				}
+				l[i*d+i] = math.Sqrt(sum)
+			} else {
+				l[i*d+j] = sum / l[j*d+j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// Dirichlet samples a point of the (k−1)-simplex with the given
+// concentration parameters (all positive) into out, via normalized
+// Gamma draws.
+func Dirichlet(src Source, alpha, out []float64) error {
+	if len(alpha) < 2 {
+		return fmt.Errorf("dist: Dirichlet needs at least 2 parameters")
+	}
+	if len(out) != len(alpha) {
+		return fmt.Errorf("dist: out has length %d, want %d", len(out), len(alpha))
+	}
+	g := Gamma{}
+	var total float64
+	for i, a := range alpha {
+		if a <= 0 {
+			return fmt.Errorf("dist: Dirichlet parameter %d = %g must be positive", i, a)
+		}
+		out[i] = g.sample(src, a)
+		total += out[i]
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return nil
+}
+
+// Pareto returns a Pareto(xm, alpha) sample (minimum xm, tail exponent
+// alpha), both positive.
+func Pareto(src Source, xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic(fmt.Sprintf("dist: Pareto parameters (%g, %g) must be positive", xm, alpha))
+	}
+	return xm / math.Pow(src.Float64(), 1/alpha)
+}
+
+// Laplace returns a Laplace(mu, b) sample, b > 0, by inversion.
+func Laplace(src Source, mu, b float64) float64 {
+	if b <= 0 {
+		panic(fmt.Sprintf("dist: Laplace scale %g must be positive", b))
+	}
+	u := src.Float64() - 0.5
+	if u < 0 {
+		return mu + b*math.Log(1+2*u)
+	}
+	return mu - b*math.Log(1-2*u)
+}
+
+// Rayleigh returns a Rayleigh(sigma) sample, sigma > 0.
+func Rayleigh(src Source, sigma float64) float64 {
+	if sigma <= 0 {
+		panic(fmt.Sprintf("dist: Rayleigh scale %g must be positive", sigma))
+	}
+	return sigma * math.Sqrt(-2*math.Log(src.Float64()))
+}
+
+// TruncatedNormal returns a N(mu, sigma²) sample conditioned on
+// [lo, hi], by rejection against the untruncated normal. The interval
+// must have positive width; for intervals far in the tail the rejection
+// loop is slow — callers needing extreme tails should transform instead.
+func TruncatedNormal(src Source, mu, sigma, lo, hi float64) float64 {
+	if sigma <= 0 {
+		panic(fmt.Sprintf("dist: TruncatedNormal sigma %g must be positive", sigma))
+	}
+	if !(lo < hi) {
+		panic(fmt.Sprintf("dist: TruncatedNormal interval [%g, %g) empty", lo, hi))
+	}
+	for {
+		v := mu + sigma*StdNormal(src)
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCholeskyKnownFactor(t *testing.T) {
+	// A = [[4, 2], [2, 5]] → L = [[2, 0], [1, 2]].
+	l, err := Cholesky([]float64{4, 2, 2, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 0, 1, 2}
+	for i := range want {
+		if math.Abs(l[i]-want[i]) > 1e-12 {
+			t.Fatalf("L = %v, want %v", l, want)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	if _, err := Cholesky([]float64{1, 2, 2, 1}, 2); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+	if _, err := Cholesky([]float64{1, 2, 3}, 2); err == nil {
+		t.Fatal("wrong size accepted")
+	}
+}
+
+func TestMVNormalValidation(t *testing.T) {
+	if _, err := NewMVNormal(nil, nil); err == nil {
+		t.Error("empty mean accepted")
+	}
+	if _, err := NewMVNormal([]float64{0, 0}, []float64{1, 0, 0}); err == nil {
+		t.Error("wrong covariance size accepted")
+	}
+	if _, err := NewMVNormal([]float64{0, 0}, []float64{1, 0.5, -0.5, 1}); err == nil {
+		t.Error("asymmetric covariance accepted")
+	}
+	m, err := NewMVNormal([]float64{0, 0}, []float64{1, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sample(src(t), make([]float64, 3)); err == nil {
+		t.Error("wrong out length accepted")
+	}
+}
+
+func TestMVNormalMomentsAndCorrelation(t *testing.T) {
+	mu := []float64{1, -2}
+	sigma := []float64{4, 2.4, 2.4, 9} // correlation 0.4
+	m, err := NewMVNormal(mu, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := src(t)
+	out := make([]float64, 2)
+	var sx, sy, sxx, syy, sxy float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if err := m.Sample(s, out); err != nil {
+			t.Fatal(err)
+		}
+		sx += out[0]
+		sy += out[1]
+		sxx += out[0] * out[0]
+		syy += out[1] * out[1]
+		sxy += out[0] * out[1]
+	}
+	mx, my := sx/n, sy/n
+	vx := sxx/n - mx*mx
+	vy := syy/n - my*my
+	cov := sxy/n - mx*my
+	if math.Abs(mx-1) > 0.02 || math.Abs(my+2) > 0.03 {
+		t.Fatalf("means (%g, %g)", mx, my)
+	}
+	if math.Abs(vx-4)/4 > 0.05 || math.Abs(vy-9)/9 > 0.05 {
+		t.Fatalf("variances (%g, %g)", vx, vy)
+	}
+	if math.Abs(cov-2.4)/2.4 > 0.1 {
+		t.Fatalf("covariance %g, want 2.4", cov)
+	}
+}
+
+func TestDirichletSimplex(t *testing.T) {
+	s := src(t)
+	alpha := []float64{2, 3, 5}
+	out := make([]float64, 3)
+	sums := make([]float64, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if err := Dirichlet(s, alpha, out); err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for j, v := range out {
+			if v < 0 || v > 1 {
+				t.Fatalf("component %g outside [0,1]", v)
+			}
+			total += v
+			sums[j] += v
+		}
+		if math.Abs(total-1) > 1e-12 {
+			t.Fatalf("components sum to %g", total)
+		}
+	}
+	// E X_j = α_j / Σα = 0.2, 0.3, 0.5.
+	for j, want := range []float64{0.2, 0.3, 0.5} {
+		if got := sums[j] / n; math.Abs(got-want) > 0.005 {
+			t.Errorf("E X_%d = %g, want %g", j, got, want)
+		}
+	}
+}
+
+func TestDirichletValidation(t *testing.T) {
+	s := src(t)
+	if err := Dirichlet(s, []float64{1}, make([]float64, 1)); err == nil {
+		t.Error("single parameter accepted")
+	}
+	if err := Dirichlet(s, []float64{1, 0}, make([]float64, 2)); err == nil {
+		t.Error("zero parameter accepted")
+	}
+	if err := Dirichlet(s, []float64{1, 2}, make([]float64, 3)); err == nil {
+		t.Error("wrong out accepted")
+	}
+}
+
+func TestParetoMoments(t *testing.T) {
+	// α must exceed 4 for the sample variance to converge at the test's
+	// sample size (the variance of the variance needs the 4th moment).
+	s := src(t)
+	xm, alpha := 2.0, 5.0
+	wantMean := alpha * xm / (alpha - 1)
+	wantVar := xm * xm * alpha / ((alpha - 1) * (alpha - 1) * (alpha - 2))
+	checkMoments(t, "Pareto(2,5)", wantMean, wantVar, func() float64 { return Pareto(s, xm, alpha) })
+}
+
+func TestParetoMinimum(t *testing.T) {
+	s := src(t)
+	for i := 0; i < 10000; i++ {
+		if v := Pareto(s, 2, 1); v < 2 {
+			t.Fatalf("Pareto sample %g below xm", v)
+		}
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	s := src(t)
+	mu, b := 1.5, 0.7
+	checkMoments(t, "Laplace", mu, 2*b*b, func() float64 { return Laplace(s, mu, b) })
+}
+
+func TestRayleighMoments(t *testing.T) {
+	s := src(t)
+	sigma := 2.0
+	wantMean := sigma * math.Sqrt(math.Pi/2)
+	wantVar := (4 - math.Pi) / 2 * sigma * sigma
+	checkMoments(t, "Rayleigh(2)", wantMean, wantVar, func() float64 { return Rayleigh(s, sigma) })
+}
+
+func TestTruncatedNormalRespectsBounds(t *testing.T) {
+	s := src(t)
+	for i := 0; i < 20000; i++ {
+		v := TruncatedNormal(s, 0, 1, -0.5, 1.5)
+		if v < -0.5 || v > 1.5 {
+			t.Fatalf("truncated sample %g out of bounds", v)
+		}
+	}
+}
+
+func TestTruncatedNormalSymmetricMeanZero(t *testing.T) {
+	s := src(t)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += TruncatedNormal(s, 0, 1, -2, 2)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.02 {
+		t.Fatalf("symmetric truncation mean %g", mean)
+	}
+}
+
+func TestPanicsOnBadParameters(t *testing.T) {
+	s := src(t)
+	cases := []func(){
+		func() { Pareto(s, 0, 1) },
+		func() { Laplace(s, 0, 0) },
+		func() { Rayleigh(s, -1) },
+		func() { TruncatedNormal(s, 0, 0, 0, 1) },
+		func() { TruncatedNormal(s, 0, 1, 2, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkMVNormal3D(b *testing.B) {
+	m, err := NewMVNormal([]float64{0, 0, 0}, []float64{
+		2, 0.5, 0.2,
+		0.5, 1, 0.1,
+		0.2, 0.1, 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := src(b)
+	out := make([]float64, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Sample(s, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Errorcontrol: run until a target accuracy is reached, not a fixed
+// sample count.
+//
+// The paper's reason for periodic (rather than end-only) data exchange
+// is that "it is desirable to control the absolute and relative
+// stochastic errors during the simulation". This program does exactly
+// that: an unbounded run (MaxSamples = 0, the paper's "endless"
+// simulation) watches its own error bounds through Config.OnSave and
+// cancels the context once the maximal relative error of the estimate
+// drops below a target.
+//
+// The estimated quantity is the slab-transmission probability of the
+// transport example (pure absorber, thickness 2: exact value e⁻²).
+//
+//	go run ./examples/errorcontrol
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"parmonc"
+	"parmonc/dist"
+)
+
+const targetRelErr = 0.5 // percent
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var saves atomic.Int64
+	cfg := parmonc.Config{
+		Nrow: 1, Ncol: 1,
+		MaxSamples: 0, // unbounded: accuracy decides when to stop
+		PassPeriod: 20 * time.Millisecond,
+		AverPeriod: 50 * time.Millisecond,
+		OnSave: func(p parmonc.Progress) {
+			n := saves.Add(1)
+			fmt.Printf("  save %2d: L = %8d  ρ_max = %6.3f%%  (target %.1f%%)\n",
+				n, p.N, p.MaxRelErr, targetRelErr)
+			if p.N > 1000 && p.MaxRelErr < targetRelErr {
+				cancel()
+			}
+		},
+	}
+
+	res, err := parmonc.Run(ctx, cfg, func(src *parmonc.Stream, out []float64) error {
+		if dist.Exponential(src, 1) >= 2 {
+			out[0] = 1
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exact := math.Exp(-2)
+	fmt.Printf("\nstopped by accuracy control after %v, L = %d\n",
+		res.Elapsed.Round(time.Millisecond), res.Report.N)
+	fmt.Printf("P(transmit) = %.5f ± %.5f (rel %.3f%%), exact %.5f\n",
+		res.Report.MeanAt(0, 0), res.Report.AbsErrAt(0, 0),
+		res.Report.RelErrAt(0, 0), exact)
+}

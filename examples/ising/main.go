@@ -1,0 +1,108 @@
+// Ising: independent-replica Metropolis sampling of the 2-D Ising model
+// with PARMONC — the statistical-physics domain the paper lists ("the
+// Metropolis method, the Ising model").
+//
+// Each realization equilibrates a fresh 16×16 lattice at inverse
+// temperature β and reports (energy per site, |magnetization|). Sweeping
+// β across the exact critical point β_c = ln(1+√2)/2 ≈ 0.4407 shows the
+// order parameter turning on — the independent-replica pattern is
+// exactly how PARMONC parallelizes Markov chain Monte Carlo.
+//
+//	go run ./examples/ising
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"parmonc"
+	"parmonc/dist"
+)
+
+const (
+	lat    = 16
+	sweeps = 80
+	warmup = 40
+)
+
+// replica runs one independent lattice at inverse temperature beta and
+// writes the time-averaged observables.
+func replica(src *parmonc.Stream, beta float64, out []float64) error {
+	n := lat * lat
+	spins := make([]int8, n)
+	for i := range spins {
+		if dist.Bernoulli(src, 0.5) {
+			spins[i] = 1
+		} else {
+			spins[i] = -1
+		}
+	}
+	acc4, acc8 := math.Exp(-4*beta), math.Exp(-8*beta)
+	nbrSum := func(i int) int {
+		x, y := i%lat, i/lat
+		return int(spins[y*lat+(x+1)%lat]) + int(spins[y*lat+(x-1+lat)%lat]) +
+			int(spins[((y+1)%lat)*lat+x]) + int(spins[((y-1+lat)%lat)*lat+x])
+	}
+	var accE, accM float64
+	measured := 0
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for k := 0; k < n; k++ {
+			i := dist.Choice(src, n)
+			dE := 2 * int(spins[i]) * nbrSum(i)
+			if dE <= 0 || (dE == 4 && dist.Bernoulli(src, acc4)) || (dE == 8 && dist.Bernoulli(src, acc8)) {
+				spins[i] = -spins[i]
+			}
+		}
+		if sweep < warmup {
+			continue
+		}
+		var e, m int
+		for i := 0; i < n; i++ {
+			x, y := i%lat, i/lat
+			e -= int(spins[i]) * (int(spins[y*lat+(x+1)%lat]) + int(spins[((y+1)%lat)*lat+x]))
+			m += int(spins[i])
+		}
+		accE += float64(e) / float64(n)
+		accM += math.Abs(float64(m)) / float64(n)
+		measured++
+	}
+	out[0] = accE / float64(measured)
+	out[1] = accM / float64(measured)
+	return nil
+}
+
+func main() {
+	betas := []float64{0.20, 0.35, 0.44, 0.50, 0.60}
+	betaC := math.Log(1+math.Sqrt2) / 2
+
+	fmt.Printf("2-D Ising, %d×%d lattice, independent replicas (β_c = %.4f)\n", lat, lat, betaC)
+	fmt.Printf("%8s  %20s  %20s\n", "β", "E per site", "|m|")
+	for i, beta := range betas {
+		beta := beta
+		res, err := parmonc.Run(context.Background(), parmonc.Config{
+			Nrow:       1,
+			Ncol:       2,
+			MaxSamples: 200,
+			SeqNum:     uint64(i),
+			WorkDir:    fmt.Sprintf("run-beta%03.0f", beta*100),
+			PassPeriod: 100 * time.Millisecond,
+			AverPeriod: 200 * time.Millisecond,
+		}, func(src *parmonc.Stream, out []float64) error {
+			return replica(src, beta, out)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := res.Report
+		marker := ""
+		if beta > betaC && rep.MeanAt(0, 1) > 0.5 {
+			marker = "  ← ordered"
+		}
+		fmt.Printf("%8.2f  %9.4f±%-9.4f  %9.4f±%-9.4f%s\n", beta,
+			rep.MeanAt(0, 0), rep.AbsErrAt(0, 0),
+			rep.MeanAt(0, 1), rep.AbsErrAt(0, 1), marker)
+	}
+}

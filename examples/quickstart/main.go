@@ -1,0 +1,51 @@
+// Quickstart: estimate π with PARMONC.
+//
+// The user writes one sequential routine that simulates a single
+// realization of the random object — here the indicator that a uniform
+// point in the unit square falls inside the quarter disc — and hands it
+// to parmonc.Run. The library parallelizes the simulation, computes the
+// sample mean with its 3σ confidence bound, and stores results under
+// ./parmonc_data.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"parmonc"
+)
+
+func main() {
+	res, err := parmonc.Run(context.Background(), parmonc.Config{
+		Nrow:       1,
+		Ncol:       1,
+		MaxSamples: 2_000_000,
+		SeqNum:     0,
+		PassPeriod: 100 * time.Millisecond,
+		AverPeriod: 200 * time.Millisecond,
+	}, func(src *parmonc.Stream, out []float64) error {
+		x, y := src.Float64(), src.Float64()
+		if x*x+y*y < 1 {
+			out[0] = 1
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	quarter := res.Report.MeanAt(0, 0)
+	errBound := res.Report.AbsErrAt(0, 0)
+	fmt.Printf("π ≈ %.6f ± %.6f  (exact %.6f, L = %d, %v)\n",
+		4*quarter, 4*errBound, math.Pi, res.Report.N, res.Elapsed.Round(time.Millisecond))
+	if math.Abs(4*quarter-math.Pi) < 4*errBound {
+		fmt.Println("exact value inside the 3σ confidence interval ✓")
+	} else {
+		fmt.Println("WARNING: exact value outside the 3σ interval (p ≈ 0.3%)")
+	}
+}

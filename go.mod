@@ -1,0 +1,3 @@
+module parmonc
+
+go 1.22

@@ -1,0 +1,100 @@
+// Package baseline implements the previous-generation congruential
+// generator the paper measures the 128-bit generator against: the
+// "well known RNG with special parameters r = 40 and A = 5^17" whose
+// period 2^38 ≈ 2.75·10^11 "is not sufficient for the up-to-date
+// computations" (Sec. 2.2). It exists so the benchmark harness can
+// reproduce the paper's motivation quantitatively: speed per draw,
+// period headroom, and how quickly a massively parallel run exhausts
+// the short period.
+package baseline
+
+import (
+	"fmt"
+
+	"parmonc/internal/u128"
+)
+
+// R40 is the modulus exponent of the baseline generator.
+const R40 = 40
+
+// Mult40 is A = 5^17 mod 2^40.
+const Mult40 = 762939453125 % (1 << R40) // 5^17 = 762939453125 < 2^40
+
+// Period40 is the period of the baseline generator, 2^38.
+const Period40 = uint64(1) << (R40 - 2)
+
+// mask40 keeps the low 40 bits.
+const mask40 = (uint64(1) << R40) - 1
+
+// Gen40 is the 40-bit multiplicative congruential generator
+// u_{k+1} = u_k·5^17 mod 2^40, α_k = u_k·2^-40.
+type Gen40 struct {
+	state uint64
+}
+
+// New40 returns the generator at the canonical state u_0 = 1.
+func New40() *Gen40 { return &Gen40{state: 1} }
+
+// Next advances one step and returns the new state.
+func (g *Gen40) Next() uint64 {
+	g.state = (g.state * Mult40) & mask40
+	return g.state
+}
+
+// Float64 advances and returns α = u·2^-40 ∈ (0,1).
+func (g *Gen40) Float64() float64 {
+	return float64(g.Next()) / float64(uint64(1)<<R40)
+}
+
+// State returns the current state.
+func (g *Gen40) State() uint64 { return g.state }
+
+// SkipAhead advances by n steps via A^n mod 2^40.
+func (g *Gen40) SkipAhead(n uint64) {
+	a := u128.ExpUint(u128.From64(Mult40), n)
+	g.state = (g.state * (a.Lo & mask40)) & mask40
+}
+
+// DrawsPerRealization estimates how many realizations of a workload
+// drawing perRealization base random numbers fit into the usable half
+// of the baseline period before the sequence wraps — the quantity the
+// paper calls out: "the simulation of a single realization may demand a
+// quantity of base random numbers comparable with the whole period".
+func DrawsPerRealization(perRealization uint64) (realizations uint64, err error) {
+	if perRealization == 0 {
+		return 0, fmt.Errorf("baseline: perRealization must be positive")
+	}
+	return (Period40 / 2) / perRealization, nil
+}
+
+// CycleLength iterates the generator u·(5^mexp) mod 2^r from u=1 until
+// it returns to 1 and reports the cycle length. It is exact and
+// feasible for r ≤ ~30; it exists to verify the 2^(r-2) period law the
+// paper's capacity arithmetic rests on, on moduli small enough to
+// enumerate.
+func CycleLength(r uint, mexp uint) (uint64, error) {
+	if r < 3 || r > 34 {
+		return 0, fmt.Errorf("baseline: r = %d outside enumerable range [3, 34]", r)
+	}
+	if mexp == 0 {
+		return 0, fmt.Errorf("baseline: multiplier exponent must be positive")
+	}
+	mask := (uint64(1) << r) - 1
+	mult := uint64(1)
+	for i := uint(0); i < mexp; i++ {
+		mult = (mult * 5) & mask
+	}
+	state := uint64(1)
+	var n uint64
+	limit := uint64(1) << r
+	for {
+		state = (state * mult) & mask
+		n++
+		if state == 1 {
+			return n, nil
+		}
+		if n > limit {
+			return 0, fmt.Errorf("baseline: no cycle within 2^%d iterations", r)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package branching
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+)
+
+func stream(t testing.TB) *rng.Stream {
+	t.Helper()
+	s, err := rng.NewStream(rng.DefaultParams(), rng.Coord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Process{Mu: 1.5, Generations: 10}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Process{
+		{Mu: 0, Generations: 10},
+		{Mu: -1, Generations: 10},
+		{Mu: 1, Generations: 0},
+		{Mu: 1, Generations: 5, PopCap: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRealizeOutLength(t *testing.T) {
+	p := Process{Mu: 1, Generations: 3}
+	if err := p.Realize(stream(t), make([]float64, 1)); err == nil {
+		t.Fatal("wrong out length accepted")
+	}
+}
+
+func TestExtinctionConsistency(t *testing.T) {
+	p := Process{Mu: 0.8, Generations: 30}
+	s := stream(t)
+	out := make([]float64, NOutcomes)
+	for i := 0; i < 2000; i++ {
+		if err := p.Realize(s, out); err != nil {
+			t.Fatal(err)
+		}
+		extinct := out[Extinct] == 1
+		if extinct != (out[FinalPopulation] == 0) {
+			t.Fatalf("inconsistent outcome: pop=%g extinct=%g", out[FinalPopulation], out[Extinct])
+		}
+		out[0], out[1] = 0, 0
+	}
+}
+
+func TestSubcriticalDiesOut(t *testing.T) {
+	// μ < 1: extinction probability 1; with 30 generations virtually
+	// every lineage is gone.
+	p := Process{Mu: 0.7, Generations: 30}
+	if got := p.ExtinctionProbability(); got != 1 {
+		t.Fatalf("q = %g, want 1", got)
+	}
+	s := stream(t)
+	out := make([]float64, NOutcomes)
+	extinct := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		out[0], out[1] = 0, 0
+		if err := p.Realize(s, out); err != nil {
+			t.Fatal(err)
+		}
+		if out[Extinct] == 1 {
+			extinct++
+		}
+	}
+	if frac := float64(extinct) / n; frac < 0.99 {
+		t.Fatalf("extinct fraction %g, want ≈ 1", frac)
+	}
+}
+
+func TestSupercriticalExtinctionProbability(t *testing.T) {
+	// μ = 1.5: q solves q = exp(1.5(q−1)). Fixed point ≈ 0.41718.
+	p := Process{Mu: 1.5, Generations: 40}
+	q := p.ExtinctionProbability()
+	// The root must satisfy its own equation.
+	if math.Abs(q-math.Exp(p.Mu*(q-1))) > 1e-12 {
+		t.Fatalf("q = %g does not satisfy fixed point", q)
+	}
+	if q < 0.40 || q > 0.44 {
+		t.Fatalf("q = %g outside expected bracket", q)
+	}
+
+	// Full pipeline: the extinct-by-generation-40 fraction estimates q.
+	cfg := core.Config{
+		Nrow: 1, Ncol: NOutcomes,
+		MaxSamples: 20000,
+		Workers:    4,
+		WorkDir:    t.TempDir(),
+		PassPeriod: time.Millisecond,
+		AverPeriod: 2 * time.Millisecond,
+	}
+	res, err := core.Run(context.Background(), cfg, func(src *rng.Stream, out []float64) error {
+		return p.Realize(src, out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Report.MeanAt(0, Extinct)
+	if math.Abs(got-q) > res.Report.AbsErrAt(0, Extinct)*4/3+0.002 {
+		t.Fatalf("extinct fraction %g, want %g ± %g", got, q, res.Report.AbsErrAt(0, Extinct))
+	}
+}
+
+func TestMeanGrowthCritical(t *testing.T) {
+	// μ = 1: E Z_n = 1 for every n.
+	p := Process{Mu: 1, Generations: 10}
+	if got := p.MeanPopulation(); got != 1 {
+		t.Fatalf("E Z_n = %g", got)
+	}
+	s := stream(t)
+	out := make([]float64, NOutcomes)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		out[0], out[1] = 0, 0
+		if err := p.Realize(s, out); err != nil {
+			t.Fatal(err)
+		}
+		sum += out[FinalPopulation]
+	}
+	// Var Z_n grows linearly in n at criticality (σ² = μ = 1): n=10
+	// gives Var ≈ 10, so 5σ/√50000 ≈ 0.07.
+	if mean := sum / n; math.Abs(mean-1) > 0.1 {
+		t.Fatalf("E Z_10 = %g, want 1", mean)
+	}
+}
+
+func TestMeanGrowthSupercritical(t *testing.T) {
+	p := Process{Mu: 1.3, Generations: 8}
+	want := p.MeanPopulation() // 1.3^8 ≈ 8.157
+	s := stream(t)
+	out := make([]float64, NOutcomes)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		out[0], out[1] = 0, 0
+		if err := p.Realize(s, out); err != nil {
+			t.Fatal(err)
+		}
+		sum += out[FinalPopulation]
+	}
+	if mean := sum / n; math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("E Z_8 = %g, want %g", mean, want)
+	}
+}
+
+func TestPopCapShortCircuitsExplosions(t *testing.T) {
+	p := Process{Mu: 3, Generations: 60, PopCap: 1000}
+	s := stream(t)
+	out := make([]float64, NOutcomes)
+	if err := p.Realize(s, out); err != nil {
+		t.Fatal(err)
+	}
+	// Either extinct early or capped: never astronomically large.
+	if out[FinalPopulation] > 1000*10 {
+		t.Fatalf("population %g blew past the cap region", out[FinalPopulation])
+	}
+}
+
+func BenchmarkRealizeSupercritical(b *testing.B) {
+	p := Process{Mu: 1.5, Generations: 20, PopCap: 100000}
+	s := stream(b)
+	out := make([]float64, NOutcomes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out[0], out[1] = 0, 0
+		if err := p.Realize(s, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package chem implements Gillespie's stochastic simulation algorithm
+// (SSA) for well-mixed chemical reaction networks — the "modeling the
+// chemical reactions" application of Sec. 2.1 of the paper.
+//
+// A network is a set of species and reactions with mass-action
+// propensities. One realization simulates the exact jump process from
+// the initial counts and records selected species at sample times. Two
+// classical networks with closed-form mean solutions are provided for
+// verification:
+//
+//   - Decay A → ∅ at rate k: E A(t) = A₀·e^{−kt}.
+//   - Reversible isomerization A ⇌ B (k₁, k₂): the equilibrium mean of
+//     A is (A₀+B₀)·k₂/(k₁+k₂), approached exponentially at rate k₁+k₂.
+package chem
+
+import (
+	"fmt"
+	"math"
+
+	"parmonc/dist"
+)
+
+// Reaction is one channel of a network: when it fires, Delta is added
+// to the species counts; its propensity is Rate times the mass-action
+// combinatorial factor of the (at most two) reactant species.
+type Reaction struct {
+	Rate float64 // stochastic rate constant (> 0)
+	// Reactants lists species indices consumed (length 0, 1 or 2; a
+	// dimerization uses the same index twice).
+	Reactants []int
+	// Delta is the state change applied when the reaction fires; its
+	// length equals the number of species.
+	Delta []int64
+}
+
+// Network is a chemical reaction network.
+type Network struct {
+	Species   int
+	Reactions []Reaction
+	Init      []int64 // initial counts, length Species
+}
+
+// Validate checks the structural invariants.
+func (n Network) Validate() error {
+	if n.Species < 1 {
+		return fmt.Errorf("chem: species count %d must be >= 1", n.Species)
+	}
+	if len(n.Init) != n.Species {
+		return fmt.Errorf("chem: init has %d entries, want %d", len(n.Init), n.Species)
+	}
+	for i, c := range n.Init {
+		if c < 0 {
+			return fmt.Errorf("chem: negative initial count for species %d", i)
+		}
+	}
+	if len(n.Reactions) == 0 {
+		return fmt.Errorf("chem: network has no reactions")
+	}
+	for r, rx := range n.Reactions {
+		if rx.Rate <= 0 {
+			return fmt.Errorf("chem: reaction %d has non-positive rate %g", r, rx.Rate)
+		}
+		if len(rx.Reactants) > 2 {
+			return fmt.Errorf("chem: reaction %d has %d reactants; at most 2 supported", r, len(rx.Reactants))
+		}
+		for _, s := range rx.Reactants {
+			if s < 0 || s >= n.Species {
+				return fmt.Errorf("chem: reaction %d references species %d of %d", r, s, n.Species)
+			}
+		}
+		if len(rx.Delta) != n.Species {
+			return fmt.Errorf("chem: reaction %d delta has %d entries, want %d", r, len(rx.Delta), n.Species)
+		}
+	}
+	return nil
+}
+
+// propensity returns the mass-action propensity of reaction rx in state x.
+func propensity(rx Reaction, x []int64) float64 {
+	a := rx.Rate
+	switch len(rx.Reactants) {
+	case 0:
+		return a
+	case 1:
+		return a * float64(x[rx.Reactants[0]])
+	default:
+		i, j := rx.Reactants[0], rx.Reactants[1]
+		if i == j {
+			// Dimerization: x(x−1)/2 ordered pairs... combinatorial factor.
+			return a * float64(x[i]) * float64(x[i]-1) / 2
+		}
+		return a * float64(x[i]) * float64(x[j])
+	}
+}
+
+// Trajectory simulates one exact SSA realization and records the counts
+// of the watch species at each sample time (ascending). out is
+// row-major len(times)×len(watch).
+func (n Network) Trajectory(src dist.Source, times []float64, watch []int, out []float64) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	if len(times) == 0 {
+		return fmt.Errorf("chem: no sample times")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return fmt.Errorf("chem: sample times must be ascending")
+		}
+	}
+	if times[0] < 0 {
+		return fmt.Errorf("chem: negative sample time")
+	}
+	if len(watch) == 0 {
+		return fmt.Errorf("chem: no watch species")
+	}
+	for _, s := range watch {
+		if s < 0 || s >= n.Species {
+			return fmt.Errorf("chem: watch species %d out of range", s)
+		}
+	}
+	if len(out) != len(times)*len(watch) {
+		return fmt.Errorf("chem: out has %d entries, want %d×%d", len(out), len(times), len(watch))
+	}
+
+	x := make([]int64, n.Species)
+	copy(x, n.Init)
+	props := make([]float64, len(n.Reactions))
+
+	t := 0.0
+	next := 0
+	record := func() {
+		for w, s := range watch {
+			out[next*len(watch)+w] = float64(x[s])
+		}
+		next++
+	}
+
+	for next < len(times) {
+		var total float64
+		for r, rx := range n.Reactions {
+			props[r] = propensity(rx, x)
+			total += props[r]
+		}
+		if total <= 0 {
+			// Absorbing state: all remaining sample times see it.
+			for next < len(times) {
+				record()
+			}
+			return nil
+		}
+		dt := dist.Exponential(src, total)
+		for next < len(times) && times[next] <= t+dt {
+			record()
+		}
+		t += dt
+		if next >= len(times) {
+			return nil
+		}
+		// Pick the firing channel proportionally to propensity.
+		u := src.Float64() * total
+		r := 0
+		for ; r < len(props)-1; r++ {
+			if u < props[r] {
+				break
+			}
+			u -= props[r]
+		}
+		for s, d := range n.Reactions[r].Delta {
+			x[s] += d
+			if x[s] < 0 {
+				return fmt.Errorf("chem: species %d went negative firing reaction %d", s, r)
+			}
+		}
+	}
+	return nil
+}
+
+// Decay returns the network A → ∅ with rate k and A(0) = a0.
+func Decay(k float64, a0 int64) Network {
+	return Network{
+		Species: 1,
+		Init:    []int64{a0},
+		Reactions: []Reaction{
+			{Rate: k, Reactants: []int{0}, Delta: []int64{-1}},
+		},
+	}
+}
+
+// Isomerization returns the reversible network A ⇌ B with forward rate
+// k1, backward rate k2 and initial counts (a0, b0).
+func Isomerization(k1, k2 float64, a0, b0 int64) Network {
+	return Network{
+		Species: 2,
+		Init:    []int64{a0, b0},
+		Reactions: []Reaction{
+			{Rate: k1, Reactants: []int{0}, Delta: []int64{-1, 1}},
+			{Rate: k2, Reactants: []int{1}, Delta: []int64{1, -1}},
+		},
+	}
+}
+
+// DecayMean returns E A(t) = a0·e^{−kt} for the Decay network.
+func DecayMean(k float64, a0 int64, t float64) float64 {
+	return float64(a0) * expNeg(k*t)
+}
+
+// IsomerizationMeanA returns E A(t) for the Isomerization network:
+// A(∞) + (A(0) − A(∞))·e^{−(k1+k2)t}, with A(∞) = (a0+b0)·k2/(k1+k2).
+func IsomerizationMeanA(k1, k2 float64, a0, b0 int64, t float64) float64 {
+	total := float64(a0 + b0)
+	aInf := total * k2 / (k1 + k2)
+	return aInf + (float64(a0)-aInf)*expNeg((k1+k2)*t)
+}
+
+func expNeg(x float64) float64 {
+	return math.Exp(-x)
+}

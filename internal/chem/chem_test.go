@@ -1,0 +1,244 @@
+package chem
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+)
+
+func stream(t testing.TB) *rng.Stream {
+	t.Helper()
+	s, err := rng.NewStream(rng.DefaultParams(), rng.Coord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	if err := Decay(1, 100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Network{
+		{Species: 0},
+		{Species: 1, Init: []int64{1}},    // no reactions
+		{Species: 1, Init: []int64{1, 2}}, // wrong init length
+		{Species: 1, Init: []int64{-1}, Reactions: []Reaction{{Rate: 1, Delta: []int64{0}}}},
+		{Species: 1, Init: []int64{1}, Reactions: []Reaction{{Rate: 0, Delta: []int64{0}}}},
+		{Species: 1, Init: []int64{1}, Reactions: []Reaction{{Rate: 1, Reactants: []int{5}, Delta: []int64{0}}}},
+		{Species: 1, Init: []int64{1}, Reactions: []Reaction{{Rate: 1, Delta: []int64{0, 0}}}},
+		{Species: 1, Init: []int64{1}, Reactions: []Reaction{{Rate: 1, Reactants: []int{0, 0, 0}, Delta: []int64{0}}}},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestTrajectoryArguments(t *testing.T) {
+	n := Decay(1, 10)
+	s := stream(t)
+	if err := n.Trajectory(s, nil, []int{0}, nil); err == nil {
+		t.Error("no times accepted")
+	}
+	if err := n.Trajectory(s, []float64{1, 0.5}, []int{0}, make([]float64, 2)); err == nil {
+		t.Error("descending times accepted")
+	}
+	if err := n.Trajectory(s, []float64{1}, nil, make([]float64, 1)); err == nil {
+		t.Error("no watch species accepted")
+	}
+	if err := n.Trajectory(s, []float64{1}, []int{3}, make([]float64, 1)); err == nil {
+		t.Error("bad watch species accepted")
+	}
+	if err := n.Trajectory(s, []float64{1}, []int{0}, make([]float64, 5)); err == nil {
+		t.Error("wrong out length accepted")
+	}
+	if err := n.Trajectory(s, []float64{-1}, []int{0}, make([]float64, 1)); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestDecayMatchesExponential(t *testing.T) {
+	// Full pipeline: E A(t) = A0·e^{-kt}.
+	const (
+		k  = 0.7
+		a0 = 200
+	)
+	net := Decay(k, a0)
+	times := []float64{0.5, 1, 2, 4}
+	cfg := core.Config{
+		Nrow: len(times), Ncol: 1,
+		MaxSamples: 3000,
+		Workers:    4,
+		WorkDir:    t.TempDir(),
+		PassPeriod: time.Millisecond,
+		AverPeriod: 2 * time.Millisecond,
+	}
+	res, err := core.Run(context.Background(), cfg, func(src *rng.Stream, out []float64) error {
+		return net.Trajectory(src, times, []int{0}, out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range times {
+		want := DecayMean(k, a0, tt)
+		got := res.Report.MeanAt(i, 0)
+		if math.Abs(got-want) > res.Report.AbsErrAt(i, 0)*4/3+0.5 {
+			t.Errorf("E A(%g) = %g, want %g ± %g", tt, got, want, res.Report.AbsErrAt(i, 0))
+		}
+	}
+}
+
+func TestDecayVarianceBinomial(t *testing.T) {
+	// Pure death from fixed A0: A(t) ~ Binomial(A0, e^{-kt}), so
+	// Var A(t) = A0·p·(1-p).
+	const (
+		k  = 1.0
+		a0 = 100
+		tt = 1.0
+	)
+	net := Decay(k, a0)
+	s := stream(t)
+	out := make([]float64, 1)
+	var sum, sum2 float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := net.Trajectory(s, []float64{tt}, []int{0}, out); err != nil {
+			t.Fatal(err)
+		}
+		sum += out[0]
+		sum2 += out[0] * out[0]
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	p := math.Exp(-k * tt)
+	wantVar := float64(a0) * p * (1 - p)
+	if math.Abs(variance-wantVar)/wantVar > 0.1 {
+		t.Fatalf("Var A(1) = %g, want %g", variance, wantVar)
+	}
+}
+
+func TestIsomerizationEquilibrium(t *testing.T) {
+	const (
+		k1, k2 = 2.0, 1.0
+		a0, b0 = 150, 0
+	)
+	net := Isomerization(k1, k2, a0, b0)
+	times := []float64{0.3, 1, 5}
+	cfg := core.Config{
+		Nrow: len(times), Ncol: 2,
+		MaxSamples: 3000,
+		Workers:    4,
+		WorkDir:    t.TempDir(),
+		PassPeriod: time.Millisecond,
+		AverPeriod: 2 * time.Millisecond,
+	}
+	res, err := core.Run(context.Background(), cfg, func(src *rng.Stream, out []float64) error {
+		return net.Trajectory(src, times, []int{0, 1}, out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range times {
+		wantA := IsomerizationMeanA(k1, k2, a0, b0, tt)
+		gotA := res.Report.MeanAt(i, 0)
+		if math.Abs(gotA-wantA) > res.Report.AbsErrAt(i, 0)*4/3+0.5 {
+			t.Errorf("E A(%g) = %g, want %g", tt, gotA, wantA)
+		}
+		// Conservation: A + B = 150 exactly in every realization, so
+		// the means must sum to 150 to fp precision.
+		if sum := gotA + res.Report.MeanAt(i, 1); math.Abs(sum-150) > 1e-9 {
+			t.Errorf("A+B = %g at t=%g, want 150", sum, tt)
+		}
+	}
+	// Equilibrium value at t = 5 (rate 3 → e^{-15} ≈ 0): A(∞) = 150/3 = 50.
+	if got := res.Report.MeanAt(2, 0); math.Abs(got-50) > 1.5 {
+		t.Errorf("A(∞) = %g, want 50", got)
+	}
+}
+
+func TestAbsorbingStateRecorded(t *testing.T) {
+	// Fast decay: by t = 1000 the population is surely 0, including for
+	// sample times far past the last event.
+	net := Decay(5, 10)
+	s := stream(t)
+	out := make([]float64, 2)
+	if err := net.Trajectory(s, []float64{1000, 2000}, []int{0}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatalf("absorbing state not recorded: %v", out)
+	}
+}
+
+func TestDimerizationPropensity(t *testing.T) {
+	// 2A → ∅: propensity k·x(x−1)/2.
+	rx := Reaction{Rate: 2, Reactants: []int{0, 0}, Delta: []int64{-2}}
+	if got := propensity(rx, []int64{5}); got != 2*5*4/2 {
+		t.Fatalf("dimer propensity = %g, want 20", got)
+	}
+	// A + B → C: k·xA·xB.
+	rx2 := Reaction{Rate: 3, Reactants: []int{0, 1}, Delta: []int64{-1, -1, 1}}
+	if got := propensity(rx2, []int64{4, 5, 0}); got != 60 {
+		t.Fatalf("bimolecular propensity = %g, want 60", got)
+	}
+	// Source reaction ∅ → A: constant.
+	rx3 := Reaction{Rate: 7, Delta: []int64{1}}
+	if got := propensity(rx3, []int64{123}); got != 7 {
+		t.Fatalf("source propensity = %g, want 7", got)
+	}
+}
+
+func TestBirthDeathStationaryPoisson(t *testing.T) {
+	// ∅ → A at rate λ, A → ∅ at rate μ per molecule: stationary
+	// distribution Poisson(λ/μ) — mean and variance both λ/μ.
+	const (
+		lambda = 20.0
+		mu     = 1.0
+	)
+	net := Network{
+		Species: 1,
+		Init:    []int64{0},
+		Reactions: []Reaction{
+			{Rate: lambda, Delta: []int64{1}},
+			{Rate: mu, Reactants: []int{0}, Delta: []int64{-1}},
+		},
+	}
+	s := stream(t)
+	out := make([]float64, 1)
+	var sum, sum2 float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := net.Trajectory(s, []float64{15}, []int{0}, out); err != nil {
+			t.Fatal(err)
+		}
+		sum += out[0]
+		sum2 += out[0] * out[0]
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-20) > 0.5 {
+		t.Fatalf("stationary mean %g, want 20", mean)
+	}
+	if math.Abs(variance-20)/20 > 0.15 {
+		t.Fatalf("stationary variance %g, want 20", variance)
+	}
+}
+
+func BenchmarkDecayTrajectory(b *testing.B) {
+	net := Decay(1, 200)
+	times := []float64{0.5, 1, 2, 4}
+	out := make([]float64, len(times))
+	s := stream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.Trajectory(s, times, []int{0}, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

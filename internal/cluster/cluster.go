@@ -1,0 +1,576 @@
+// Package cluster is the distributed substrate of the library — the
+// replacement for the MPI layer of the original PARMONC.
+//
+// The original library runs the user's program on M MPI ranks; rank 0
+// collects subtotal moments the other ranks push periodically
+// (Sec. 2.2). Go has no MPI, but PARMONC uses none of MPI's collective
+// machinery — only "send subtotals to rank 0, rarely" — so a small RPC
+// protocol over TCP reproduces the communication pattern exactly:
+//
+//	worker                         coordinator (rank 0)
+//	  Register ────────────────▶   assign processor index + job spec
+//	  simulate realizations ...
+//	  Push(subtotal moments) ──▶   merge (formula (5)), save periodically
+//	  ... repeat until told to stop or out of work ...
+//	  Done ────────────────────▶   account; release
+//
+// Workers are fully asynchronous: no worker ever waits for another, and
+// the coordinator merges whatever arrives whenever it arrives — the
+// paper's "no need for load balancing" property. A worker that dies
+// silently costs only its unsent subtotals; the surviving workers'
+// moments remain valid because every worker draws from its own
+// subsequence of the parallel RNG.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+	"parmonc/internal/stat"
+	"parmonc/internal/store"
+)
+
+// JobSpec describes the simulation a coordinator manages. It is
+// transmitted to every worker at registration, so worker binaries need
+// only the realization routine and the coordinator address.
+type JobSpec struct {
+	SeqNum     uint64     // "experiments" subsequence number
+	Nrow, Ncol int        // realization matrix dimensions
+	MaxSamples int64      // total sample volume target; <= 0 means unbounded
+	Params     rng.Params // leap exponents
+	Gamma      float64    // confidence coefficient
+	PassEvery  int64      // worker pushes after this many realizations (>= 1)
+	Workload   string     // optional workload identity, checked at registration
+}
+
+// Validate checks the spec invariants.
+func (s JobSpec) Validate() error {
+	if s.Nrow <= 0 || s.Ncol <= 0 {
+		return fmt.Errorf("cluster: invalid dimensions %d×%d", s.Nrow, s.Ncol)
+	}
+	if s.PassEvery < 1 {
+		return fmt.Errorf("cluster: PassEvery %d must be >= 1", s.PassEvery)
+	}
+	if s.Gamma <= 0 {
+		return fmt.Errorf("cluster: confidence coefficient %g must be positive", s.Gamma)
+	}
+	return s.Params.Validate()
+}
+
+// RegisterArgs is sent by a worker when it joins.
+type RegisterArgs struct {
+	Hostname string // informational
+	// Workload identifies the realization routine the worker will run.
+	// When both sides set it, the coordinator rejects mismatches at
+	// registration — catching the operator error of joining a worker
+	// built for a different job before any wrong moments are merged.
+	Workload string
+}
+
+// RegisterReply assigns the worker its processor subsequence and job.
+type RegisterReply struct {
+	Worker int // processor index (>= 1; the coordinator itself is rank 0)
+	Spec   JobSpec
+	Stop   bool // true when the job is already complete
+}
+
+// PushArgs carries one subtotal snapshot from a worker.
+type PushArgs struct {
+	Worker int
+	Snap   stat.Snapshot
+}
+
+// PushReply tells the worker whether to continue.
+type PushReply struct {
+	Stop bool
+}
+
+// DoneArgs signals that a worker has stopped (voluntarily or on Stop).
+type DoneArgs struct {
+	Worker int
+}
+
+// DoneReply is empty.
+type DoneReply struct{}
+
+// ServiceName is the RPC service name workers dial.
+const ServiceName = "Parmonc"
+
+// Coordinator is the rank-0 process: it assigns processor indices,
+// merges pushed moments and writes results files.
+type Coordinator struct {
+	spec JobSpec
+	dir  *store.Dir
+	meta store.RunMeta
+
+	aver time.Duration
+
+	mu        sync.Mutex
+	total     *stat.Accumulator
+	perWorker map[int]*stat.Accumulator // nil unless SaveWorkerSnapshots
+	baseN     int64
+	next      int // next processor index to hand out
+	active    map[int]bool
+	lastSeen  map[int]time.Time
+	pruned    int
+	stopped   bool
+	lastSave  time.Time
+	saveErr   error
+	completed chan struct{} // closed when target reached and all workers done
+
+	timeout    time.Duration
+	reaperStop chan struct{}
+
+	ln     net.Listener
+	server *rpc.Server
+}
+
+// CoordinatorConfig bundles the optional knobs of NewCoordinator.
+type CoordinatorConfig struct {
+	WorkDir    string        // where parmonc_data is written; default "."
+	AverPeriod time.Duration // how often pushes trigger a save; default 2 min
+	Resume     bool          // merge the previous run's checkpoint
+
+	// WorkerTimeout prunes workers that have not been heard from for
+	// this long, so a crashed worker cannot stall job completion. Its
+	// already-pushed subtotals remain valid (they came from the
+	// worker's own disjoint substream); only unsent work is lost — the
+	// same failure semantics as an MPI rank dying in the original.
+	// Zero disables pruning.
+	WorkerTimeout time.Duration
+
+	// SaveWorkerSnapshots writes each worker's cumulative moments to
+	// parmonc_data/workers on every push, so the manaver command can
+	// rebuild results if the coordinator dies before its final save —
+	// the paper's post-mortem averaging workflow (Sec. 3.4).
+	SaveWorkerSnapshots bool
+}
+
+// NewCoordinator creates a coordinator listening on addr (e.g.
+// "127.0.0.1:0"); the chosen address is available via Addr.
+func NewCoordinator(spec JobSpec, cfg CoordinatorConfig, addr string) (*Coordinator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WorkDir == "" {
+		cfg.WorkDir = "."
+	}
+	if cfg.AverPeriod == 0 {
+		cfg.AverPeriod = 2 * time.Minute
+	}
+	dir, err := store.Open(cfg.WorkDir)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		spec: spec,
+		dir:  dir,
+		aver: cfg.AverPeriod,
+		meta: store.RunMeta{
+			SeqNum:    spec.SeqNum,
+			Nrow:      spec.Nrow,
+			Ncol:      spec.Ncol,
+			MaxSV:     spec.MaxSamples,
+			Params:    spec.Params,
+			Gamma:     spec.Gamma,
+			StartedAt: time.Now(),
+		},
+		total:      stat.New(spec.Nrow, spec.Ncol),
+		active:     map[int]bool{},
+		lastSeen:   map[int]time.Time{},
+		completed:  make(chan struct{}),
+		lastSave:   time.Now(),
+		timeout:    cfg.WorkerTimeout,
+		reaperStop: make(chan struct{}),
+	}
+	if cfg.SaveWorkerSnapshots {
+		c.perWorker = map[int]*stat.Accumulator{}
+	}
+	if cfg.Resume {
+		snap, prevMeta, err := dir.LoadCheckpoint()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: resume: %w", err)
+		}
+		if prevMeta.Nrow != spec.Nrow || prevMeta.Ncol != spec.Ncol {
+			return nil, fmt.Errorf("cluster: previous run is %d×%d, this job is %d×%d",
+				prevMeta.Nrow, prevMeta.Ncol, spec.Nrow, spec.Ncol)
+		}
+		if prevMeta.SeqNum == spec.SeqNum {
+			return nil, fmt.Errorf("cluster: resume must change the experiments subsequence number (both %d)", spec.SeqNum)
+		}
+		if err := c.total.Merge(snap); err != nil {
+			return nil, err
+		}
+		c.baseN = c.total.N()
+	} else {
+		if err := dir.RemoveCheckpoint(); err != nil {
+			return nil, err
+		}
+		if err := dir.RemoveWorkerSnapshots(); err != nil {
+			return nil, err
+		}
+	}
+	if err := dir.SaveBaseCheckpoint(c.total.Snapshot(), c.meta); err != nil {
+		return nil, err
+	}
+	if err := dir.AppendExperiment(c.meta, cfg.Resume); err != nil {
+		return nil, err
+	}
+
+	c.server = rpc.NewServer()
+	if err := c.server.RegisterName(ServiceName, &service{c}); err != nil {
+		return nil, err
+	}
+	c.ln, err = net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go c.acceptLoop()
+	if c.timeout > 0 {
+		go c.reapLoop()
+	}
+	return c, nil
+}
+
+// reapLoop periodically prunes workers that have gone silent.
+func (c *Coordinator) reapLoop() {
+	tick := time.NewTicker(c.timeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.reaperStop:
+			return
+		case <-c.completed:
+			return
+		case now := <-tick.C:
+			c.mu.Lock()
+			for w, seen := range c.lastSeen {
+				if c.active[w] && now.Sub(seen) > c.timeout {
+					delete(c.active, w)
+					delete(c.lastSeen, w)
+					c.pruned++
+				}
+			}
+			c.maybeCompleteLocked()
+			c.mu.Unlock()
+		}
+	}
+}
+
+// PrunedWorkers reports how many workers were dropped for silence.
+func (c *Coordinator) PrunedWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pruned
+}
+
+// Addr returns the address workers should dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go c.server.ServeConn(conn)
+	}
+}
+
+// service wraps the coordinator so only the RPC methods are exported to
+// the wire.
+type service struct{ c *Coordinator }
+
+// Register assigns the calling worker a processor index.
+func (s *service) Register(args RegisterArgs, reply *RegisterReply) error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.spec.Workload != "" && args.Workload != "" && args.Workload != c.spec.Workload {
+		return fmt.Errorf("cluster: worker runs workload %q but the job is %q", args.Workload, c.spec.Workload)
+	}
+	if c.stopped || c.targetReachedLocked() {
+		reply.Stop = true
+		reply.Spec = c.spec
+		return nil
+	}
+	c.next++
+	w := c.next // processor indices start at 1; the coordinator is rank 0
+	if err := c.spec.Params.CheckCoord(rng.Coord{Experiment: c.spec.SeqNum, Processor: uint64(w)}); err != nil {
+		return fmt.Errorf("cluster: out of processor subsequences: %w", err)
+	}
+	c.active[w] = true
+	c.lastSeen[w] = time.Now()
+	reply.Worker = w
+	reply.Spec = c.spec
+	return nil
+}
+
+// Push merges a worker's subtotal moments.
+func (s *service) Push(args PushArgs, reply *PushReply) error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.active[args.Worker] {
+		return fmt.Errorf("cluster: push from unknown worker %d", args.Worker)
+	}
+	c.lastSeen[args.Worker] = time.Now()
+	if err := c.total.Merge(args.Snap); err != nil {
+		return err
+	}
+	if c.perWorker != nil {
+		acc, ok := c.perWorker[args.Worker]
+		if !ok {
+			acc = stat.New(c.spec.Nrow, c.spec.Ncol)
+			c.perWorker[args.Worker] = acc
+		}
+		if err := acc.Merge(args.Snap); err != nil {
+			return err
+		}
+		meta := c.meta
+		meta.Workers = c.next
+		if err := c.dir.SaveWorkerSnapshot(args.Worker, acc.Snapshot(), meta); err != nil {
+			return err
+		}
+	}
+	if time.Since(c.lastSave) >= c.aver {
+		c.saveLocked()
+	}
+	reply.Stop = c.stopped || c.targetReachedLocked()
+	return nil
+}
+
+// Done releases a worker.
+func (s *service) Done(args DoneArgs, reply *DoneReply) error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.active[args.Worker] {
+		return fmt.Errorf("cluster: done from unknown worker %d", args.Worker)
+	}
+	delete(c.active, args.Worker)
+	delete(c.lastSeen, args.Worker)
+	c.maybeCompleteLocked()
+	return nil
+}
+
+func (c *Coordinator) targetReachedLocked() bool {
+	return c.spec.MaxSamples > 0 && c.total.N()-c.baseN >= c.spec.MaxSamples
+}
+
+func (c *Coordinator) maybeCompleteLocked() {
+	if len(c.active) == 0 && (c.stopped || c.targetReachedLocked()) {
+		select {
+		case <-c.completed:
+		default:
+			close(c.completed)
+		}
+	}
+}
+
+func (c *Coordinator) saveLocked() {
+	meta := c.meta
+	meta.Workers = c.next
+	if err := c.dir.SaveResults(c.total.Report(c.spec.Gamma), meta); err != nil && c.saveErr == nil {
+		c.saveErr = err
+	}
+	if err := c.dir.SaveCheckpoint(c.total.Snapshot(), meta); err != nil && c.saveErr == nil {
+		c.saveErr = err
+	}
+	c.lastSave = time.Now()
+}
+
+// Stop tells all workers (at their next push) to stop, even if the
+// sample target has not been reached — the job-kill path.
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stopped = true
+	c.maybeCompleteLocked()
+}
+
+// Wait blocks until the sample target is reached and all workers have
+// detached, or ctx is cancelled (which stops the job). It then writes
+// the final results and returns the merged report.
+func (c *Coordinator) Wait(ctx context.Context) (stat.Report, error) {
+	select {
+	case <-c.completed:
+	case <-ctx.Done():
+		c.Stop()
+		// Give workers a bounded grace period to drain, then finalize
+		// with whatever has arrived.
+		select {
+		case <-c.completed:
+		case <-time.After(5 * time.Second):
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.saveLocked()
+	if c.saveErr != nil {
+		return stat.Report{}, c.saveErr
+	}
+	return c.total.Report(c.spec.Gamma), nil
+}
+
+// N returns the current total sample volume (including any resumed
+// base).
+func (c *Coordinator) N() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total.N()
+}
+
+// Close shuts down the listener and the worker reaper. Workers'
+// in-flight calls fail afterwards.
+func (c *Coordinator) Close() error {
+	select {
+	case <-c.reaperStop:
+	default:
+		close(c.reaperStop)
+	}
+	return c.ln.Close()
+}
+
+// RunWorker connects to the coordinator at addr, registers, and
+// simulates realizations with the given factory-produced routine until
+// the coordinator says stop or ctx is cancelled. It implements the
+// worker half of the protocol; the paper's analogue is an MPI rank
+// executing the user program.
+func RunWorker(ctx context.Context, addr string, factory core.Factory) error {
+	return RunNamedWorker(ctx, addr, "", factory)
+}
+
+// RunNamedWorker is RunWorker carrying a workload identity that the
+// coordinator verifies at registration (when its JobSpec names one).
+func RunNamedWorker(ctx context.Context, addr, workloadName string, factory core.Factory) error {
+	if factory == nil {
+		return errors.New("cluster: nil realization factory")
+	}
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: dialing coordinator: %w", err)
+	}
+	defer client.Close()
+
+	var reg RegisterReply
+	if err := client.Call(ServiceName+".Register", RegisterArgs{Hostname: "worker", Workload: workloadName}, &reg); err != nil {
+		return fmt.Errorf("cluster: register: %w", err)
+	}
+	if reg.Stop {
+		return nil
+	}
+	spec := reg.Spec
+	w := reg.Worker
+
+	realize, err := factory(w)
+	if err != nil {
+		return fmt.Errorf("cluster: building realization: %w", err)
+	}
+	stream, err := rng.NewStream(spec.Params, rng.Coord{Experiment: spec.SeqNum, Processor: uint64(w)})
+	if err != nil {
+		return err
+	}
+
+	local := stat.New(spec.Nrow, spec.Ncol)
+	out := make([]float64, spec.Nrow*spec.Ncol)
+	defer func() {
+		// Flush any unsent subtotals, then detach. Errors here are
+		// best-effort: the coordinator tolerates vanished workers.
+		if local.N() > 0 {
+			var pr PushReply
+			_ = client.Call(ServiceName+".Push", PushArgs{Worker: w, Snap: local.Snapshot()}, &pr)
+		}
+		var dr DoneReply
+		_ = client.Call(ServiceName+".Done", DoneArgs{Worker: w}, &dr)
+	}()
+
+	for k := int64(0); ; k++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if k > 0 {
+			if err := stream.NextRealization(); err != nil {
+				return err
+			}
+		}
+		for i := range out {
+			out[i] = 0
+		}
+		t0 := time.Now()
+		if err := realize(stream, out); err != nil {
+			return fmt.Errorf("cluster: realization %d: %w", k, err)
+		}
+		if err := local.AddTimed(out, time.Since(t0)); err != nil {
+			return err
+		}
+		if local.N() >= spec.PassEvery {
+			var pr PushReply
+			if err := client.Call(ServiceName+".Push", PushArgs{Worker: w, Snap: local.Snapshot()}, &pr); err != nil {
+				return fmt.Errorf("cluster: push: %w", err)
+			}
+			local.Reset()
+			if pr.Stop {
+				return nil
+			}
+		}
+	}
+}
+
+// WorkerOptions tunes RunWorkerOpts. The zero value dials once with the
+// net package's default timeout.
+type WorkerOptions struct {
+	// DialAttempts is the number of connection attempts before giving
+	// up (default 1). On a real cluster workers often start before the
+	// coordinator's listener is up; retrying makes job submission
+	// order-independent.
+	DialAttempts int
+	// RetryDelay is the pause between attempts (default 500 ms).
+	RetryDelay time.Duration
+	// DialTimeout bounds each attempt (default 5 s).
+	DialTimeout time.Duration
+}
+
+// RunWorkerOpts is RunWorker with explicit connection options.
+func RunWorkerOpts(ctx context.Context, addr string, factory core.Factory, opts WorkerOptions) error {
+	if factory == nil {
+		return errors.New("cluster: nil realization factory")
+	}
+	attempts := opts.DialAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	delay := opts.RetryDelay
+	if delay == 0 {
+		delay = 500 * time.Millisecond
+	}
+	timeout := opts.DialTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			conn.Close()
+			return RunWorker(ctx, addr, factory)
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+	return fmt.Errorf("cluster: coordinator unreachable after %d attempts: %w", attempts, lastErr)
+}

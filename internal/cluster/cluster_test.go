@@ -1,0 +1,519 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+	"parmonc/internal/stat"
+	"parmonc/internal/store"
+)
+
+func uniformRealization(int) (core.Realization, error) {
+	return func(src *rng.Stream, out []float64) error {
+		out[0] = src.Float64()
+		return nil
+	}, nil
+}
+
+func testSpec(maxSV int64) JobSpec {
+	return JobSpec{
+		SeqNum:     0,
+		Nrow:       1,
+		Ncol:       1,
+		MaxSamples: maxSV,
+		Params:     rng.DefaultParams(),
+		Gamma:      3,
+		PassEvery:  50,
+	}
+}
+
+// launch starts a coordinator and n workers, waits for completion, and
+// returns the final report.
+func launch(t *testing.T, spec JobSpec, cfg CoordinatorConfig, n int) (float64, int64) {
+	t.Helper()
+	coord, err := NewCoordinator(spec, cfg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := RunWorker(ctx, coord.Addr(), uniformRealization); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+
+	rep, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errCh)
+	for e := range errCh {
+		t.Fatal(e)
+	}
+	return rep.MeanAt(0, 0), rep.N
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := testSpec(100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*JobSpec){
+		func(s *JobSpec) { s.Nrow = 0 },
+		func(s *JobSpec) { s.Ncol = -1 },
+		func(s *JobSpec) { s.PassEvery = 0 },
+		func(s *JobSpec) { s.Gamma = 0 },
+		func(s *JobSpec) { s.Params.ProcessorLeapLog2 = 126 },
+	}
+	for i, mutate := range bad {
+		s := testSpec(100)
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSingleWorkerJob(t *testing.T) {
+	mean, n := launch(t, testSpec(500), CoordinatorConfig{WorkDir: t.TempDir(), AverPeriod: time.Millisecond}, 1)
+	if n < 500 {
+		t.Fatalf("N = %d, want >= 500", n)
+	}
+	if math.Abs(mean-0.5) > 0.1 {
+		t.Fatalf("mean = %g", mean)
+	}
+}
+
+func TestManyWorkersConverge(t *testing.T) {
+	mean, n := launch(t, testSpec(5000), CoordinatorConfig{WorkDir: t.TempDir(), AverPeriod: time.Millisecond}, 8)
+	if n < 5000 {
+		t.Fatalf("N = %d, want >= 5000", n)
+	}
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Fatalf("mean = %g", mean)
+	}
+}
+
+func TestResultsFilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	launch(t, testSpec(500), CoordinatorConfig{WorkDir: dir, AverPeriod: time.Millisecond}, 2)
+	d, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrow, ncol, vals, err := d.LoadMeans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrow != 1 || ncol != 1 || math.Abs(vals[0]-0.5) > 0.1 {
+		t.Fatalf("saved means %dx%d %v", nrow, ncol, vals)
+	}
+}
+
+func TestResumeAcrossJobs(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(1000)
+	launch(t, spec, CoordinatorConfig{WorkDir: dir, AverPeriod: time.Millisecond}, 2)
+
+	spec.SeqNum = 1
+	_, n := launch(t, spec, CoordinatorConfig{WorkDir: dir, AverPeriod: time.Millisecond, Resume: true}, 2)
+	if n < 2000 {
+		t.Fatalf("resumed N = %d, want >= 2000", n)
+	}
+}
+
+func TestResumeRejectsSameSeqNum(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(200)
+	launch(t, spec, CoordinatorConfig{WorkDir: dir, AverPeriod: time.Millisecond}, 1)
+	if _, err := NewCoordinator(spec, CoordinatorConfig{WorkDir: dir, Resume: true}, "127.0.0.1:0"); err == nil {
+		t.Fatal("expected same-seqnum rejection")
+	}
+}
+
+func TestWorkerJoinsAfterCompletion(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(100)
+	coord, err := NewCoordinator(spec, CoordinatorConfig{WorkDir: dir, AverPeriod: time.Millisecond}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx := context.Background()
+	if err := RunWorker(ctx, coord.Addr(), uniformRealization); err != nil {
+		t.Fatal(err)
+	}
+	// Target reached; a late worker must be turned away cleanly.
+	if err := RunWorker(ctx, coord.Addr(), uniformRealization); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordinatorStopHaltsUnboundedJob(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(0) // unbounded
+	spec.PassEvery = 10
+	coord, err := NewCoordinator(spec, CoordinatorConfig{WorkDir: dir, AverPeriod: time.Millisecond}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ctx := context.Background()
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- RunWorker(ctx, coord.Addr(), uniformRealization)
+	}()
+
+	// Let it simulate a bit, then stop.
+	for coord.N() < 100 {
+		time.Sleep(time.Millisecond)
+	}
+	coord.Stop()
+	select {
+	case err := <-workerDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not stop")
+	}
+	rep, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N < 100 {
+		t.Fatalf("N = %d", rep.N)
+	}
+}
+
+func TestContextCancelStopsJob(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(0)
+	spec.PassEvery = 10
+	coord, err := NewCoordinator(spec, CoordinatorConfig{WorkDir: dir, AverPeriod: time.Millisecond}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	wctx := context.Background()
+	go RunWorker(wctx, coord.Addr(), uniformRealization)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for coord.N() < 50 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	rep, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N < 50 {
+		t.Fatalf("N = %d", rep.N)
+	}
+}
+
+func TestPushFromUnknownWorkerRejected(t *testing.T) {
+	svc := &service{}
+	coord, err := NewCoordinator(testSpec(10), CoordinatorConfig{WorkDir: t.TempDir()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	svc.c = coord
+	var pr PushReply
+	if err := svc.Push(PushArgs{Worker: 99, Snap: stat.New(1, 1).Snapshot()}, &pr); err == nil {
+		t.Fatal("expected unknown-worker error")
+	}
+	var dr DoneReply
+	if err := svc.Done(DoneArgs{Worker: 99}, &dr); err == nil {
+		t.Fatal("expected unknown-worker error")
+	}
+}
+
+func TestNilFactoryRejected(t *testing.T) {
+	if err := RunWorker(context.Background(), "127.0.0.1:1", nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	err := RunWorker(context.Background(), "127.0.0.1:1", uniformRealization)
+	if err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestCrashedWorkerPruned(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(300)
+	coord, err := NewCoordinator(spec, CoordinatorConfig{
+		WorkDir:       dir,
+		AverPeriod:    time.Millisecond,
+		WorkerTimeout: 100 * time.Millisecond,
+	}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// Register a worker that then vanishes without pushing or detaching.
+	svc := &service{coord}
+	var dead RegisterReply
+	if err := svc.Register(RegisterArgs{Hostname: "doomed"}, &dead); err != nil {
+		t.Fatal(err)
+	}
+	if dead.Stop {
+		t.Fatal("fresh job should not be complete")
+	}
+
+	// A healthy worker does all the work.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() {
+		if err := RunWorker(ctx, coord.Addr(), uniformRealization); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	// Without pruning, Wait would hang on the dead worker until ctx
+	// expires; with the timeout it must complete well before.
+	rep, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N < 300 {
+		t.Fatalf("N = %d", rep.N)
+	}
+	if coord.PrunedWorkers() != 1 {
+		t.Fatalf("pruned %d workers, want 1", coord.PrunedWorkers())
+	}
+	if ctx.Err() != nil {
+		t.Fatal("completion relied on context expiry, not pruning")
+	}
+}
+
+func TestHealthyWorkersNotPruned(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(2000)
+	spec.PassEvery = 20 // frequent pushes keep lastSeen fresh
+	coord, err := NewCoordinator(spec, CoordinatorConfig{
+		WorkDir:       dir,
+		AverPeriod:    time.Millisecond,
+		WorkerTimeout: 2 * time.Second,
+	}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := RunWorker(ctx, coord.Addr(), uniformRealization); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	if _, err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if coord.PrunedWorkers() != 0 {
+		t.Fatalf("pruned %d healthy workers", coord.PrunedWorkers())
+	}
+}
+
+func TestManaverRecoversClusterJob(t *testing.T) {
+	// The paper's Sec. 3.4 workflow for cluster jobs: the coordinator
+	// dies before its final save; manaver rebuilds the results from the
+	// per-worker snapshot files.
+	dir := t.TempDir()
+	spec := testSpec(600)
+	spec.PassEvery = 50
+	coord, err := NewCoordinator(spec, CoordinatorConfig{
+		WorkDir:             dir,
+		AverPeriod:          time.Hour, // never saves mid-run
+		SaveWorkerSnapshots: true,
+	}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := RunWorker(ctx, coord.Addr(), uniformRealization); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	rep, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	// Simulate the coordinator having died before the final save:
+	// delete the checkpoint, keep worker files, run manaver.
+	d, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := core.Manaver(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.N != rep.N {
+		t.Fatalf("manaver recovered N = %d, coordinator had %d", recovered.N, rep.N)
+	}
+	if math.Abs(recovered.MeanAt(0, 0)-rep.MeanAt(0, 0)) > 1e-12 {
+		t.Fatalf("manaver mean %g, coordinator mean %g", recovered.MeanAt(0, 0), rep.MeanAt(0, 0))
+	}
+}
+
+func TestRunWorkerOptsRetriesUntilCoordinatorUp(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(200)
+
+	// Reserve an address, start the worker first, bring the coordinator
+	// up after a delay on that same address.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorkerOpts(context.Background(), addr, uniformRealization, WorkerOptions{
+			DialAttempts: 50,
+			RetryDelay:   20 * time.Millisecond,
+		})
+	}()
+
+	time.Sleep(150 * time.Millisecond)
+	coord, err := NewCoordinator(spec, CoordinatorConfig{WorkDir: dir, AverPeriod: time.Millisecond}, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if coord.N() < 200 {
+		t.Fatalf("N = %d", coord.N())
+	}
+}
+
+func TestRunWorkerOptsGivesUp(t *testing.T) {
+	err := RunWorkerOpts(context.Background(), "127.0.0.1:1", uniformRealization, WorkerOptions{
+		DialAttempts: 2,
+		RetryDelay:   time.Millisecond,
+		DialTimeout:  100 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("expected unreachable error")
+	}
+}
+
+func TestRunWorkerOptsRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := RunWorkerOpts(ctx, "127.0.0.1:1", uniformRealization, WorkerOptions{DialAttempts: 100})
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestWorkloadIdentityChecked(t *testing.T) {
+	spec := testSpec(1000)
+	spec.Workload = "pi"
+	coord, err := NewCoordinator(spec, CoordinatorConfig{WorkDir: t.TempDir(), AverPeriod: time.Millisecond}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx := context.Background()
+
+	// Mismatched workload: rejected at registration.
+	if err := RunNamedWorker(ctx, coord.Addr(), "diffusion", uniformRealization); err == nil {
+		t.Fatal("mismatched workload accepted")
+	}
+	// Matching workload completes the job.
+	if err := RunNamedWorker(ctx, coord.Addr(), "pi", uniformRealization); err != nil {
+		t.Fatal(err)
+	}
+	// Anonymous workers are allowed (backward compatible).
+	if err := RunWorker(ctx, coord.Addr(), uniformRealization); err != nil {
+		t.Fatal(err)
+	}
+	coord.Stop()
+	if _, err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotWireSizePaperComparison(t *testing.T) {
+	// The paper reports ≈120 KB per message for the 1000×2 matrix. Our
+	// gob encoding of the same payload must be the ~32 KB the
+	// EXPERIMENTS.md message-size note claims (2×2000 float64 + meta).
+	acc := stat.New(1000, 2)
+	row := make([]float64, 2000)
+	for i := range row {
+		row[i] = float64(i) * 1.7
+	}
+	if err := acc.Add(row); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(PushArgs{Worker: 1, Snap: acc.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	size := buf.Len()
+	if size < 30_000 || size > 40_000 {
+		t.Fatalf("1000×2 snapshot encodes to %d bytes; EXPERIMENTS.md claims ≈32 KB", size)
+	}
+}

@@ -1,0 +1,288 @@
+// Package clustersim is a discrete-event simulator of the PARMONC
+// master/worker cluster, used to regenerate the paper's Fig. 2
+// performance test at processor counts (up to 512) that exceed the host
+// machine.
+//
+// The paper's experiment measures T_comp(L): the wall time until the
+// 0-th processor has received, averaged and saved the moments of L
+// realizations simulated across M processors, under the "strictest"
+// exchange policy (a message after every single realization). The
+// quantities that determine T_comp are
+//
+//   - τ, the time to simulate one realization (≈ 7.7 s in the paper),
+//   - the message cost: latency + size/bandwidth (≈ 120 KB per message),
+//   - the collector's per-message service time (merge + save),
+//   - the exchange policy (every realization vs every n-th),
+//
+// and this simulator models exactly those. Processors 1…M−1 run free of
+// contention: their k-th realization completes at k·τ_m and each message
+// arrives at the collector after the network delay. Processor 0 both
+// simulates realizations and services arrived messages on one CPU
+// (non-preemptively, messages first), which reproduces the only
+// serialization point of the design. The simulated clock is exact; no
+// wall time passes.
+//
+// This is the documented substitution for the Siberian Supercomputer
+// Center hardware (see DESIGN.md): the paper's claim under test — T_comp
+// inversely proportional to M with no crossover between curves — is a
+// property of this queueing structure, not of the specific cluster.
+package clustersim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"parmonc/internal/lcg"
+	"parmonc/internal/u128"
+)
+
+// Params configures one simulated cluster run.
+type Params struct {
+	M int // number of processors (all simulate; processor 0 also collects)
+
+	TauSeconds float64 // mean time to simulate one realization
+	TauSpread  float64 // relative processor speed spread in [0,1); τ_m = τ·(1 + TauSpread·(u_m − 0.5))
+
+	MsgBytes       int64   // bytes per subtotal message (paper: ≈ 120·1024)
+	LatencySeconds float64 // network latency per message
+	BandwidthBps   float64 // network bandwidth, bytes/second
+
+	ServiceSeconds float64 // collector time to merge + save one message
+
+	PassEvery int64 // realizations per message; 1 = the paper's strict mode
+}
+
+// Validate checks the parameter invariants.
+func (p Params) Validate() error {
+	if p.M < 1 {
+		return fmt.Errorf("clustersim: M = %d must be >= 1", p.M)
+	}
+	if p.TauSeconds <= 0 {
+		return fmt.Errorf("clustersim: τ = %g must be positive", p.TauSeconds)
+	}
+	if p.TauSpread < 0 || p.TauSpread >= 1 {
+		return fmt.Errorf("clustersim: τ spread %g outside [0,1)", p.TauSpread)
+	}
+	if p.MsgBytes < 0 {
+		return fmt.Errorf("clustersim: negative message size %d", p.MsgBytes)
+	}
+	if p.LatencySeconds < 0 || p.ServiceSeconds < 0 {
+		return fmt.Errorf("clustersim: negative latency or service time")
+	}
+	if p.BandwidthBps <= 0 {
+		return fmt.Errorf("clustersim: bandwidth %g must be positive", p.BandwidthBps)
+	}
+	if p.PassEvery < 1 {
+		return fmt.Errorf("clustersim: PassEvery %d must be >= 1", p.PassEvery)
+	}
+	return nil
+}
+
+// PaperParams returns parameters matching the paper's Sec. 4 test:
+// τ ≈ 7.7 s, ≈120 KB per message, gigabit-class interconnect, strict
+// exchange after every realization.
+func PaperParams(m int) Params {
+	return Params{
+		M:              m,
+		TauSeconds:     7.7,
+		TauSpread:      0.05,
+		MsgBytes:       120 * 1024,
+		LatencySeconds: 50e-6,
+		BandwidthBps:   100e6,
+		ServiceSeconds: 2e-3,
+		PassEvery:      1,
+	}
+}
+
+// Result is the outcome of a simulated run.
+type Result struct {
+	TCompSeconds     float64 // time the collector finished processing all L realizations
+	Messages         int64   // messages the collector processed (excluding its own local saves)
+	CollectorBusy    float64 // seconds the collector spent servicing messages and local saves
+	Realizations     int64   // total realizations simulated (= requested L)
+	SlowestProcessor float64 // finish time of the slowest processor's simulation work
+}
+
+// arrival is one message in flight to the collector.
+type arrival struct {
+	at    float64 // arrival time at the collector
+	count int64   // realizations accounted by this message
+}
+
+// arrivalHeap merges the per-processor arrival streams by time.
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int            { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// tau returns processor m's per-realization time, deterministically
+// jittered with the library's own generator so runs are reproducible.
+func (p Params) tau(m int) float64 {
+	if p.TauSpread == 0 {
+		return p.TauSeconds
+	}
+	g := lcg.New()
+	// A fixed, well-separated substream per processor.
+	g.SkipAhead(u128.From64(uint64(m + 1)).Lsh(40))
+	u := g.Float64()
+	return p.TauSeconds * (1 + p.TauSpread*(u-0.5))
+}
+
+// netDelay is the one-way message transfer time.
+func (p Params) netDelay() float64 {
+	return p.LatencySeconds + float64(p.MsgBytes)/p.BandwidthBps
+}
+
+// Simulate runs the cluster for a total of L realizations split evenly
+// over the M processors (processor m gets L/M rounded as in the real
+// driver) and returns the simulated timings.
+func Simulate(p Params, L int64) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if L < 1 {
+		return Result{}, fmt.Errorf("clustersim: L = %d must be >= 1", L)
+	}
+
+	quota := func(m int) int64 {
+		q := L / int64(p.M)
+		if int64(m) < L%int64(p.M) {
+			q++
+		}
+		return q
+	}
+	delay := p.netDelay()
+
+	// Build the arrival stream from processors 1..M-1. Processor m's
+	// k-th realization completes at k·τ_m (1-based); a message departs
+	// after every PassEvery realizations and after the final one.
+	h := &arrivalHeap{}
+	var slowest float64
+	for m := 1; m < p.M; m++ {
+		q := quota(m)
+		if q == 0 {
+			continue
+		}
+		tm := p.tau(m)
+		finish := float64(q) * tm
+		if finish > slowest {
+			slowest = finish
+		}
+		var sentAt int64
+		for k := p.PassEvery; k <= q; k += p.PassEvery {
+			heap.Push(h, arrival{at: float64(k)*tm + delay, count: p.PassEvery})
+			sentAt = k
+		}
+		if rem := q - sentAt; rem > 0 {
+			heap.Push(h, arrival{at: finish + delay, count: rem})
+		}
+	}
+
+	// Processor 0's CPU runs realizations and message service
+	// non-preemptively, servicing arrived messages first. It also
+	// "saves" its own subtotals every PassEvery realizations (a local
+	// merge+save, no network).
+	var (
+		t          float64 // processor-0 clock
+		busy       float64 // collector busy time
+		processed  int64   // realizations accounted at the collector
+		messages   int64
+		q0         = quota(0)
+		done0      int64 // processor-0 realizations completed
+		sinceSave0 int64
+		tau0       = p.tau(0)
+	)
+	target := L
+
+	serviceOne := func(a arrival) {
+		if a.at > t {
+			t = a.at
+		}
+		t += p.ServiceSeconds
+		busy += p.ServiceSeconds
+		processed += a.count
+		messages++
+	}
+
+	for processed < target {
+		// Service every message that has already arrived.
+		if h.Len() > 0 && (*h)[0].at <= t {
+			serviceOne(heap.Pop(h).(arrival))
+			continue
+		}
+		if done0 < q0 {
+			// Work on the next local realization.
+			t += tau0
+			done0++
+			sinceSave0++
+			if sinceSave0 == p.PassEvery || done0 == q0 {
+				// Local merge+save of processor 0's own subtotal.
+				t += p.ServiceSeconds
+				busy += p.ServiceSeconds
+				processed += sinceSave0
+				sinceSave0 = 0
+			}
+			continue
+		}
+		// Idle until the next arrival.
+		if h.Len() == 0 {
+			return Result{}, fmt.Errorf("clustersim: internal: collector starved with %d/%d accounted", processed, target)
+		}
+		serviceOne(heap.Pop(h).(arrival))
+	}
+	end0 := float64(done0) * tau0
+	if end0 > slowest {
+		slowest = end0
+	}
+
+	return Result{
+		TCompSeconds:     t,
+		Messages:         messages,
+		CollectorBusy:    busy,
+		Realizations:     processed,
+		SlowestProcessor: slowest,
+	}, nil
+}
+
+// Sweep runs Simulate for every L in ls and returns the T_comp series —
+// one curve of the paper's Fig. 2.
+func Sweep(p Params, ls []int64) ([]Result, error) {
+	out := make([]Result, len(ls))
+	for i, l := range ls {
+		r, err := Simulate(p, l)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// SaturationProcessors returns the analytic estimate of the processor
+// count at which the collector saturates: the point where the message
+// service demand equals the collector's capacity. Each of the M−1
+// remote processors emits one message per PassEvery·τ seconds costing
+// ServiceSeconds, and processor 0 also spends τ per own realization, so
+// saturation sets in near
+//
+//	M* ≈ PassEvery·τ/ServiceSeconds + 1.
+//
+// Beyond M* additional processors stop helping: the paper's linear
+// speedup claim implicitly requires M ≪ M* (with the paper's numbers,
+// M* ≈ 7.7/0.002 ≈ 3850 ≫ 512, which is why Fig. 2 stays linear).
+func SaturationProcessors(p Params) float64 {
+	if p.ServiceSeconds <= 0 {
+		return math.Inf(1)
+	}
+	return float64(p.PassEvery)*p.TauSeconds/p.ServiceSeconds + 1
+}

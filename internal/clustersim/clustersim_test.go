@@ -1,0 +1,310 @@
+package clustersim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := PaperParams(8).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.M = 0 },
+		func(p *Params) { p.TauSeconds = 0 },
+		func(p *Params) { p.TauSpread = 1 },
+		func(p *Params) { p.TauSpread = -0.1 },
+		func(p *Params) { p.MsgBytes = -1 },
+		func(p *Params) { p.LatencySeconds = -1 },
+		func(p *Params) { p.BandwidthBps = 0 },
+		func(p *Params) { p.PassEvery = 0 },
+		func(p *Params) { p.ServiceSeconds = -1 },
+	}
+	for i, mutate := range bad {
+		p := PaperParams(8)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSimulateRejectsBadL(t *testing.T) {
+	if _, err := Simulate(PaperParams(4), 0); err == nil {
+		t.Fatal("expected error for L = 0")
+	}
+}
+
+func TestSingleProcessorBaseline(t *testing.T) {
+	// M = 1 with no spread: T = L·(τ + service) exactly in strict mode.
+	p := PaperParams(1)
+	p.TauSpread = 0
+	res, err := Simulate(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 * (p.TauSeconds + p.ServiceSeconds)
+	if math.Abs(res.TCompSeconds-want) > 1e-9 {
+		t.Fatalf("T = %g, want %g", res.TCompSeconds, want)
+	}
+	if res.Messages != 0 {
+		t.Fatalf("M=1 produced %d network messages", res.Messages)
+	}
+	if res.Realizations != 100 {
+		t.Fatalf("accounted %d realizations", res.Realizations)
+	}
+}
+
+func TestLinearSpeedupPaperShape(t *testing.T) {
+	// The paper's headline claim: for all L, speedup ∝ M, despite the
+	// strict per-realization exchange. Check T(1)/T(M) ≈ M within 15%
+	// across the full Fig. 2 range of processor counts.
+	const L = 15360 // divisible by 512
+	base, err := Simulate(PaperParams(1), L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{8, 16, 32, 64, 128, 256, 512} {
+		res, err := Simulate(PaperParams(m), L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := base.TCompSeconds / res.TCompSeconds
+		if speedup < 0.85*float64(m) || speedup > 1.1*float64(m) {
+			t.Errorf("M=%d: speedup %.1f, want ≈ %d", m, speedup, m)
+		}
+	}
+}
+
+func TestTCompLinearInL(t *testing.T) {
+	// For fixed M, T_comp grows linearly in L (the straight lines of
+	// Fig. 2): doubling L should roughly double T.
+	p := PaperParams(32)
+	r1, err := Simulate(p, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Simulate(p, 6400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r2.TCompSeconds / r1.TCompSeconds
+	if math.Abs(ratio-2) > 0.1 {
+		t.Fatalf("T(2L)/T(L) = %g, want ≈ 2", ratio)
+	}
+}
+
+func TestNoCurveCrossover(t *testing.T) {
+	// Within each Fig. 2 panel, more processors is faster at every L.
+	panels := [][]int{{1, 8}, {8, 16, 32}, {32, 64, 128}, {128, 256, 512}}
+	ls := []int64{1024, 2048, 4096, 8192, 15360}
+	for _, panel := range panels {
+		for _, l := range ls {
+			prev := math.Inf(1)
+			for _, m := range panel {
+				res, err := Simulate(PaperParams(m), l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.TCompSeconds >= prev {
+					t.Errorf("L=%d: T(M=%d) = %g not below previous %g", l, m, res.TCompSeconds, prev)
+				}
+				prev = res.TCompSeconds
+			}
+		}
+	}
+}
+
+func TestAllRealizationsAccounted(t *testing.T) {
+	for _, m := range []int{1, 3, 7, 64} {
+		res, err := Simulate(PaperParams(m), 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Realizations != 1000 {
+			t.Errorf("M=%d: accounted %d/1000", m, res.Realizations)
+		}
+	}
+}
+
+func TestMessageCountStrictMode(t *testing.T) {
+	// Strict mode, M processors: every realization of processors 1..M-1
+	// becomes one network message.
+	p := PaperParams(4)
+	p.TauSpread = 0
+	res, err := Simulate(p, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(300); res.Messages != want {
+		t.Fatalf("messages = %d, want %d", res.Messages, want)
+	}
+}
+
+func TestRelaxedExchangeFewerMessages(t *testing.T) {
+	strict := PaperParams(8)
+	relaxed := PaperParams(8)
+	relaxed.PassEvery = 50
+	rs, err := Simulate(strict, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Simulate(relaxed, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Messages >= rs.Messages/10 {
+		t.Fatalf("relaxed messages %d not ≪ strict %d", rr.Messages, rs.Messages)
+	}
+	if rr.CollectorBusy >= rs.CollectorBusy {
+		t.Fatalf("relaxed collector busy %g not below strict %g", rr.CollectorBusy, rs.CollectorBusy)
+	}
+	// And the run must not be slower.
+	if rr.TCompSeconds > rs.TCompSeconds*1.01 {
+		t.Fatalf("relaxed T %g worse than strict %g", rr.TCompSeconds, rs.TCompSeconds)
+	}
+}
+
+func TestCollectorSaturation(t *testing.T) {
+	// When service time × message rate exceeds one, the collector is the
+	// bottleneck and speedup must degrade: a sanity check that the model
+	// can express the regime the paper avoids.
+	p := PaperParams(512)
+	p.ServiceSeconds = 0.1 // pathological: 0.1 s per message
+	res, err := Simulate(p, 15360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Simulate(PaperParams(1), 15360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := base.TCompSeconds / res.TCompSeconds
+	if speedup > 256 {
+		t.Fatalf("speedup %g despite saturated collector", speedup)
+	}
+	// Collector busy time must dominate the run.
+	if res.CollectorBusy < 0.5*res.TCompSeconds {
+		t.Fatalf("collector busy %g of %g: expected saturation", res.CollectorBusy, res.TCompSeconds)
+	}
+}
+
+func TestHeterogeneousProcessorsStillComplete(t *testing.T) {
+	p := PaperParams(16)
+	p.TauSpread = 0.5
+	res, err := Simulate(p, 1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Realizations != 1600 {
+		t.Fatalf("accounted %d", res.Realizations)
+	}
+	// T_comp is at least the slowest processor's compute time.
+	if res.TCompSeconds < res.SlowestProcessor {
+		t.Fatalf("T = %g below slowest processor %g", res.TCompSeconds, res.SlowestProcessor)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Simulate(PaperParams(32), 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(PaperParams(32), 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	ls := []int64{100, 200, 400}
+	rs, err := Sweep(PaperParams(8), ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("len = %d", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].TCompSeconds <= rs[i-1].TCompSeconds {
+			t.Fatal("T_comp not increasing in L")
+		}
+	}
+}
+
+func TestMoreWorkersThanRealizations(t *testing.T) {
+	res, err := Simulate(PaperParams(64), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Realizations != 10 {
+		t.Fatalf("accounted %d", res.Realizations)
+	}
+}
+
+func BenchmarkSimulate512x15360(b *testing.B) {
+	p := PaperParams(512)
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(p, 15360); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSaturationPrediction(t *testing.T) {
+	// The analytic M* must separate the scaling regime from the
+	// saturated regime in the event simulation.
+	p := PaperParams(1)
+	p.ServiceSeconds = 0.05 // M* ≈ 155
+	mStar := SaturationProcessors(p)
+	if mStar < 100 || mStar > 200 {
+		t.Fatalf("M* = %g, want ≈ 155", mStar)
+	}
+
+	// Efficiency declines like 1/(1 + (M−1)·s/τ): gentle well below M*,
+	// collapsed past it. Compare against the same-parameter M = 1 run.
+	const L = 25600
+	base, err := Simulate(p, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLow := p
+	pLow.M = 16 // (M−1)·s/τ ≈ 0.10 → efficiency ≈ 0.9
+	low, err := Simulate(pLow, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff := base.TCompSeconds / low.TCompSeconds / 16; eff < 0.8 {
+		t.Fatalf("efficiency %g at M ≪ M*", eff)
+	}
+	pHigh := p
+	pHigh.M = 512 // ≈ 3.3·M* → collector-bound
+	high, err := Simulate(pHigh, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff := base.TCompSeconds / high.TCompSeconds / 512; eff > 0.5 {
+		t.Fatalf("efficiency %g did not collapse past M*", eff)
+	}
+}
+
+func TestSaturationInfiniteWithoutServiceCost(t *testing.T) {
+	p := PaperParams(8)
+	p.ServiceSeconds = 0
+	if got := SaturationProcessors(p); !math.IsInf(got, 1) {
+		t.Fatalf("M* = %g, want +Inf", got)
+	}
+}
+
+func TestPaperRegimeFarFromSaturation(t *testing.T) {
+	// With the paper's parameters M* ≈ 3850 ≫ 512: the Fig. 2 range is
+	// safely in the linear regime — the quantitative backing of the
+	// paper's "neglect the time expenses" argument.
+	mStar := SaturationProcessors(PaperParams(1))
+	if mStar < 2000 {
+		t.Fatalf("M* = %g; expected ≫ 512", mStar)
+	}
+}

@@ -1,0 +1,550 @@
+// Package core implements the PARMONC simulation driver — the Go
+// analogue of the paper's parmoncf/parmoncc subroutines (Sec. 2.2 and
+// 3.2).
+//
+// The driver launches M workers (the paper's "processors"). Worker m
+// repeatedly simulates independent realizations of the user's random
+// object, drawing base random numbers from its own processor subsequence
+// of the parallel RNG, realization k from the k-th realization
+// subsequence. Workers accumulate subtotal moments locally and
+// periodically push them to a collector (the paper's 0-th processor),
+// which merges them by formula (5), computes the error matrices, and
+// saves results and checkpoints to files. The exchange is asynchronous:
+// no worker ever waits for another.
+//
+// Setting Config.Resume starts from the moments stored by a previous run
+// (the paper's res = 1), with the requirement — enforced here as in the
+// paper — that the new run uses a different experiments-subsequence
+// number so that no base random numbers are reused.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"parmonc/internal/rng"
+	"parmonc/internal/stat"
+	"parmonc/internal/store"
+)
+
+// Realization computes one realization of the random object into out
+// (row-major Nrow×Ncol), drawing base random numbers from src. It is the
+// user-supplied sequential routine of the paper (e.g. difftraj): it must
+// not retain src or out, and it must not share state with other calls —
+// the driver calls it concurrently from different workers.
+type Realization func(src *rng.Stream, out []float64) error
+
+// Config configures a simulation run. Zero values select documented
+// defaults.
+type Config struct {
+	// Nrow, Ncol are the realization matrix dimensions (required).
+	Nrow, Ncol int
+
+	// MaxSamples is the paper's maxsv: the total number of new
+	// realizations to simulate across all workers. Zero or negative
+	// means unbounded — the run continues until the context is
+	// cancelled, the paper's "endless simulation limited only by the
+	// time framework of a job".
+	MaxSamples int64
+
+	// Resume, when true, merges the results of the previous simulation
+	// found in WorkDir (the paper's res = 1). The previous run must have
+	// identical matrix dimensions and a different SeqNum.
+	Resume bool
+
+	// SeqNum selects the "experiments" subsequence of the parallel RNG.
+	SeqNum uint64
+
+	// Workers is the paper's M. Default: runtime.GOMAXPROCS(0).
+	Workers int
+
+	// PassPeriod is the paper's perpass: how often each worker pushes
+	// its subtotal moments to the collector. Default: 1 minute.
+	PassPeriod time.Duration
+
+	// AverPeriod is the paper's peraver: how often the collector
+	// averages and saves results to files. Default: 2 minutes.
+	AverPeriod time.Duration
+
+	// StrictExchange makes every worker push its subtotal after every
+	// single realization — the "strictest conditions" of the paper's
+	// Fig. 2 performance test. File saves remain governed by AverPeriod
+	// (in the paper, too, only the exchange is per-realization).
+	StrictExchange bool
+
+	// WorkDir is where the parmonc_data directory is created.
+	// Default: current directory.
+	WorkDir string
+
+	// Gamma is the confidence coefficient of the error matrices.
+	// Default: 3 (λ = 0.997).
+	Gamma float64
+
+	// Params are the parallel RNG leap exponents. The zero value loads
+	// parmonc_genparam.dat from WorkDir if present, else the defaults.
+	Params rng.Params
+
+	// SaveWorkerSnapshots writes per-worker cumulative moments on every
+	// pass, enabling post-mortem averaging with manaver.
+	SaveWorkerSnapshots bool
+
+	// StableMoments makes the collector accumulate with the numerically
+	// stable Welford/Chan algorithm instead of raw sums. Use it when
+	// |E ζ| ≫ σ, where raw Σζ² loses the variance to cancellation; see
+	// stat.StableAccumulator. Workers still ship raw-sum snapshots (the
+	// shared wire format), so per-push rounding is unchanged; the
+	// protection applies to the long-lived collector state, which is
+	// where L grows large.
+	StableMoments bool
+
+	// OnSave, if non-nil, is invoked after every periodic save with a
+	// snapshot of the running statistics. This is the paper's "control
+	// the absolute and relative stochastic errors during the
+	// simulation": cancel the run's context from the callback to stop
+	// as soon as a target accuracy is reached. The callback runs on the
+	// collector goroutine; it must not block for long and must not call
+	// back into the running simulation.
+	OnSave func(Progress)
+}
+
+// Progress is the point-in-time view of a running simulation handed to
+// Config.OnSave.
+type Progress struct {
+	N         int64         // total sample volume so far (incl. resumed)
+	MaxAbsErr float64       // ε_max over the matrix
+	MaxRelErr float64       // ρ_max over the matrix, percent
+	MaxVar    float64       // σ̄²_max
+	Elapsed   time.Duration // wall time since Run started
+}
+
+// withDefaults validates cfg and fills in defaults.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Nrow <= 0 || cfg.Ncol <= 0 {
+		return cfg, fmt.Errorf("core: invalid realization dimensions %d×%d", cfg.Nrow, cfg.Ncol)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 0 {
+		return cfg, fmt.Errorf("core: negative worker count %d", cfg.Workers)
+	}
+	if cfg.PassPeriod == 0 {
+		cfg.PassPeriod = time.Minute
+	}
+	if cfg.PassPeriod < 0 {
+		return cfg, fmt.Errorf("core: negative pass period %v", cfg.PassPeriod)
+	}
+	if cfg.AverPeriod == 0 {
+		cfg.AverPeriod = 2 * time.Minute
+	}
+	if cfg.AverPeriod < 0 {
+		return cfg, fmt.Errorf("core: negative averaging period %v", cfg.AverPeriod)
+	}
+	if cfg.WorkDir == "" {
+		cfg.WorkDir = "."
+	}
+	if cfg.Gamma == 0 {
+		cfg.Gamma = stat.DefaultConfidenceCoefficient
+	}
+	if cfg.Gamma < 0 {
+		return cfg, fmt.Errorf("core: negative confidence coefficient %g", cfg.Gamma)
+	}
+	if cfg.MaxSamples < 0 {
+		cfg.MaxSamples = 0
+	}
+	return cfg, nil
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Report holds the final averaged statistics, including any resumed
+	// previous results.
+	Report stat.Report
+
+	// Meta is the run metadata as stored in the checkpoint.
+	Meta store.RunMeta
+
+	// NewSamples is the number of realizations simulated by this run
+	// (Report.N minus the resumed volume).
+	NewSamples int64
+
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration
+
+	// Interrupted reports that the run stopped because the context was
+	// cancelled rather than because MaxSamples was reached.
+	Interrupted bool
+}
+
+// snapMsg is one subtotal push from a worker to the collector.
+type snapMsg struct {
+	worker int
+	snap   stat.Snapshot
+}
+
+// Factory produces a fresh Realization for worker m. Use RunFactory
+// when the realization routine carries per-call state (integrators,
+// scratch buffers, samplers with caches): each worker then gets its own
+// instance, just as each MPI rank in the original library runs its own
+// copy of the user routine.
+type Factory func(worker int) (Realization, error)
+
+// Run executes the simulation described by cfg, calling r once per
+// realization. r is invoked concurrently from cfg.Workers goroutines, so
+// it must be safe for concurrent use (stateless routines are; for
+// stateful ones use RunFactory). It returns the final averaged
+// statistics. On context cancellation the run saves whatever it has (the
+// paper's job-kill model) and returns with Result.Interrupted set;
+// cancellation is not an error.
+func Run(ctx context.Context, cfg Config, r Realization) (Result, error) {
+	if r == nil {
+		return Result{}, errors.New("core: nil realization routine")
+	}
+	return RunFactory(ctx, cfg, func(int) (Realization, error) { return r, nil })
+}
+
+// RunFactory is Run with a per-worker realization factory.
+func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	if factory == nil {
+		return Result{}, errors.New("core: nil realization factory")
+	}
+
+	dir, err := store.Open(cfg.WorkDir)
+	if err != nil {
+		return Result{}, err
+	}
+
+	params := cfg.Params
+	if params == (rng.Params{}) {
+		params, err = rng.LoadParams(cfg.WorkDir)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if err := params.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := params.CheckCoord(rng.Coord{Experiment: cfg.SeqNum, Processor: uint64(cfg.Workers) - 1}); err != nil {
+		return Result{}, fmt.Errorf("core: run does not fit the RNG hierarchy: %w", err)
+	}
+
+	meta := store.RunMeta{
+		SeqNum:    cfg.SeqNum,
+		Nrow:      cfg.Nrow,
+		Ncol:      cfg.Ncol,
+		MaxSV:     cfg.MaxSamples,
+		Workers:   cfg.Workers,
+		Params:    params,
+		Gamma:     cfg.Gamma,
+		StartedAt: time.Now(),
+	}
+
+	// Establish the base moments: either the previous run's checkpoint
+	// (res = 1) or empty (res = 0).
+	base := stat.New(cfg.Nrow, cfg.Ncol)
+	if cfg.Resume {
+		snap, prevMeta, err := dir.LoadCheckpoint()
+		if err != nil {
+			if os.IsNotExist(err) {
+				return Result{}, fmt.Errorf("core: resume requested but no previous simulation found in %s", cfg.WorkDir)
+			}
+			return Result{}, err
+		}
+		if prevMeta.Nrow != cfg.Nrow || prevMeta.Ncol != cfg.Ncol {
+			return Result{}, fmt.Errorf("core: previous simulation is %d×%d, this run is %d×%d",
+				prevMeta.Nrow, prevMeta.Ncol, cfg.Nrow, cfg.Ncol)
+		}
+		if prevMeta.SeqNum == cfg.SeqNum {
+			return Result{}, fmt.Errorf("core: resume must use a different experiments subsequence number than the previous run (both are %d); base random numbers would repeat", cfg.SeqNum)
+		}
+		if err := base.Merge(snap); err != nil {
+			return Result{}, err
+		}
+	} else {
+		if err := dir.RemoveCheckpoint(); err != nil {
+			return Result{}, err
+		}
+		if err := dir.RemoveWorkerSnapshots(); err != nil {
+			return Result{}, err
+		}
+	}
+	resumedN := base.N()
+
+	if err := dir.SaveBaseCheckpoint(base.Snapshot(), meta); err != nil {
+		return Result{}, err
+	}
+	if err := dir.AppendExperiment(meta, cfg.Resume); err != nil {
+		return Result{}, err
+	}
+
+	start := time.Now()
+
+	// Static quota split keeps runs reproducible: worker m simulates
+	// quota(m) realizations from its own processor subsequence, so the
+	// final moments do not depend on goroutine scheduling.
+	quota := func(m int) int64 {
+		if cfg.MaxSamples <= 0 {
+			return -1 // unbounded
+		}
+		q := cfg.MaxSamples / int64(cfg.Workers)
+		if int64(m) < cfg.MaxSamples%int64(cfg.Workers) {
+			q++
+		}
+		return q
+	}
+
+	msgs := make(chan snapMsg, cfg.Workers)
+	errs := make(chan error, cfg.Workers+1)
+	var wg sync.WaitGroup
+
+	// Build every worker's realization before launching any goroutine,
+	// so a factory failure cannot leave workers blocked on the collector
+	// channel.
+	routines := make([]Realization, cfg.Workers)
+	for m := range routines {
+		r, err := factory(m)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: building realization for worker %d: %w", m, err)
+		}
+		if r == nil {
+			return Result{}, fmt.Errorf("core: factory returned nil realization for worker %d", m)
+		}
+		routines[m] = r
+	}
+
+	for m := 0; m < cfg.Workers; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			if err := runWorker(ctx, cfg, params, m, quota(m), routines[m], msgs); err != nil {
+				errs <- fmt.Errorf("core: worker %d: %w", m, err)
+			}
+		}(m)
+	}
+
+	// Close the message channel once every worker is done.
+	go func() {
+		wg.Wait()
+		close(msgs)
+	}()
+
+	// The collector runs in this goroutine — it is the paper's 0-th
+	// processor.
+	var collector moments
+	if cfg.StableMoments {
+		sc := stat.NewStable(cfg.Nrow, cfg.Ncol)
+		if err := sc.Merge(base.Snapshot()); err != nil {
+			return Result{}, err
+		}
+		collector = sc
+	} else {
+		collector = base
+	}
+	total, collectErr := collect(cfg, dir, meta, collector, msgs, start)
+	if collectErr != nil {
+		errs <- collectErr
+	}
+
+	interrupted := ctx.Err() != nil
+	close(errs)
+	for e := range errs {
+		if e != nil {
+			return Result{}, e
+		}
+	}
+
+	rep := total.Report(cfg.Gamma)
+	return Result{
+		Report:      rep,
+		Meta:        meta,
+		NewSamples:  total.N() - resumedN,
+		Elapsed:     time.Since(start),
+		Interrupted: interrupted,
+	}, nil
+}
+
+// runWorker simulates realizations on processor m until its quota is
+// exhausted or the context is cancelled, pushing subtotal snapshots every
+// PassPeriod (or after every realization under StrictExchange).
+func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, quota int64, r Realization, msgs chan<- snapMsg) error {
+	stream, err := rng.NewStream(params, rng.Coord{Experiment: cfg.SeqNum, Processor: uint64(m)})
+	if err != nil {
+		return err
+	}
+	local := stat.New(cfg.Nrow, cfg.Ncol)
+	out := make([]float64, cfg.Nrow*cfg.Ncol)
+	lastPass := time.Now()
+
+	push := func() {
+		if local.N() == 0 {
+			return
+		}
+		msgs <- snapMsg{worker: m, snap: local.Snapshot()}
+		local.Reset()
+		lastPass = time.Now()
+	}
+	defer push()
+
+	for k := int64(0); quota < 0 || k < quota; k++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if k > 0 {
+			if err := stream.NextRealization(); err != nil {
+				return err
+			}
+		}
+		for i := range out {
+			out[i] = 0
+		}
+		t0 := time.Now()
+		if err := callRealization(r, stream, out); err != nil {
+			return fmt.Errorf("realization %d: %w", k, err)
+		}
+		if err := local.AddTimed(out, time.Since(t0)); err != nil {
+			return err
+		}
+		if cfg.StrictExchange || time.Since(lastPass) >= cfg.PassPeriod {
+			push()
+		}
+	}
+	return nil
+}
+
+// moments is the collector-side accumulator interface satisfied by both
+// stat.Accumulator (raw sums, the paper's scheme) and
+// stat.StableAccumulator (Welford/Chan).
+type moments interface {
+	Merge(stat.Snapshot) error
+	Snapshot() stat.Snapshot
+	Report(gamma float64) stat.Report
+	N() int64
+}
+
+// collect merges worker snapshots into the running total and saves
+// results every AverPeriod, plus a final save when all workers have
+// finished.
+func collect(cfg Config, dir *store.Dir, meta store.RunMeta, total moments, msgs <-chan snapMsg, start time.Time) (moments, error) {
+	var perWorker map[int]*stat.Accumulator
+	if cfg.SaveWorkerSnapshots {
+		perWorker = make(map[int]*stat.Accumulator, cfg.Workers)
+	}
+	lastSave := time.Now()
+
+	save := func() error {
+		rep := total.Report(cfg.Gamma)
+		if err := dir.SaveResults(rep, meta); err != nil {
+			return err
+		}
+		if err := dir.SaveCheckpoint(total.Snapshot(), meta); err != nil {
+			return err
+		}
+		lastSave = time.Now()
+		if cfg.OnSave != nil {
+			cfg.OnSave(Progress{
+				N:         rep.N,
+				MaxAbsErr: rep.MaxAbsErr,
+				MaxRelErr: rep.MaxRelErr,
+				MaxVar:    rep.MaxVar,
+				Elapsed:   time.Since(start),
+			})
+		}
+		return nil
+	}
+
+	// On a collector-side failure the workers must not be left blocked
+	// on the channel: drain the remaining messages before returning the
+	// error.
+	fail := func(err error) (moments, error) {
+		for range msgs {
+		}
+		return total, err
+	}
+
+	for msg := range msgs {
+		if err := total.Merge(msg.snap); err != nil {
+			return fail(err)
+		}
+		if perWorker != nil {
+			acc, ok := perWorker[msg.worker]
+			if !ok {
+				acc = stat.New(cfg.Nrow, cfg.Ncol)
+				perWorker[msg.worker] = acc
+			}
+			if err := acc.Merge(msg.snap); err != nil {
+				return fail(err)
+			}
+			if err := dir.SaveWorkerSnapshot(msg.worker, acc.Snapshot(), meta); err != nil {
+				return fail(err)
+			}
+		}
+		if time.Since(lastSave) >= cfg.AverPeriod {
+			if err := save(); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	return total, save()
+}
+
+// Manaver recomputes the averaged results from the run-base checkpoint
+// plus the per-worker snapshot files — the paper's manaver command. It
+// is used after a job was killed, when the worker files hold a larger
+// sample volume than the last collector save. It rewrites the results
+// files and the collector checkpoint and returns the merged report.
+func Manaver(workdir string) (stat.Report, error) {
+	dir, err := store.Open(workdir)
+	if err != nil {
+		return stat.Report{}, err
+	}
+	baseSnap, meta, err := dir.LoadBaseCheckpoint()
+	if err != nil {
+		if os.IsNotExist(err) {
+			return stat.Report{}, fmt.Errorf("core: manaver: no simulation has run in %s", workdir)
+		}
+		return stat.Report{}, err
+	}
+	total, err := stat.FromSnapshot(baseSnap)
+	if err != nil {
+		return stat.Report{}, err
+	}
+	snaps, _, err := dir.LoadWorkerSnapshots()
+	if err != nil {
+		return stat.Report{}, err
+	}
+	for i, s := range snaps {
+		if err := total.Merge(s); err != nil {
+			return stat.Report{}, fmt.Errorf("core: manaver: worker snapshot %d: %w", i, err)
+		}
+	}
+	rep := total.Report(meta.Gamma)
+	if err := dir.SaveResults(rep, meta); err != nil {
+		return stat.Report{}, err
+	}
+	if err := dir.SaveCheckpoint(total.Snapshot(), meta); err != nil {
+		return stat.Report{}, err
+	}
+	return rep, nil
+}
+
+// callRealization invokes the user routine, converting a panic into an
+// error so one bad realization cannot take down the whole simulation —
+// the run fails cleanly with results saved, as when a realization
+// returns an error.
+func callRealization(r Realization, stream *rng.Stream, out []float64) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("core: realization panicked: %v", p)
+		}
+	}()
+	return r(stream, out)
+}

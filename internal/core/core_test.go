@@ -1,0 +1,611 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parmonc/internal/rng"
+	"parmonc/internal/stat"
+	"parmonc/internal/store"
+)
+
+// uniformMean is a trivial realization: a single uniform draw. Its
+// expectation is 1/2 and variance 1/12.
+func uniformMean(src *rng.Stream, out []float64) error {
+	out[0] = src.Float64()
+	return nil
+}
+
+// sumOfTwo fills a 1×2 matrix: [α, α²].
+func sumOfTwo(src *rng.Stream, out []float64) error {
+	a := src.Float64()
+	out[0] = a
+	out[1] = a * a
+	return nil
+}
+
+func fastCfg(dir string) Config {
+	return Config{
+		Nrow:       1,
+		Ncol:       1,
+		MaxSamples: 4000,
+		Workers:    4,
+		WorkDir:    dir,
+		PassPeriod: time.Millisecond,
+		AverPeriod: 2 * time.Millisecond,
+	}
+}
+
+func TestRunComputesUniformMean(t *testing.T) {
+	res, err := Run(context.Background(), fastCfg(t.TempDir()), uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.N != 4000 {
+		t.Fatalf("N = %d, want 4000", res.Report.N)
+	}
+	if res.NewSamples != 4000 {
+		t.Fatalf("NewSamples = %d", res.NewSamples)
+	}
+	mean := res.Report.MeanAt(0, 0)
+	if diff := math.Abs(mean - 0.5); diff > res.Report.AbsErrAt(0, 0) {
+		t.Fatalf("|mean-0.5| = %g exceeds 3σ bound %g", diff, res.Report.AbsErrAt(0, 0))
+	}
+	if v := res.Report.VarAt(0, 0); math.Abs(v-1.0/12) > 0.01 {
+		t.Fatalf("var = %g, want ≈ 1/12", v)
+	}
+}
+
+func TestRunDeterministicAcrossSchedules(t *testing.T) {
+	// Two identical runs draw exactly the same realizations (static
+	// quota split + per-realization substreams), so the moments agree to
+	// floating-point reassociation noise: snapshot arrival order at the
+	// collector varies with scheduling, and float addition is not
+	// associative.
+	cfg := fastCfg(t.TempDir())
+	r1, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WorkDir = t.TempDir()
+	r2, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Report.N != r2.Report.N {
+		t.Fatalf("volumes differ: %d vs %d", r1.Report.N, r2.Report.N)
+	}
+	if d := math.Abs(r1.Report.MeanAt(0, 0) - r2.Report.MeanAt(0, 0)); d > 1e-12 {
+		t.Fatalf("means differ by %g: %.17g vs %.17g", d, r1.Report.MeanAt(0, 0), r2.Report.MeanAt(0, 0))
+	}
+	if d := math.Abs(r1.Report.VarAt(0, 0) - r2.Report.VarAt(0, 0)); d > 1e-12 {
+		t.Fatalf("variances differ by %g", d)
+	}
+}
+
+func TestRunMatchesSequentialReference(t *testing.T) {
+	// The parallel result must equal a hand-rolled sequential loop over
+	// the same substreams — formula (4) exactness, not just statistical
+	// agreement.
+	cfg := fastCfg(t.TempDir())
+	cfg.MaxSamples = 100
+	cfg.Workers = 3
+	res, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := stat.New(1, 1)
+	params := rng.DefaultParams()
+	quota := []int64{34, 33, 33} // 100 split over 3 workers
+	for m := 0; m < 3; m++ {
+		s, err := rng.NewStream(params, rng.Coord{Experiment: cfg.SeqNum, Processor: uint64(m)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := int64(0); k < quota[m]; k++ {
+			if k > 0 {
+				if err := s.NextRealization(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			out := []float64{0}
+			if err := uniformMean(s, out); err != nil {
+				t.Fatal(err)
+			}
+			ref.Add(out)
+		}
+	}
+	want := ref.Report(3)
+	if got := res.Report.MeanAt(0, 0); math.Abs(got-want.MeanAt(0, 0)) > 1e-13 {
+		t.Fatalf("mean %.17g, reference %.17g", got, want.MeanAt(0, 0))
+	}
+	if got := res.Report.VarAt(0, 0); math.Abs(got-want.VarAt(0, 0)) > 1e-13 {
+		t.Fatalf("var %.17g, reference %.17g", got, want.VarAt(0, 0))
+	}
+}
+
+func TestRunWritesResultFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), fastCfg(dir), uniformMean); err != nil {
+		t.Fatal(err)
+	}
+	d, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrow, ncol, vals, err := d.LoadMeans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrow != 1 || ncol != 1 {
+		t.Fatalf("dims %dx%d", nrow, ncol)
+	}
+	if math.Abs(vals[0]-0.5) > 0.05 {
+		t.Fatalf("saved mean %g", vals[0])
+	}
+	exps, err := d.Experiments()
+	if err != nil || len(exps) != 1 {
+		t.Fatalf("experiment log: %v, %v", exps, err)
+	}
+}
+
+func TestResumeMergesPreviousRun(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastCfg(dir)
+	cfg.MaxSamples = 1000
+	cfg.SeqNum = 0
+	r1, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Resume = true
+	cfg.SeqNum = 1
+	r2, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Report.N != 2000 {
+		t.Fatalf("resumed N = %d, want 2000", r2.Report.N)
+	}
+	if r2.NewSamples != 1000 {
+		t.Fatalf("NewSamples = %d, want 1000", r2.NewSamples)
+	}
+	// The merged mean must be the equally-weighted average of the two
+	// runs' sums, since both have volume 1000.
+	run2only := (r2.Report.MeanAt(0, 0)*2000 - r1.Report.MeanAt(0, 0)*1000) / 1000
+	if run2only <= 0 || run2only >= 1 {
+		t.Fatalf("implied second-run mean %g out of range", run2only)
+	}
+}
+
+func TestResumeRejectsSameSeqNum(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastCfg(dir)
+	if _, err := Run(context.Background(), cfg, uniformMean); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = true // SeqNum unchanged
+	if _, err := Run(context.Background(), cfg, uniformMean); err == nil {
+		t.Fatal("expected same-seqnum resume to be rejected")
+	}
+}
+
+func TestResumeRejectsDimensionChange(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastCfg(dir)
+	if _, err := Run(context.Background(), cfg, uniformMean); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = true
+	cfg.SeqNum = 1
+	cfg.Ncol = 2
+	if _, err := Run(context.Background(), cfg, sumOfTwo); err == nil {
+		t.Fatal("expected dimension-change resume to be rejected")
+	}
+}
+
+func TestResumeWithoutPreviousRun(t *testing.T) {
+	cfg := fastCfg(t.TempDir())
+	cfg.Resume = true
+	cfg.SeqNum = 1
+	if _, err := Run(context.Background(), cfg, uniformMean); err == nil {
+		t.Fatal("expected missing-checkpoint error")
+	}
+}
+
+func TestFreshRunClearsOldCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastCfg(dir)
+	cfg.MaxSamples = 500
+	if _, err := Run(context.Background(), cfg, uniformMean); err != nil {
+		t.Fatal(err)
+	}
+	// Second run with res = 0 starts from scratch.
+	res, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.N != 500 {
+		t.Fatalf("N = %d, want 500 (old results must be discarded)", res.Report.N)
+	}
+}
+
+func TestRealizationErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	cfg := fastCfg(t.TempDir())
+	_, err := Run(context.Background(), cfg, func(src *rng.Stream, out []float64) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want wrapped boom", err)
+	}
+}
+
+func TestContextCancellationGraceful(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := fastCfg(t.TempDir())
+	cfg.MaxSamples = 0 // unbounded: the "endless" mode
+	done := make(chan struct{})
+	var res Result
+	var runErr error
+	go func() {
+		res, runErr = Run(ctx, cfg, func(src *rng.Stream, out []float64) error {
+			out[0] = src.Float64()
+			time.Sleep(100 * time.Microsecond)
+			return nil
+		})
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not stop after cancellation")
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if !res.Interrupted {
+		t.Fatal("Interrupted not set")
+	}
+	if res.Report.N == 0 {
+		t.Fatal("no samples accumulated before cancellation")
+	}
+}
+
+func TestMatrixRealization(t *testing.T) {
+	cfg := fastCfg(t.TempDir())
+	cfg.Ncol = 2
+	cfg.MaxSamples = 20000
+	res, err := Run(context.Background(), cfg, sumOfTwo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E α = 1/2, E α² = 1/3.
+	if got := res.Report.MeanAt(0, 0); math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("E α = %g", got)
+	}
+	if got := res.Report.MeanAt(0, 1); math.Abs(got-1.0/3) > 0.02 {
+		t.Fatalf("E α² = %g", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Nrow: 0, Ncol: 1},
+		{Nrow: 1, Ncol: 0},
+		{Nrow: 1, Ncol: 1, Workers: -1},
+		{Nrow: 1, Ncol: 1, PassPeriod: -time.Second},
+		{Nrow: 1, Ncol: 1, AverPeriod: -time.Second},
+		{Nrow: 1, Ncol: 1, Gamma: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg, uniformMean); err == nil {
+			t.Errorf("case %d: expected config error", i)
+		}
+	}
+	if _, err := Run(context.Background(), Config{Nrow: 1, Ncol: 1, MaxSamples: 1}, nil); err == nil {
+		t.Error("nil realization: expected error")
+	}
+}
+
+func TestWorkersExceedingHierarchyRejected(t *testing.T) {
+	cfg := fastCfg(t.TempDir())
+	cfg.Workers = 1 << 20 // > 2^17 processors
+	if _, err := Run(context.Background(), cfg, uniformMean); err == nil {
+		t.Fatal("expected hierarchy capacity error")
+	}
+}
+
+func TestStrictExchangeMode(t *testing.T) {
+	cfg := fastCfg(t.TempDir())
+	cfg.StrictExchange = true
+	cfg.MaxSamples = 200
+	res, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.N != 200 {
+		t.Fatalf("N = %d", res.Report.N)
+	}
+}
+
+func TestManaverReconstructsResults(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastCfg(dir)
+	cfg.SaveWorkerSnapshots = true
+	cfg.StrictExchange = true // every realization lands in a worker file
+	cfg.MaxSamples = 400
+	res, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the story: delete the collector checkpoint (as if the job
+	// died before the final save), then recover via manaver.
+	d, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Manaver(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != res.Report.N {
+		t.Fatalf("manaver N = %d, run N = %d", rep.N, res.Report.N)
+	}
+	if d := math.Abs(rep.MeanAt(0, 0) - res.Report.MeanAt(0, 0)); d > 1e-13 {
+		t.Fatalf("manaver mean %.17g, run mean %.17g", rep.MeanAt(0, 0), res.Report.MeanAt(0, 0))
+	}
+	// The rebuilt checkpoint supports resumption.
+	if _, _, err := d.LoadCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManaverWithoutRun(t *testing.T) {
+	if _, err := Manaver(t.TempDir()); err == nil {
+		t.Fatal("expected error when nothing has run")
+	}
+}
+
+func TestWorkersIdleWhenQuotaSmall(t *testing.T) {
+	// More workers than samples: some do nothing, run still completes.
+	cfg := fastCfg(t.TempDir())
+	cfg.Workers = 8
+	cfg.MaxSamples = 3
+	res, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.N != 3 {
+		t.Fatalf("N = %d, want 3", res.Report.N)
+	}
+}
+
+func TestCustomParamsRespected(t *testing.T) {
+	cfg := fastCfg(t.TempDir())
+	var err error
+	cfg.Params, err = rng.NewParams(60, 40, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Meta.Params.ExperimentLeapLog2 != 60 {
+		t.Fatalf("params not propagated: %+v", res.Meta.Params)
+	}
+}
+
+func TestOnSaveProgressReported(t *testing.T) {
+	var mu sync.Mutex
+	var progresses []Progress
+	cfg := fastCfg(t.TempDir())
+	cfg.MaxSamples = 2000
+	cfg.OnSave = func(p Progress) {
+		mu.Lock()
+		progresses = append(progresses, p)
+		mu.Unlock()
+	}
+	res, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(progresses) == 0 {
+		t.Fatal("OnSave never called")
+	}
+	last := progresses[len(progresses)-1]
+	if last.N != res.Report.N {
+		t.Fatalf("final progress N = %d, result N = %d", last.N, res.Report.N)
+	}
+	if last.MaxAbsErr != res.Report.MaxAbsErr {
+		t.Fatal("final progress error bound mismatch")
+	}
+	for i := 1; i < len(progresses); i++ {
+		if progresses[i].N < progresses[i-1].N {
+			t.Fatal("progress N went backwards")
+		}
+	}
+}
+
+func TestErrorControlledTermination(t *testing.T) {
+	// The paper's motivation for periodic exchange: stop once the
+	// relative error is small enough, instead of a fixed sample count.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const target = 1.0 // percent
+	cfg := fastCfg(t.TempDir())
+	cfg.MaxSamples = 0 // unbounded: accuracy decides
+	cfg.AverPeriod = time.Millisecond
+	cfg.OnSave = func(p Progress) {
+		if p.N > 100 && p.MaxRelErr < target {
+			cancel()
+		}
+	}
+	res, err := Run(ctx, cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("run not stopped by accuracy control")
+	}
+	if res.Report.MaxRelErr >= 2*target {
+		t.Fatalf("final rel err %g%% far above target %g%%", res.Report.MaxRelErr, target)
+	}
+}
+
+func TestRealizationPanicBecomesError(t *testing.T) {
+	cfg := fastCfg(t.TempDir())
+	_, err := Run(context.Background(), cfg, func(src *rng.Stream, out []float64) error {
+		panic("user bug")
+	})
+	if err == nil {
+		t.Fatal("expected error from panicking realization")
+	}
+	if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "user bug") {
+		t.Fatalf("error %v does not describe the panic", err)
+	}
+}
+
+func TestRealizationPanicAfterProgressStillErrors(t *testing.T) {
+	// Panic on the 50th realization of one worker: results so far are
+	// saved, the run reports the failure.
+	var count atomic.Int64
+	cfg := fastCfg(t.TempDir())
+	cfg.Workers = 2
+	_, err := Run(context.Background(), cfg, func(src *rng.Stream, out []float64) error {
+		if count.Add(1) == 50 {
+			panic("late failure")
+		}
+		out[0] = src.Float64()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestStableMomentsSurvivesIllConditionedWorkload(t *testing.T) {
+	// Mean 10^9, σ = 10^-3: raw sums lose the variance entirely; the
+	// stable collector recovers it through the full driver. Workers
+	// still ship raw sums, so keep per-push volumes small enough that
+	// the worker-side sums stay benign (strict exchange: one realization
+	// per push).
+	realize := func(src *rng.Stream, out []float64) error {
+		// Deterministic ±σ noise around a huge mean, driven by the
+		// stream so every realization differs.
+		if src.Float64() < 0.5 {
+			out[0] = 1e9 - 1e-3
+		} else {
+			out[0] = 1e9 + 1e-3
+		}
+		return nil
+	}
+	base := fastCfg(t.TempDir())
+	base.MaxSamples = 20000
+	base.StrictExchange = true
+
+	stable := base
+	stable.WorkDir = t.TempDir()
+	stable.StableMoments = true
+
+	resNaive, err := Run(context.Background(), base, realize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resStable, err := Run(context.Background(), stable, realize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVar := 1e-6 // (±10^-3)² with equal probability
+	gotStable := resStable.Report.VarAt(0, 0)
+	if math.Abs(gotStable-wantVar)/wantVar > 0.05 {
+		t.Fatalf("stable variance %g, want %g", gotStable, wantVar)
+	}
+	// The naive pipeline must be visibly worse on this data (typically
+	// clamped to zero); if it ever matches, the test data is too easy.
+	gotNaive := resNaive.Report.VarAt(0, 0)
+	if math.Abs(gotNaive-wantVar)/wantVar < 0.05 {
+		t.Fatalf("naive variance %g unexpectedly accurate; strengthen the test", gotNaive)
+	}
+}
+
+func TestStableMomentsMatchesNaiveOnBenignData(t *testing.T) {
+	cfg := fastCfg(t.TempDir())
+	cfg.StableMoments = true
+	res, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Report.MeanAt(0, 0)-0.5) > res.Report.AbsErrAt(0, 0)*4/3 {
+		t.Fatalf("stable mean %g", res.Report.MeanAt(0, 0))
+	}
+	if math.Abs(res.Report.VarAt(0, 0)-1.0/12) > 0.01 {
+		t.Fatalf("stable variance %g", res.Report.VarAt(0, 0))
+	}
+	// Resume from a stable run must work (shared checkpoint format).
+	cfg.Resume = true
+	cfg.SeqNum = 1
+	res2, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Report.N != 2*res.Report.N {
+		t.Fatalf("resumed N = %d", res2.Report.N)
+	}
+}
+
+func TestCollectorFailureDoesNotDeadlock(t *testing.T) {
+	// Make the worker-snapshot directory unwritable so the collector
+	// fails mid-run; the run must return the error promptly rather than
+	// leaving workers blocked on the collector channel.
+	dir := t.TempDir()
+	if _, err := store.Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the workers directory with a regular file so snapshot
+	// writes fail even when running as root.
+	workersDir := dir + "/parmonc_data/workers"
+	if err := os.RemoveAll(workersDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(workersDir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := fastCfg(dir)
+	cfg.SaveWorkerSnapshots = true
+	cfg.StrictExchange = true
+	cfg.MaxSamples = 2000
+
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		_, runErr = Run(context.Background(), cfg, uniformMean)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("run deadlocked after collector failure")
+	}
+	if runErr == nil {
+		t.Fatal("expected collector error")
+	}
+}

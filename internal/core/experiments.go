@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+
+	"parmonc/internal/stat"
+	"parmonc/internal/store"
+)
+
+// ExperimentsResult is the outcome of RunExperiments: the per-experiment
+// reports (each an independent estimate of the same functionals, from
+// disjoint "experiments" subsequences of the generator) plus the pooled
+// report over all of them.
+type ExperimentsResult struct {
+	SeqNums  []uint64
+	Reports  []stat.Report
+	Combined stat.Report
+}
+
+// RunExperiments performs several independent stochastic experiments —
+// the top level of the paper's substream hierarchy (Sec. 2.4). Each
+// experiment runs the full simulation under its own experiments
+// subsequence number and its own results subdirectory
+// (WorkDir/experiment-NNNN), so the estimates are statistically
+// independent; the combined report pools all their moments.
+//
+// Independent experiments are how the paper validates a stochastic
+// computation: repeat it on a disjoint stretch of the general sequence
+// and check that the independent sample means agree within the error
+// bounds.
+func RunExperiments(ctx context.Context, cfg Config, seqnums []uint64, factory Factory) (ExperimentsResult, error) {
+	if len(seqnums) == 0 {
+		return ExperimentsResult{}, fmt.Errorf("core: no experiment subsequence numbers given")
+	}
+	seen := map[uint64]bool{}
+	for _, sq := range seqnums {
+		if seen[sq] {
+			return ExperimentsResult{}, fmt.Errorf("core: duplicate experiment subsequence %d; experiments would not be independent", sq)
+		}
+		seen[sq] = true
+	}
+	if cfg.Resume {
+		return ExperimentsResult{}, fmt.Errorf("core: RunExperiments does not support resumption; resume individual experiments instead")
+	}
+	baseDir := cfg.WorkDir
+	if baseDir == "" {
+		baseDir = "."
+	}
+
+	res := ExperimentsResult{SeqNums: append([]uint64(nil), seqnums...)}
+	var combined *stat.Accumulator
+	gamma := cfg.Gamma
+	if gamma == 0 {
+		gamma = stat.DefaultConfidenceCoefficient
+	}
+
+	for i, sq := range seqnums {
+		expCfg := cfg
+		expCfg.SeqNum = sq
+		expCfg.WorkDir = filepath.Join(baseDir, fmt.Sprintf("experiment-%04d", sq))
+		r, err := RunFactory(ctx, expCfg, factory)
+		if err != nil {
+			return ExperimentsResult{}, fmt.Errorf("core: experiment %d (seqnum %d): %w", i, sq, err)
+		}
+		res.Reports = append(res.Reports, r.Report)
+
+		// Pool via the stored checkpoint, which carries the raw moments.
+		dir, err := store.Open(expCfg.WorkDir)
+		if err != nil {
+			return ExperimentsResult{}, err
+		}
+		snap, _, err := dir.LoadCheckpoint()
+		if err != nil {
+			return ExperimentsResult{}, fmt.Errorf("core: reading experiment %d checkpoint: %w", sq, err)
+		}
+		if combined == nil {
+			combined = stat.New(snap.Nrow, snap.Ncol)
+		}
+		if err := combined.Merge(snap); err != nil {
+			return ExperimentsResult{}, err
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	res.Combined = combined.Report(gamma)
+	return res, nil
+}

@@ -1,0 +1,165 @@
+package dsmc
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+)
+
+func stream(t testing.TB) *rng.Stream {
+	t.Helper()
+	s, err := rng.NewStream(rng.DefaultParams(), rng.Coord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testGas() Gas {
+	return Gas{N: 200, Nu: 1, Tx: 3, Ty: 1}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testGas().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Gas{
+		{N: 1, Nu: 1, Tx: 1, Ty: 1},
+		{N: 10, Nu: 0, Tx: 1, Ty: 1},
+		{N: 10, Nu: 1, Tx: 0, Ty: 1},
+		{N: 10, Nu: 1, Tx: 1, Ty: -1},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRelaxArguments(t *testing.T) {
+	g := testGas()
+	s := stream(t)
+	if err := g.Relax(s, nil, nil); err == nil {
+		t.Error("empty times accepted")
+	}
+	if err := g.Relax(s, []float64{1, 0.5}, make([]float64, 6)); err == nil {
+		t.Error("non-ascending times accepted")
+	}
+	if err := g.Relax(s, []float64{-1}, make([]float64, 3)); err == nil {
+		t.Error("negative time accepted")
+	}
+	if err := g.Relax(s, []float64{1}, make([]float64, 2)); err == nil {
+		t.Error("short out accepted")
+	}
+}
+
+func TestCollisionConservesExactly(t *testing.T) {
+	s := stream(t)
+	for trial := 0; trial < 1000; trial++ {
+		a := [3]float64{s.Float64()*4 - 2, s.Float64()*4 - 2, s.Float64()*4 - 2}
+		b := [3]float64{s.Float64()*4 - 2, s.Float64()*4 - 2, s.Float64()*4 - 2}
+		e0, p0 := EnergyAndMomentum([][3]float64{a, b})
+		Collide(s, &a, &b)
+		e1, p1 := EnergyAndMomentum([][3]float64{a, b})
+		if math.Abs(e1-e0) > 1e-12*(1+math.Abs(e0)) {
+			t.Fatalf("energy changed: %g → %g", e0, e1)
+		}
+		for k := 0; k < 3; k++ {
+			if math.Abs(p1[k]-p0[k]) > 1e-12 {
+				t.Fatalf("momentum %d changed: %g → %g", k, p0[k], p1[k])
+			}
+		}
+	}
+}
+
+func TestAnisotropyDecaysToEquilibrium(t *testing.T) {
+	// Full pipeline: E[T_x(t) − T_y(t)] must follow (T_x0 − T_y0)·e^{−νt/2}
+	// and both components approach T_eq = (T_x0 + 2 T_y0)/3.
+	g := testGas()
+	times := []float64{0.5, 1, 2, 4, 8}
+	cfg := core.Config{
+		Nrow: len(times), Ncol: NMoments,
+		MaxSamples: 400,
+		Workers:    4,
+		WorkDir:    t.TempDir(),
+		PassPeriod: time.Millisecond,
+		AverPeriod: 2 * time.Millisecond,
+	}
+	res, err := core.Run(context.Background(), cfg, func(src *rng.Stream, out []float64) error {
+		return g.Relax(src, times, out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range times {
+		gotAniso := res.Report.MeanAt(i, TempX) - res.Report.MeanAt(i, TempY)
+		wantAniso := g.Anisotropy(tt)
+		// Statistical tolerance plus a small O(1/N) systematic allowance.
+		tol := (res.Report.AbsErrAt(i, TempX)+res.Report.AbsErrAt(i, TempY))*4/3 + 0.05
+		if math.Abs(gotAniso-wantAniso) > tol {
+			t.Errorf("anisotropy(%g) = %g, want %g ± %g", tt, gotAniso, wantAniso, tol)
+		}
+	}
+	// At t = 8 (rate ν/2 → e^{-4} ≈ 0.018 of initial) all temperatures
+	// are at equilibrium.
+	last := len(times) - 1
+	teq := g.Equilibrium()
+	for _, col := range []int{TempX, TempY, TempZ} {
+		if got := res.Report.MeanAt(last, col); math.Abs(got-teq)/teq > 0.05 {
+			t.Errorf("component %d: T(∞) = %g, want %g", col, got, teq)
+		}
+	}
+}
+
+func TestEnergyConservedThroughRelaxation(t *testing.T) {
+	// T_x + T_y + T_z must equal its initial expectation at every
+	// sample time — energy is exactly conserved per realization, so the
+	// only fluctuation is the initial Gaussian draw.
+	g := testGas()
+	times := []float64{0.5, 2, 8}
+	out := make([]float64, len(times)*NMoments)
+	s := stream(t)
+	var sumInit, sumLate float64
+	const reps = 200
+	for r := 0; r < reps; r++ {
+		if err := g.Relax(s, times, out); err != nil {
+			t.Fatal(err)
+		}
+		sumInit += out[0*NMoments+TempX] + out[0*NMoments+TempY] + out[0*NMoments+TempZ]
+		sumLate += out[2*NMoments+TempX] + out[2*NMoments+TempY] + out[2*NMoments+TempZ]
+	}
+	if math.Abs(sumInit-sumLate)/sumInit > 1e-9 {
+		t.Fatalf("total energy drifted: %g vs %g", sumInit/reps, sumLate/reps)
+	}
+	want := g.Tx + 2*g.Ty
+	if math.Abs(sumInit/reps-want)/want > 0.05 {
+		t.Fatalf("initial energy %g, want %g", sumInit/reps, want)
+	}
+}
+
+func TestEquilibriumValue(t *testing.T) {
+	g := Gas{N: 10, Nu: 1, Tx: 6, Ty: 3}
+	if got := g.Equilibrium(); got != 4 {
+		t.Fatalf("T_eq = %g, want 4", got)
+	}
+	if got := g.Anisotropy(0); got != 3 {
+		t.Fatalf("anisotropy(0) = %g", got)
+	}
+}
+
+func BenchmarkRelax200(b *testing.B) {
+	g := testGas()
+	times := []float64{0.5, 1, 2, 4}
+	out := make([]float64, len(times)*NMoments)
+	s := stream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Relax(s, times, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package finance implements Monte Carlo option pricing under geometric
+// Brownian motion — the financial mathematics application of Sec. 2.1
+// of the paper.
+//
+// Under the risk-neutral measure the asset follows
+//
+//	dS = r·S dt + σ·S dw,
+//
+// so S(T) = S₀·exp((r − σ²/2)T + σ√T·Z). European option prices have
+// the Black–Scholes closed form, which makes the Monte Carlo estimators
+// here exactly verifiable; Asian (arithmetic-average) options have no
+// closed form and are priced by simulating the discretely monitored
+// path — the realistic workload.
+package finance
+
+import (
+	"fmt"
+	"math"
+
+	"parmonc/dist"
+)
+
+// Option describes a European or Asian option under GBM.
+type Option struct {
+	S0     float64 // spot price (> 0)
+	Strike float64 // strike K (> 0)
+	Rate   float64 // risk-free rate r
+	Sigma  float64 // volatility σ (> 0)
+	T      float64 // maturity in years (> 0)
+}
+
+// Validate checks the option parameters.
+func (o Option) Validate() error {
+	if o.S0 <= 0 {
+		return fmt.Errorf("finance: spot %g must be positive", o.S0)
+	}
+	if o.Strike <= 0 {
+		return fmt.Errorf("finance: strike %g must be positive", o.Strike)
+	}
+	if o.Sigma <= 0 {
+		return fmt.Errorf("finance: volatility %g must be positive", o.Sigma)
+	}
+	if o.T <= 0 {
+		return fmt.Errorf("finance: maturity %g must be positive", o.T)
+	}
+	return nil
+}
+
+// Payoff indexes the realization vector of EuropeanRealization.
+const (
+	Call = iota // discounted call payoff
+	Put         // discounted put payoff
+	NPayoffs
+)
+
+// EuropeanRealization returns a kernel writing one discounted
+// (call, put) payoff sample into out — terminal value only, no path.
+func (o Option) EuropeanRealization() (func(src dist.Source, out []float64) error, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	drift := (o.Rate - o.Sigma*o.Sigma/2) * o.T
+	vol := o.Sigma * math.Sqrt(o.T)
+	disc := math.Exp(-o.Rate * o.T)
+	return func(src dist.Source, out []float64) error {
+		if len(out) != NPayoffs {
+			return fmt.Errorf("finance: out has length %d, want %d", len(out), NPayoffs)
+		}
+		z := dist.StdNormal(src)
+		sT := o.S0 * math.Exp(drift+vol*z)
+		if sT > o.Strike {
+			out[Call] = disc * (sT - o.Strike)
+		}
+		if sT < o.Strike {
+			out[Put] = disc * (o.Strike - sT)
+		}
+		return nil
+	}, nil
+}
+
+// AsianRealization returns a kernel pricing a discretely monitored
+// arithmetic-average Asian call with steps monitoring dates: the payoff
+// is max(mean(S(t_i)) − K, 0) discounted.
+func (o Option) AsianRealization(steps int) (func(src dist.Source, out []float64) error, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("finance: steps %d must be >= 1", steps)
+	}
+	dt := o.T / float64(steps)
+	drift := (o.Rate - o.Sigma*o.Sigma/2) * dt
+	vol := o.Sigma * math.Sqrt(dt)
+	disc := math.Exp(-o.Rate * o.T)
+	return func(src dist.Source, out []float64) error {
+		if len(out) != 1 {
+			return fmt.Errorf("finance: out has length %d, want 1", len(out))
+		}
+		s := o.S0
+		var sum float64
+		for k := 0; k < steps; k++ {
+			s *= math.Exp(drift + vol*dist.StdNormal(src))
+			sum += s
+		}
+		avg := sum / float64(steps)
+		if avg > o.Strike {
+			out[0] = disc * (avg - o.Strike)
+		}
+		return nil
+	}, nil
+}
+
+// BlackScholesCall returns the exact European call price.
+func (o Option) BlackScholesCall() float64 {
+	d1, d2 := o.d1d2()
+	return o.S0*phi(d1) - o.Strike*math.Exp(-o.Rate*o.T)*phi(d2)
+}
+
+// BlackScholesPut returns the exact European put price.
+func (o Option) BlackScholesPut() float64 {
+	d1, d2 := o.d1d2()
+	return o.Strike*math.Exp(-o.Rate*o.T)*phi(-d2) - o.S0*phi(-d1)
+}
+
+func (o Option) d1d2() (d1, d2 float64) {
+	volT := o.Sigma * math.Sqrt(o.T)
+	d1 = (math.Log(o.S0/o.Strike) + (o.Rate+o.Sigma*o.Sigma/2)*o.T) / volT
+	return d1, d1 - volT
+}
+
+// phi is the standard normal CDF.
+func phi(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// GeometricAsianCall returns the closed-form price of the *geometric*
+// average Asian call with the same monitoring dates — the classical
+// control variate for the arithmetic Asian option (Kemna & Vorst).
+func (o Option) GeometricAsianCall(steps int) float64 {
+	n := float64(steps)
+	dt := o.T / n
+	// Mean and variance of log geometric average.
+	// log G = log S0 + Σ_{i=1..n} (n+1-i)/n · (drift·dt + vol·√dt·Z_i)
+	nu := o.Rate - o.Sigma*o.Sigma/2
+	muG := math.Log(o.S0) + nu*dt*(n+1)/2
+	var varG float64
+	for i := 1; i <= steps; i++ {
+		w := (n + 1 - float64(i)) / n
+		varG += w * w
+	}
+	varG *= o.Sigma * o.Sigma * dt
+	sigG := math.Sqrt(varG)
+	d1 := (muG - math.Log(o.Strike) + varG) / sigG
+	d2 := d1 - sigG
+	fwd := math.Exp(muG + varG/2)
+	return math.Exp(-o.Rate*o.T) * (fwd*phi(d1) - o.Strike*phi(d2))
+}

@@ -1,0 +1,238 @@
+package finance
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+)
+
+func stream(t testing.TB) *rng.Stream {
+	t.Helper()
+	s, err := rng.NewStream(rng.DefaultParams(), rng.Coord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testOption() Option {
+	return Option{S0: 100, Strike: 105, Rate: 0.05, Sigma: 0.2, T: 1}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testOption().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Option){
+		func(o *Option) { o.S0 = 0 },
+		func(o *Option) { o.Strike = -1 },
+		func(o *Option) { o.Sigma = 0 },
+		func(o *Option) { o.T = 0 },
+	}
+	for i, mutate := range bad {
+		o := testOption()
+		mutate(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := testOption().AsianRealization(0); err == nil {
+		t.Error("0 steps accepted")
+	}
+}
+
+func TestBlackScholesKnownValue(t *testing.T) {
+	// Standard textbook check: S0=100, K=100, r=5%, σ=20%, T=1 →
+	// call ≈ 10.4506, put ≈ 5.5735 (call − put = S0 − K·e^{-rT}).
+	o := Option{S0: 100, Strike: 100, Rate: 0.05, Sigma: 0.2, T: 1}
+	if got := o.BlackScholesCall(); math.Abs(got-10.450583572185565) > 1e-9 {
+		t.Fatalf("BS call = %.12f", got)
+	}
+	if got := o.BlackScholesPut(); math.Abs(got-5.573526022256971) > 1e-9 {
+		t.Fatalf("BS put = %.12f", got)
+	}
+}
+
+func TestPutCallParity(t *testing.T) {
+	o := testOption()
+	lhs := o.BlackScholesCall() - o.BlackScholesPut()
+	rhs := o.S0 - o.Strike*math.Exp(-o.Rate*o.T)
+	if math.Abs(lhs-rhs) > 1e-10 {
+		t.Fatalf("parity violated: %g vs %g", lhs, rhs)
+	}
+}
+
+func TestEuropeanMonteCarloMatchesBlackScholes(t *testing.T) {
+	o := testOption()
+	r, err := o.EuropeanRealization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		Nrow: 1, Ncol: NPayoffs,
+		MaxSamples: 400000,
+		Workers:    4,
+		WorkDir:    t.TempDir(),
+		PassPeriod: time.Millisecond,
+		AverPeriod: 2 * time.Millisecond,
+	}
+	res, err := core.Run(context.Background(), cfg, func(src *rng.Stream, out []float64) error {
+		return r(src, out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCall := o.BlackScholesCall()
+	wantPut := o.BlackScholesPut()
+	if got := res.Report.MeanAt(0, Call); math.Abs(got-wantCall) > res.Report.AbsErrAt(0, Call)*4/3 {
+		t.Fatalf("MC call %g, BS %g ± %g", got, wantCall, res.Report.AbsErrAt(0, Call))
+	}
+	if got := res.Report.MeanAt(0, Put); math.Abs(got-wantPut) > res.Report.AbsErrAt(0, Put)*4/3 {
+		t.Fatalf("MC put %g, BS %g ± %g", got, wantPut, res.Report.AbsErrAt(0, Put))
+	}
+}
+
+func TestEuropeanPayoffsNonNegative(t *testing.T) {
+	o := testOption()
+	r, err := o.EuropeanRealization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stream(t)
+	out := make([]float64, NPayoffs)
+	for i := 0; i < 10000; i++ {
+		out[0], out[1] = 0, 0
+		if err := r(s, out); err != nil {
+			t.Fatal(err)
+		}
+		if out[Call] < 0 || out[Put] < 0 {
+			t.Fatalf("negative payoff %v", out)
+		}
+		if out[Call] > 0 && out[Put] > 0 {
+			t.Fatalf("both call and put in the money: %v", out)
+		}
+	}
+}
+
+func TestAsianBelowEuropean(t *testing.T) {
+	// The arithmetic average is less volatile than the terminal price,
+	// so the Asian call is cheaper than the European call.
+	o := testOption()
+	asian, err := o.AsianRealization(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stream(t)
+	out := make([]float64, 1)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		out[0] = 0
+		if err := asian(s, out); err != nil {
+			t.Fatal(err)
+		}
+		sum += out[0]
+	}
+	asianPrice := sum / n
+	euro := o.BlackScholesCall()
+	if asianPrice >= euro {
+		t.Fatalf("Asian %g not below European %g", asianPrice, euro)
+	}
+	if asianPrice <= 0 {
+		t.Fatalf("Asian price %g", asianPrice)
+	}
+}
+
+func TestAsianAboveGeometricControl(t *testing.T) {
+	// AM ≥ GM: the arithmetic Asian call dominates the geometric one,
+	// and for these parameters sits within ~10% of it.
+	o := testOption()
+	steps := 12
+	asian, err := o.AsianRealization(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stream(t)
+	out := make([]float64, 1)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		out[0] = 0
+		if err := asian(s, out); err != nil {
+			t.Fatal(err)
+		}
+		sum += out[0]
+	}
+	arith := sum / n
+	geo := o.GeometricAsianCall(steps)
+	if arith < geo {
+		t.Fatalf("arithmetic Asian %g below geometric %g", arith, geo)
+	}
+	if arith > geo*1.15 {
+		t.Fatalf("arithmetic Asian %g implausibly far above geometric %g", arith, geo)
+	}
+}
+
+func TestSingleStepAsianEqualsEuropeanTerminal(t *testing.T) {
+	// With one monitoring date the average is S(T): price equals the
+	// European call.
+	o := testOption()
+	asian, err := o.AsianRealization(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stream(t)
+	out := make([]float64, 1)
+	var sum float64
+	const n = 400000
+	for i := 0; i < n; i++ {
+		out[0] = 0
+		if err := asian(s, out); err != nil {
+			t.Fatal(err)
+		}
+		sum += out[0]
+	}
+	if got, want := sum/n, o.BlackScholesCall(); math.Abs(got-want) > 0.1 {
+		t.Fatalf("1-step Asian %g, European %g", got, want)
+	}
+	// And the geometric closed form degenerates to Black–Scholes too.
+	if got, want := o.GeometricAsianCall(1), o.BlackScholesCall(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("1-step geometric %g, BS %g", got, want)
+	}
+}
+
+func BenchmarkEuropean(b *testing.B) {
+	r, err := testOption().EuropeanRealization()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := stream(b)
+	out := make([]float64, NPayoffs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out[0], out[1] = 0, 0
+		if err := r(s, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAsian12(b *testing.B) {
+	r, err := testOption().AsianRealization(12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := stream(b)
+	out := make([]float64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out[0] = 0
+		if err := r(s, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

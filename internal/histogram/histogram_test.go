@@ -1,0 +1,183 @@
+package histogram
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"parmonc/dist"
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+)
+
+func stream(t testing.TB) *rng.Stream {
+	t.Helper()
+	s, err := rng.NewStream(rng.DefaultParams(), rng.Coord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Spec{Bins: 10, A: 0, B: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{Bins: 0, A: 0, B: 1},
+		{Bins: 10, A: 1, B: 1},
+		{Bins: 10, A: 2, B: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := (Spec{Bins: 10, A: 0, B: 1}).Realization(nil); err == nil {
+		t.Error("nil sampler accepted")
+	}
+}
+
+func TestWidthAndCenters(t *testing.T) {
+	s := Spec{Bins: 4, A: 0, B: 2}
+	if s.Width() != 0.5 {
+		t.Fatalf("width %g", s.Width())
+	}
+	cs := s.Centers()
+	want := []float64{0.25, 0.75, 1.25, 1.75}
+	for i := range want {
+		if math.Abs(cs[i]-want[i]) > 1e-15 {
+			t.Fatalf("center %d = %g, want %g", i, cs[i], want[i])
+		}
+	}
+}
+
+func TestRealizationWrongOut(t *testing.T) {
+	s := Spec{Bins: 4, A: 0, B: 1}
+	r, err := s.Realization(func(src dist.Source) float64 { return src.Float64() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r(stream(t), make([]float64, 3)); err == nil {
+		t.Fatal("wrong out length accepted")
+	}
+}
+
+func TestUniformDensityFlat(t *testing.T) {
+	// Density of U(0,1) is 1 on every bin; run the full pipeline.
+	spec := Spec{Bins: 20, A: 0, B: 1}
+	r, err := spec.Realization(func(src dist.Source) float64 { return src.Float64() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		Nrow: 1, Ncol: spec.Bins,
+		MaxSamples: 100000,
+		Workers:    4,
+		WorkDir:    t.TempDir(),
+		PassPeriod: time.Millisecond,
+		AverPeriod: 2 * time.Millisecond,
+	}
+	res, err := core.Run(context.Background(), cfg, func(src *rng.Stream, out []float64) error {
+		return r(src, out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < spec.Bins; j++ {
+		got := res.Report.MeanAt(0, j)
+		if math.Abs(got-1) > res.Report.AbsErrAt(0, j)*4/3 {
+			t.Errorf("bin %d density = %g, want 1 ± %g", j, got, res.Report.AbsErrAt(0, j))
+		}
+	}
+}
+
+func TestExponentialDensityShape(t *testing.T) {
+	spec := Spec{Bins: 10, A: 0, B: 3}
+	r, err := spec.Realization(func(src dist.Source) float64 { return dist.Exponential(src, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stream(t)
+	sums := make([]float64, spec.Bins)
+	out := make([]float64, spec.Bins)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		for j := range out {
+			out[j] = 0
+		}
+		if err := r(s, out); err != nil {
+			t.Fatal(err)
+		}
+		for j := range out {
+			sums[j] += out[j]
+		}
+	}
+	w := spec.Width()
+	for j, c := range spec.Centers() {
+		got := sums[j] / n
+		// Exact average density over the bin: (e^{-a} − e^{-b})/w.
+		a, b := c-w/2, c+w/2
+		want := (math.Exp(-a) - math.Exp(-b)) / w
+		if math.Abs(got-want) > 0.05*want+0.01 {
+			t.Errorf("bin %d: density %g, want %g", j, got, want)
+		}
+	}
+}
+
+func TestOutOfRangeDropped(t *testing.T) {
+	spec := Spec{Bins: 2, A: 0, B: 1}
+	r, err := spec.Realization(func(src dist.Source) float64 { return 5.0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 2)
+	if err := r(stream(t), out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatalf("out-of-range variate counted: %v", out)
+	}
+}
+
+func TestOutOfRangeClamped(t *testing.T) {
+	spec := Spec{Bins: 2, A: 0, B: 1, Clamp: true}
+	rHigh, err := spec.Realization(func(src dist.Source) float64 { return 5.0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLow, err := spec.Realization(func(src dist.Source) float64 { return -5.0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 2)
+	if err := rHigh(stream(t), out); err != nil {
+		t.Fatal(err)
+	}
+	if out[1] == 0 {
+		t.Fatal("high variate not clamped to last bin")
+	}
+	out[0], out[1] = 0, 0
+	if err := rLow(stream(t), out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] == 0 {
+		t.Fatal("low variate not clamped to first bin")
+	}
+}
+
+func TestBoundaryValueGoesToFirstBin(t *testing.T) {
+	spec := Spec{Bins: 4, A: 0, B: 1}
+	r, err := spec.Realization(func(src dist.Source) float64 { return 0.0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 4)
+	if err := r(stream(t), out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] == 0 {
+		t.Fatalf("v = A not counted in first bin: %v", out)
+	}
+}

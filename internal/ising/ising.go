@@ -1,0 +1,146 @@
+// Package ising implements a 2-D Ising model Metropolis sampler — the
+// statistical-physics application the paper lists (Sec. 2.1, "the
+// Metropolis method, the Ising model").
+//
+// Spins s ∈ {−1, +1} live on an L×L periodic lattice with energy
+// E = −J Σ_{<ij>} s_i s_j. One realization runs a fresh lattice from a
+// random configuration through Sweeps Metropolis sweeps at inverse
+// temperature Beta and reports the energy per site and magnetization
+// per site — independent realizations on independent streams, exactly
+// the PARMONC usage pattern for Markov chain Monte Carlo (independent
+// replicas rather than one long chain).
+package ising
+
+import (
+	"fmt"
+	"math"
+
+	"parmonc/dist"
+)
+
+// Model describes one Ising replica simulation.
+type Model struct {
+	L      int     // lattice side; the lattice has L×L sites
+	Beta   float64 // inverse temperature β = J/kT (J = 1)
+	Sweeps int     // Metropolis sweeps per realization
+	Warmup int     // sweeps discarded before measuring (default Sweeps/2)
+}
+
+// Validate checks the model invariants.
+func (m Model) Validate() error {
+	if m.L < 2 {
+		return fmt.Errorf("ising: lattice side %d must be >= 2", m.L)
+	}
+	if m.Beta < 0 {
+		return fmt.Errorf("ising: negative inverse temperature %g", m.Beta)
+	}
+	if m.Sweeps < 1 {
+		return fmt.Errorf("ising: sweeps %d must be >= 1", m.Sweeps)
+	}
+	if m.Warmup < 0 || m.Warmup >= m.Sweeps {
+		return fmt.Errorf("ising: warmup %d outside [0, sweeps)", m.Warmup)
+	}
+	return nil
+}
+
+// Observables indexes the realization vector.
+const (
+	EnergyPerSite = iota // E/N
+	AbsMagnetization
+	NObservables
+)
+
+// Replica simulates one independent replica and writes time-averaged
+// observables (over the post-warmup sweeps) into out.
+func (m Model) Replica(src dist.Source, out []float64) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if len(out) != NObservables {
+		return fmt.Errorf("ising: out has length %d, want %d", len(out), NObservables)
+	}
+	warmup := m.Warmup
+	if warmup == 0 && m.Sweeps > 1 {
+		warmup = m.Sweeps / 2
+	}
+
+	n := m.L * m.L
+	spins := make([]int8, n)
+	for i := range spins {
+		if dist.Bernoulli(src, 0.5) {
+			spins[i] = 1
+		} else {
+			spins[i] = -1
+		}
+	}
+	// Precompute acceptance probabilities for ΔE ∈ {4, 8} (ΔE ≤ 0 always
+	// accepted; 2-D square lattice has ΔE ∈ {−8, −4, 0, 4, 8}).
+	acc4 := math.Exp(-4 * m.Beta)
+	acc8 := math.Exp(-8 * m.Beta)
+
+	sumNbr := func(i int) int {
+		x, y := i%m.L, i/m.L
+		right := y*m.L + (x+1)%m.L
+		left := y*m.L + (x-1+m.L)%m.L
+		up := ((y+1)%m.L)*m.L + x
+		down := ((y-1+m.L)%m.L)*m.L + x
+		return int(spins[right]) + int(spins[left]) + int(spins[up]) + int(spins[down])
+	}
+
+	var accE, accM float64
+	measured := 0
+	for sweep := 0; sweep < m.Sweeps; sweep++ {
+		for k := 0; k < n; k++ {
+			i := dist.Choice(src, n)
+			dE := 2 * int(spins[i]) * sumNbr(i)
+			switch {
+			case dE <= 0:
+				spins[i] = -spins[i]
+			case dE == 4:
+				if dist.Bernoulli(src, acc4) {
+					spins[i] = -spins[i]
+				}
+			default: // dE == 8
+				if dist.Bernoulli(src, acc8) {
+					spins[i] = -spins[i]
+				}
+			}
+		}
+		if sweep < warmup {
+			continue
+		}
+		e, mag := m.measure(spins)
+		accE += e
+		accM += math.Abs(mag)
+		measured++
+	}
+	out[EnergyPerSite] = accE / float64(measured)
+	out[AbsMagnetization] = accM / float64(measured)
+	return nil
+}
+
+// measure returns the energy per site and magnetization per site of a
+// configuration.
+func (m Model) measure(spins []int8) (ePerSite, magPerSite float64) {
+	n := m.L * m.L
+	var e, mag int
+	for i := 0; i < n; i++ {
+		x, y := i%m.L, i/m.L
+		right := y*m.L + (x+1)%m.L
+		up := ((y+1)%m.L)*m.L + x
+		e -= int(spins[i]) * (int(spins[right]) + int(spins[up]))
+		mag += int(spins[i])
+	}
+	return float64(e) / float64(n), float64(mag) / float64(n)
+}
+
+// BetaCritical is the exact critical inverse temperature of the 2-D
+// Ising model, ln(1+√2)/2 ≈ 0.4407.
+var BetaCritical = math.Log(1+math.Sqrt2) / 2
+
+// HighTEnergy returns the small-β energy per site from the leading
+// high-temperature expansion, −2·tanh(β): each site has 2 bonds (per
+// site) each contributing −⟨s_i s_j⟩ ≈ −tanh β.
+func HighTEnergy(beta float64) float64 {
+	return -2 * math.Tanh(beta)
+}

@@ -1,0 +1,150 @@
+package ising
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+)
+
+func stream(t testing.TB) *rng.Stream {
+	t.Helper()
+	s, err := rng.NewStream(rng.DefaultParams(), rng.Coord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Model{L: 8, Beta: 0.3, Sweeps: 10}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Model{
+		{L: 1, Beta: 0.3, Sweeps: 10},
+		{L: 8, Beta: -1, Sweeps: 10},
+		{L: 8, Beta: 0.3, Sweeps: 0},
+		{L: 8, Beta: 0.3, Sweeps: 10, Warmup: 10},
+		{L: 8, Beta: 0.3, Sweeps: 10, Warmup: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReplicaOutLength(t *testing.T) {
+	m := Model{L: 4, Beta: 0.1, Sweeps: 4}
+	if err := m.Replica(stream(t), make([]float64, 1)); err == nil {
+		t.Fatal("wrong out length accepted")
+	}
+}
+
+func TestObservableRanges(t *testing.T) {
+	m := Model{L: 8, Beta: 0.4, Sweeps: 20}
+	out := make([]float64, NObservables)
+	s := stream(t)
+	for i := 0; i < 20; i++ {
+		if err := m.Replica(s, out); err != nil {
+			t.Fatal(err)
+		}
+		if out[EnergyPerSite] < -2 || out[EnergyPerSite] > 2 {
+			t.Fatalf("energy per site %g outside [-2, 2]", out[EnergyPerSite])
+		}
+		if out[AbsMagnetization] < 0 || out[AbsMagnetization] > 1 {
+			t.Fatalf("|m| = %g outside [0, 1]", out[AbsMagnetization])
+		}
+	}
+}
+
+func TestHighTemperatureEnergy(t *testing.T) {
+	// β = 0.15 ≪ β_c: energy per site ≈ −2·tanh β within a few percent.
+	m := Model{L: 16, Beta: 0.15, Sweeps: 60, Warmup: 30}
+	cfg := core.Config{
+		Nrow: 1, Ncol: NObservables,
+		MaxSamples: 200,
+		Workers:    4,
+		WorkDir:    t.TempDir(),
+		PassPeriod: time.Millisecond,
+		AverPeriod: 2 * time.Millisecond,
+	}
+	res, err := core.Run(context.Background(), cfg, func(src *rng.Stream, out []float64) error {
+		return m.Replica(src, out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := HighTEnergy(m.Beta) // ≈ −0.2977
+	got := res.Report.MeanAt(0, EnergyPerSite)
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("E/N = %g, want ≈ %g", got, want)
+	}
+	// Far above T_c the magnetization is near zero (finite-size tail
+	// scales like 1/L).
+	if mag := res.Report.MeanAt(0, AbsMagnetization); mag > 0.2 {
+		t.Fatalf("|m| = %g at high temperature", mag)
+	}
+}
+
+func TestLowTemperatureOrder(t *testing.T) {
+	// β = 1 ≫ β_c ≈ 0.44: the lattice orders, |m| close to 1, energy
+	// close to the ground state −2.
+	m := Model{L: 12, Beta: 1.0, Sweeps: 120, Warmup: 80}
+	out := make([]float64, NObservables)
+	s := stream(t)
+	var magSum, eSum float64
+	const reps = 10
+	for i := 0; i < reps; i++ {
+		if err := m.Replica(s, out); err != nil {
+			t.Fatal(err)
+		}
+		magSum += out[AbsMagnetization]
+		eSum += out[EnergyPerSite]
+	}
+	if avg := magSum / reps; avg < 0.9 {
+		t.Fatalf("|m| = %g at β=1, want > 0.9", avg)
+	}
+	if avg := eSum / reps; avg > -1.7 {
+		t.Fatalf("E/N = %g at β=1, want < -1.7", avg)
+	}
+}
+
+func TestBetaCriticalValue(t *testing.T) {
+	if math.Abs(BetaCritical-0.44068679350977147) > 1e-12 {
+		t.Fatalf("BetaCritical = %.17g", BetaCritical)
+	}
+}
+
+func TestInfiniteTemperatureEnergyZero(t *testing.T) {
+	// β = 0: all flips accepted, configurations uniform; E ≈ 0, |m| small.
+	m := Model{L: 16, Beta: 0, Sweeps: 40, Warmup: 20}
+	out := make([]float64, NObservables)
+	s := stream(t)
+	var eSum float64
+	const reps = 20
+	for i := 0; i < reps; i++ {
+		if err := m.Replica(s, out); err != nil {
+			t.Fatal(err)
+		}
+		eSum += out[EnergyPerSite]
+	}
+	if avg := eSum / reps; math.Abs(avg) > 0.05 {
+		t.Fatalf("E/N = %g at β=0, want ≈ 0", avg)
+	}
+}
+
+func BenchmarkReplica16(b *testing.B) {
+	m := Model{L: 16, Beta: 0.3, Sweeps: 10, Warmup: 5}
+	out := make([]float64, NObservables)
+	s := stream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Replica(s, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package lcg
+
+import "testing"
+
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(New().Marshal())
+	f.Add("deadbeef:cafebabe")
+	f.Add(":")
+	f.Add("")
+	f.Add("10:5") // even state
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := Unmarshal(s)
+		if err != nil {
+			return
+		}
+		// Any accepted state must be odd (invariant) and must round-trip.
+		if g.State().Lo&1 == 0 {
+			t.Fatalf("Unmarshal(%q) produced even state", s)
+		}
+		back, err := Unmarshal(g.Marshal())
+		if err != nil {
+			t.Fatalf("re-unmarshal of %q failed: %v", g.Marshal(), err)
+		}
+		if !back.State().Eq(g.State()) || !back.Multiplier().Eq(g.Multiplier()) {
+			t.Fatalf("round trip changed generator for input %q", s)
+		}
+	})
+}

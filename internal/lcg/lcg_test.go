@@ -1,0 +1,280 @@
+package lcg
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"parmonc/internal/u128"
+)
+
+func bigMod128() *big.Int { return new(big.Int).Lsh(big.NewInt(1), 128) }
+
+func toBig(x u128.Uint128) *big.Int {
+	b := new(big.Int).SetUint64(x.Hi)
+	b.Lsh(b, 64)
+	return b.Add(b, new(big.Int).SetUint64(x.Lo))
+}
+
+func TestDefaultMultiplierValue(t *testing.T) {
+	// A = 5^101 mod 2^128, computed independently with math/big.
+	want := new(big.Int).Exp(big.NewInt(5), big.NewInt(101), bigMod128())
+	if got := toBig(DefaultMultiplier); got.Cmp(want) != 0 {
+		t.Fatalf("DefaultMultiplier = %s, want %s", got, want)
+	}
+	// The multiplier must be ≡ 5 (mod 8) for period 2^126.
+	if DefaultMultiplier.Lo&7 != 5 {
+		t.Fatalf("DefaultMultiplier mod 8 = %d, want 5", DefaultMultiplier.Lo&7)
+	}
+}
+
+func TestNextMatchesBig(t *testing.T) {
+	g := New()
+	state := big.NewInt(1)
+	mult := toBig(DefaultMultiplier)
+	m := bigMod128()
+	for i := 0; i < 1000; i++ {
+		got := g.Next()
+		state.Mul(state, mult).Mod(state, m)
+		if toBig(got).Cmp(state) != 0 {
+			t.Fatalf("step %d: state = %s, want %s", i, got, state)
+		}
+	}
+}
+
+func TestStatesAlwaysOdd(t *testing.T) {
+	g := New()
+	for i := 0; i < 10000; i++ {
+		if s := g.Next(); s.Lo&1 == 0 {
+			t.Fatalf("step %d: even state %s", i, s)
+		}
+	}
+}
+
+func TestFloat64InOpenUnitInterval(t *testing.T) {
+	g := New()
+	for i := 0; i < 100000; i++ {
+		v := g.Float64()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("step %d: α = %g outside (0,1)", i, v)
+		}
+	}
+}
+
+func TestSkipAheadMatchesStepping(t *testing.T) {
+	for _, n := range []uint64{0, 1, 2, 3, 17, 100, 1000, 4097} {
+		a := New()
+		b := New()
+		a.SkipAhead(u128.From64(n))
+		for i := uint64(0); i < n; i++ {
+			b.Next()
+		}
+		if !a.State().Eq(b.State()) {
+			t.Errorf("SkipAhead(%d) = %s, stepping gives %s", n, a.State(), b.State())
+		}
+	}
+}
+
+func TestSkipAheadPow2MatchesSkipAhead(t *testing.T) {
+	for k := uint(0); k < 20; k++ {
+		a := New()
+		b := New()
+		a.SkipAheadPow2(k)
+		b.SkipAhead(u128.One.Lsh(k))
+		if !a.State().Eq(b.State()) {
+			t.Errorf("SkipAheadPow2(%d) disagrees with SkipAhead(2^%d)", k, k)
+		}
+	}
+}
+
+func TestSkipAheadComposes(t *testing.T) {
+	// Skipping m then n must equal skipping m+n: the substream property.
+	f := func(m, n uint16) bool {
+		a := New()
+		a.SkipAhead(u128.From64(uint64(m)))
+		a.SkipAhead(u128.From64(uint64(n)))
+		b := New()
+		b.SkipAhead(u128.From64(uint64(m) + uint64(n)))
+		return a.State().Eq(b.State())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipAheadFarLeap(t *testing.T) {
+	// A leap of 2^115 (the default experiment leap) lands where 128
+	// squarings say it should; cross-check against math/big.
+	g := New()
+	g.SkipAheadPow2(115)
+	want := new(big.Int).Exp(
+		toBig(DefaultMultiplier),
+		new(big.Int).Lsh(big.NewInt(1), 115),
+		bigMod128(),
+	)
+	if toBig(g.State()).Cmp(want) != 0 {
+		t.Fatalf("leap 2^115: state = %s, want %s", g.State(), want)
+	}
+}
+
+func TestLeapMultiplierPow2(t *testing.T) {
+	for _, k := range []uint{10, 43, 98, 115} {
+		want := new(big.Int).Exp(
+			toBig(DefaultMultiplier),
+			new(big.Int).Lsh(big.NewInt(1), k),
+			bigMod128(),
+		)
+		if got := toBig(LeapMultiplierPow2(k)); got.Cmp(want) != 0 {
+			t.Errorf("LeapMultiplierPow2(%d) = %s, want %s", k, got, want)
+		}
+	}
+}
+
+func TestNewWithMultiplierRejectsBadMultiplier(t *testing.T) {
+	for _, m := range []u128.Uint128{
+		u128.From64(4), // even
+		u128.From64(3), // ≡ 3 mod 8
+		u128.From64(7), // ≡ 7 mod 8
+		u128.From64(1), // ≡ 1 mod 8
+		u128.Zero,      // zero
+	} {
+		if _, err := NewWithMultiplier(m); err == nil {
+			t.Errorf("NewWithMultiplier(%s): expected error", m)
+		}
+	}
+}
+
+func TestNewWithMultiplierAccepts5Mod8(t *testing.T) {
+	g, err := NewWithMultiplier(u128.From64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Next(); !got.Eq(u128.From64(5)) {
+		t.Fatalf("first state = %s, want 5", got)
+	}
+}
+
+func TestSetStateRejectsEven(t *testing.T) {
+	g := New()
+	if err := g.SetState(u128.From64(2)); err == nil {
+		t.Fatal("SetState(2): expected error")
+	}
+	if err := g.SetState(u128.From64(3)); err != nil {
+		t.Fatalf("SetState(3): %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New()
+	g.Next()
+	c := g.Clone()
+	if !c.State().Eq(g.State()) {
+		t.Fatal("clone state differs")
+	}
+	g.Next()
+	if c.State().Eq(g.State()) {
+		t.Fatal("advancing original moved the clone")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	g := New()
+	for i := 0; i < 37; i++ {
+		g.Next()
+	}
+	restored, err := Unmarshal(g.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.State().Eq(g.State()) || !restored.Multiplier().Eq(g.Multiplier()) {
+		t.Fatal("round trip lost state")
+	}
+	// Continuation sequences must be identical.
+	for i := 0; i < 101; i++ {
+		if a, b := g.Next(), restored.Next(); !a.Eq(b) {
+			t.Fatalf("diverged at continuation step %d", i)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"deadbeef",                      // no colon
+		"xyz:abc",                       // bad hex
+		"10:" + DefaultMultiplier.Hex(), // even state
+	} {
+		if _, err := Unmarshal(s); err == nil {
+			t.Errorf("Unmarshal(%q): expected error", s)
+		}
+	}
+}
+
+func TestPeriodOnSmallModulusAnalogue(t *testing.T) {
+	// The full period 2^126 cannot be enumerated, but the same
+	// construction mod 2^r for small r has period 2^(r-2) when the
+	// multiplier ≡ 5 (mod 8) (Knuth TAoCP vol 2, 3.2.1.2). Verify the
+	// period structure for r = 16 with multiplier 5^101 mod 2^16 using
+	// plain uint16 arithmetic — this validates the theory the 128-bit
+	// generator's period claim rests on.
+	var mult uint16 = 1
+	for i := 0; i < 101; i++ {
+		mult *= 5
+	}
+	if mult&7 != 5 {
+		t.Fatalf("5^101 mod 8 = %d, want 5", mult&7)
+	}
+	var state uint16 = 1
+	period := 0
+	for {
+		state *= mult
+		period++
+		if state == 1 {
+			break
+		}
+		if period > 1<<16 {
+			t.Fatal("no cycle found")
+		}
+	}
+	if want := 1 << 14; period != want {
+		t.Fatalf("period mod 2^16 = %d, want 2^14 = %d", period, want)
+	}
+}
+
+func TestFirstHalfPeriodStatesDistinct(t *testing.T) {
+	// Spot check: states sampled at wide intervals across the usable
+	// range are pairwise distinct.
+	seen := map[string]bool{}
+	for k := uint(100); k <= 124; k++ {
+		g := New()
+		g.SkipAheadPow2(k)
+		h := g.State().Hex()
+		if seen[h] {
+			t.Fatalf("duplicate state at leap 2^%d", k)
+		}
+		seen[h] = true
+	}
+}
+
+func BenchmarkNext(b *testing.B) {
+	g := New()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	g := New()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = g.Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkSkipAheadPow2_98(b *testing.B) {
+	g := New()
+	for i := 0; i < b.N; i++ {
+		g.SkipAheadPow2(98)
+	}
+}

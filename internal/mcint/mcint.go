@@ -1,0 +1,199 @@
+// Package mcint provides Monte Carlo integration estimators over the
+// unit hypercube, with the classical variance-reduction techniques. The
+// paper frames all of stochastic simulation as estimating E ζ for
+// ζ = ζ(α₁, …, α_k) (formula (2)); numerical integration is the
+// archetype of that framing — ∫f = E f(α) — and the estimators here
+// slot directly into the library: each is a Realization-shaped kernel
+// whose sample mean converges to the integral, so the PARMONC driver
+// parallelizes any of them unchanged.
+//
+// The techniques and their variance orderings (plain ≥ antithetic /
+// stratified / importance, for suitable integrands) are the standard
+// material of Mikhailov & Voytishek's and Rubinstein & Kroese's
+// textbooks — the two references the paper gives for the Monte Carlo
+// background.
+package mcint
+
+import (
+	"fmt"
+	"math"
+
+	"parmonc/dist"
+)
+
+// Integrand is a function on the unit hypercube [0,1)^dim.
+type Integrand func(x []float64) float64
+
+// Plain estimates ∫f over [0,1)^dim with one uniform sample: the crude
+// Monte Carlo realization. The returned kernel writes the single-sample
+// estimate into out[0].
+func Plain(f Integrand, dim int) (func(src dist.Source, out []float64) error, error) {
+	if err := checkArgs(f, dim); err != nil {
+		return nil, err
+	}
+	return func(src dist.Source, out []float64) error {
+		if len(out) != 1 {
+			return fmt.Errorf("mcint: out has length %d, want 1", len(out))
+		}
+		x := make([]float64, dim)
+		for i := range x {
+			x[i] = src.Float64()
+		}
+		out[0] = f(x)
+		return nil
+	}, nil
+}
+
+// Antithetic estimates ∫f with the antithetic-variates pair
+// (f(x) + f(1−x))/2. For integrands monotone in each coordinate the
+// pair's negative correlation strictly reduces variance at equal cost.
+func Antithetic(f Integrand, dim int) (func(src dist.Source, out []float64) error, error) {
+	if err := checkArgs(f, dim); err != nil {
+		return nil, err
+	}
+	return func(src dist.Source, out []float64) error {
+		if len(out) != 1 {
+			return fmt.Errorf("mcint: out has length %d, want 1", len(out))
+		}
+		x := make([]float64, dim)
+		xa := make([]float64, dim)
+		for i := range x {
+			x[i] = src.Float64()
+			xa[i] = 1 - x[i]
+		}
+		out[0] = 0.5 * (f(x) + f(xa))
+		return nil
+	}, nil
+}
+
+// Stratified estimates ∫f by splitting each axis into strata cells and
+// placing one uniform point in every cell of the grid, averaging the
+// strata^dim evaluations. One realization is thus one complete
+// stratified sweep; its variance is at most the plain variance and
+// shrinks like O(n^{-1-2/dim}) for smooth f.
+func Stratified(f Integrand, dim, strata int) (func(src dist.Source, out []float64) error, error) {
+	if err := checkArgs(f, dim); err != nil {
+		return nil, err
+	}
+	if strata < 1 {
+		return nil, fmt.Errorf("mcint: strata %d must be >= 1", strata)
+	}
+	cells := 1
+	for i := 0; i < dim; i++ {
+		if cells > 1<<20/strata {
+			return nil, fmt.Errorf("mcint: %d^%d cells is too many", strata, dim)
+		}
+		cells *= strata
+	}
+	return func(src dist.Source, out []float64) error {
+		if len(out) != 1 {
+			return fmt.Errorf("mcint: out has length %d, want 1", len(out))
+		}
+		x := make([]float64, dim)
+		idx := make([]int, dim)
+		var sum float64
+		for c := 0; c < cells; c++ {
+			// Decode cell c into per-axis stratum indices.
+			v := c
+			for i := 0; i < dim; i++ {
+				idx[i] = v % strata
+				v /= strata
+			}
+			for i := 0; i < dim; i++ {
+				x[i] = (float64(idx[i]) + src.Float64()) / float64(strata)
+			}
+			sum += f(x)
+		}
+		out[0] = sum / float64(cells)
+		return nil
+	}, nil
+}
+
+// Importance estimates ∫f using samples from a product proposal density
+// on [0,1): each coordinate is drawn from the Beta-like density
+// g(t) ∝ t^(a−1) via inversion (X = U^(1/a)), and the estimate is the
+// weighted f(x)/g(x). With a > 1 the proposal concentrates near 1; with
+// a < 1 near 0 — matched to integrands whose mass sits at a boundary.
+func Importance(f Integrand, dim int, a float64) (func(src dist.Source, out []float64) error, error) {
+	if err := checkArgs(f, dim); err != nil {
+		return nil, err
+	}
+	if a <= 0 {
+		return nil, fmt.Errorf("mcint: importance exponent %g must be positive", a)
+	}
+	return func(src dist.Source, out []float64) error {
+		if len(out) != 1 {
+			return fmt.Errorf("mcint: out has length %d, want 1", len(out))
+		}
+		x := make([]float64, dim)
+		weight := 1.0
+		for i := range x {
+			u := src.Float64()
+			x[i] = math.Pow(u, 1/a)
+			// density g(t) = a·t^(a−1)
+			weight /= a * math.Pow(x[i], a-1)
+		}
+		out[0] = f(x) * weight
+		return nil
+	}, nil
+}
+
+// ControlVariate estimates ∫f using the control h with known integral
+// hMean: the realization is f(x) − β(h(x) − hMean). With
+// β = Cov(f,h)/Var(h) the variance reduction is 1−ρ²; the caller
+// supplies β (estimate it from a pilot run).
+func ControlVariate(f, h Integrand, dim int, hMean, beta float64) (func(src dist.Source, out []float64) error, error) {
+	if err := checkArgs(f, dim); err != nil {
+		return nil, err
+	}
+	if h == nil {
+		return nil, fmt.Errorf("mcint: nil control function")
+	}
+	return func(src dist.Source, out []float64) error {
+		if len(out) != 1 {
+			return fmt.Errorf("mcint: out has length %d, want 1", len(out))
+		}
+		x := make([]float64, dim)
+		for i := range x {
+			x[i] = src.Float64()
+		}
+		out[0] = f(x) - beta*(h(x)-hMean)
+		return nil
+	}, nil
+}
+
+func checkArgs(f Integrand, dim int) error {
+	if f == nil {
+		return fmt.Errorf("mcint: nil integrand")
+	}
+	if dim < 1 {
+		return fmt.Errorf("mcint: dimension %d must be >= 1", dim)
+	}
+	return nil
+}
+
+// Estimate runs n realizations of a kernel on src and returns the
+// sample mean and the sample variance of the per-realization estimates —
+// a convenience for variance-comparison studies; production runs go
+// through the parmonc driver instead.
+func Estimate(kernel func(src dist.Source, out []float64) error, src dist.Source, n int) (mean, variance float64, err error) {
+	if n < 2 {
+		return 0, 0, fmt.Errorf("mcint: n = %d must be >= 2", n)
+	}
+	out := make([]float64, 1)
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		if err := kernel(src, out); err != nil {
+			return 0, 0, err
+		}
+		sum += out[0]
+		sum2 += out[0] * out[0]
+	}
+	fn := float64(n)
+	mean = sum / fn
+	variance = sum2/fn - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance, nil
+}

@@ -1,0 +1,229 @@
+package mcint
+
+import (
+	"math"
+	"testing"
+
+	"parmonc/internal/rng"
+)
+
+func stream(t testing.TB) *rng.Stream {
+	t.Helper()
+	s, err := rng.NewStream(rng.DefaultParams(), rng.Coord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// integrands with known integrals over [0,1)^dim.
+func expSum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return math.Exp(s)
+}
+
+// ∫₀¹ e^t dt = e − 1; over dim coordinates: (e−1)^dim.
+func expSumExact(dim int) float64 {
+	return math.Pow(math.E-1, float64(dim))
+}
+
+func TestArgumentValidation(t *testing.T) {
+	if _, err := Plain(nil, 1); err == nil {
+		t.Error("nil integrand accepted")
+	}
+	if _, err := Plain(expSum, 0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := Stratified(expSum, 1, 0); err == nil {
+		t.Error("0 strata accepted")
+	}
+	if _, err := Stratified(expSum, 10, 100); err == nil {
+		t.Error("astronomically many cells accepted")
+	}
+	if _, err := Importance(expSum, 1, 0); err == nil {
+		t.Error("exponent 0 accepted")
+	}
+	if _, err := ControlVariate(expSum, nil, 1, 0, 0); err == nil {
+		t.Error("nil control accepted")
+	}
+}
+
+func TestKernelsRejectWrongOut(t *testing.T) {
+	k, err := Plain(expSum, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k(stream(t), make([]float64, 2)); err == nil {
+		t.Fatal("wrong out length accepted")
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	k, _ := Plain(expSum, 1)
+	if _, _, err := Estimate(k, stream(t), 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestAllEstimatorsConvergeTo2DExact(t *testing.T) {
+	const dim = 2
+	exact := expSumExact(dim)
+	s := stream(t)
+
+	plain, err := Plain(expSum, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anti, err := Antithetic(expSum, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := Stratified(expSum, dim, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := Importance(expSum, dim, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Control: h = Σx with ∫h = dim/2; pilot-free β = 1 is reasonable
+	// since f ≈ 1 + Σx + … for small x.
+	ctrl, err := ControlVariate(expSum, func(x []float64) float64 {
+		return x[0] + x[1]
+	}, dim, 1.0, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range []struct {
+		name string
+		run  func() (float64, float64, error)
+		n    int
+	}{
+		{"plain", func() (float64, float64, error) { return Estimate(plain, s, 100000) }, 100000},
+		{"antithetic", func() (float64, float64, error) { return Estimate(anti, s, 100000) }, 100000},
+		{"stratified", func() (float64, float64, error) { return Estimate(strat, s, 2000) }, 2000},
+		{"importance", func() (float64, float64, error) { return Estimate(imp, s, 100000) }, 100000},
+		{"control", func() (float64, float64, error) { return Estimate(ctrl, s, 100000) }, 100000},
+	} {
+		mean, variance, err := c.run()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		tol := 5*math.Sqrt(variance/float64(c.n)) + 1e-3
+		if math.Abs(mean-exact) > tol {
+			t.Errorf("%s: ∫ = %g, want %g ± %g", c.name, mean, exact, tol)
+		}
+	}
+}
+
+func TestAntitheticReducesVariance(t *testing.T) {
+	// expSum is monotone in each coordinate, so antithetic pairing must
+	// cut variance (per pair of evaluations) below plain.
+	s := stream(t)
+	plain, _ := Plain(expSum, 1)
+	anti, _ := Antithetic(expSum, 1)
+	_, vPlain, err := Estimate(plain, s, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vAnti, err := Estimate(anti, s, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Antithetic uses 2 evaluations per realization; compare per-budget
+	// variance: vAnti/2 vs vPlain... conservative check: vAnti < vPlain/2.
+	if vAnti >= vPlain/2 {
+		t.Fatalf("antithetic variance %g not below half of plain %g", vAnti, vPlain)
+	}
+}
+
+func TestStratifiedReducesVariance(t *testing.T) {
+	s := stream(t)
+	plain, _ := Plain(expSum, 1)
+	strat, _ := Stratified(expSum, 1, 16)
+	_, vPlain, err := Estimate(plain, s, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vStrat, err := Estimate(strat, s, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One stratified realization = 16 evaluations; per-budget comparison:
+	// 16 plain evaluations have variance vPlain/16; stratified must beat it.
+	if vStrat >= vPlain/16 {
+		t.Fatalf("stratified variance %g not below plain/16 = %g", vStrat, vPlain/16)
+	}
+}
+
+func TestImportanceMatchedToBoundaryMass(t *testing.T) {
+	// f(x) = 3x² has mass near 1; importance with a = 3 samples there
+	// (proposal g = 3t², the optimal proposal, giving ~zero variance).
+	f := func(x []float64) float64 { return 3 * x[0] * x[0] }
+	s := stream(t)
+	plain, _ := Plain(f, 1)
+	imp, _ := Importance(f, 1, 3)
+	_, vPlain, err := Estimate(plain, s, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, vImp, err := Estimate(imp, s, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-1) > 1e-9 {
+		t.Fatalf("optimal proposal mean %g, want exactly 1 per sample", mean)
+	}
+	if vImp > 1e-18 {
+		t.Fatalf("optimal proposal variance %g, want ~0", vImp)
+	}
+	if vPlain < 0.1 {
+		t.Fatalf("plain variance %g unexpectedly small", vPlain)
+	}
+}
+
+func TestControlVariateReducesVariance(t *testing.T) {
+	s := stream(t)
+	f := func(x []float64) float64 { return math.Exp(x[0]) }
+	h := func(x []float64) float64 { return x[0] }
+	plain, _ := Plain(f, 1)
+	// β* = Cov(e^U, U)/Var(U) ≈ 0.1409/0.0833 ≈ 1.69.
+	ctrl, _ := ControlVariate(f, h, 1, 0.5, 1.69)
+	_, vPlain, err := Estimate(plain, s, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vCtrl, err := Estimate(ctrl, s, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vCtrl >= vPlain/10 {
+		t.Fatalf("control variance %g not ≪ plain %g", vCtrl, vPlain)
+	}
+}
+
+func BenchmarkPlain2D(b *testing.B) {
+	k, _ := Plain(expSum, 2)
+	s := stream(b)
+	out := make([]float64, 1)
+	for i := 0; i < b.N; i++ {
+		if err := k(s, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStratified2D8(b *testing.B) {
+	k, _ := Stratified(expSum, 2, 8)
+	s := stream(b)
+	out := make([]float64, 1)
+	for i := 0; i < b.N; i++ {
+		if err := k(s, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package queueing
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+)
+
+func stream(t testing.TB) *rng.Stream {
+	t.Helper()
+	s, err := rng.NewStream(rng.DefaultParams(), rng.Coord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	if err := (MM1{Lambda: 0.5, Mu: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []MM1{
+		{Lambda: 0, Mu: 1},
+		{Lambda: -1, Mu: 1},
+		{Lambda: 1, Mu: 1}, // unstable: ρ = 1
+		{Lambda: 2, Mu: 1}, // unstable: ρ > 1
+		{Lambda: 0.5, Mu: 1, Warmup: -1},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestExactFormulas(t *testing.T) {
+	q := MM1{Lambda: 0.5, Mu: 1}
+	if got := q.Rho(); got != 0.5 {
+		t.Fatalf("ρ = %g", got)
+	}
+	if got := q.ExactMeanWait(); got != 1 { // 0.5/(1-0.5)
+		t.Fatalf("W_q = %g, want 1", got)
+	}
+	if got := q.ExactMeanNumber(); got != 1 { // ρ/(1-ρ)
+		t.Fatalf("L = %g, want 1", got)
+	}
+}
+
+func TestBatchMeanWaitArguments(t *testing.T) {
+	q := MM1{Lambda: 0.5, Mu: 1}
+	if err := q.BatchMeanWait(stream(t), make([]float64, 2)); err == nil {
+		t.Fatal("wrong out length accepted")
+	}
+}
+
+func TestWaitingTimesNonNegative(t *testing.T) {
+	q := MM1{Lambda: 0.5, Mu: 1, Warmup: 10, Batch: 100}
+	s := stream(t)
+	out := make([]float64, 1)
+	for i := 0; i < 100; i++ {
+		if err := q.BatchMeanWait(s, out); err != nil {
+			t.Fatal(err)
+		}
+		if out[0] < 0 {
+			t.Fatalf("negative batch mean wait %g", out[0])
+		}
+	}
+}
+
+func TestMeanWaitMatchesTheory(t *testing.T) {
+	// Full pipeline: E W ≈ ρ/(μ−λ). Batch means are biased low by
+	// truncation only negligibly with warmup 2000.
+	q := MM1{Lambda: 0.6, Mu: 1, Warmup: 2000, Batch: 2000}
+	cfg := core.Config{
+		Nrow: 1, Ncol: 1,
+		MaxSamples: 400,
+		Workers:    4,
+		WorkDir:    t.TempDir(),
+		PassPeriod: time.Millisecond,
+		AverPeriod: 2 * time.Millisecond,
+	}
+	res, err := core.Run(context.Background(), cfg, func(src *rng.Stream, out []float64) error {
+		return q.BatchMeanWait(src, out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q.ExactMeanWait() // 0.6/0.4 = 1.5
+	got := res.Report.MeanAt(0, 0)
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("E W = %g, want %g (±10%%)", got, want)
+	}
+}
+
+func TestHeavierLoadWaitsLonger(t *testing.T) {
+	light := MM1{Lambda: 0.3, Mu: 1, Warmup: 500, Batch: 500}
+	heavy := MM1{Lambda: 0.8, Mu: 1, Warmup: 500, Batch: 500}
+	s := stream(t)
+	out := make([]float64, 1)
+	var sumLight, sumHeavy float64
+	const reps = 200
+	for i := 0; i < reps; i++ {
+		if err := light.BatchMeanWait(s, out); err != nil {
+			t.Fatal(err)
+		}
+		sumLight += out[0]
+		if err := heavy.BatchMeanWait(s, out); err != nil {
+			t.Fatal(err)
+		}
+		sumHeavy += out[0]
+	}
+	if sumHeavy <= sumLight {
+		t.Fatalf("heavy load mean %g not above light %g", sumHeavy/reps, sumLight/reps)
+	}
+}
+
+func BenchmarkBatchMeanWait(b *testing.B) {
+	q := MM1{Lambda: 0.6, Mu: 1, Warmup: 100, Batch: 100}
+	s := stream(b)
+	out := make([]float64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.BatchMeanWait(s, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

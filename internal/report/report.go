@@ -1,0 +1,95 @@
+// Package report renders the library's statistical reports as text —
+// the human-readable counterpart of the func.dat / func_ci.dat /
+// func_log.dat files, shared by the command-line tools.
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"parmonc/internal/stat"
+)
+
+// Summary writes the one-screen overview a run prints on completion:
+// volumes, error bounds, timing.
+func Summary(w io.Writer, rep stat.Report) error {
+	lines := []struct {
+		label string
+		value string
+	}{
+		{"matrix", fmt.Sprintf("%d×%d", rep.Nrow, rep.Ncol)},
+		{"total sample volume", fmt.Sprintf("%d", rep.N)},
+		{"confidence coefficient", fmt.Sprintf("%g", rep.Gamma)},
+		{"mean time per realization", rep.MeanSimTime.Round(time.Nanosecond).String()},
+		{"max absolute error", fmt.Sprintf("%g", rep.MaxAbsErr)},
+		{"max relative error", fmt.Sprintf("%g%%", rep.MaxRelErr)},
+		{"max variance", fmt.Sprintf("%g", rep.MaxVar)},
+	}
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(w, "%-28s %s\n", l.label, l.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table writes the means with their absolute errors as an aligned
+// table, at most maxRows rows (0 = all); a truncation notice follows if
+// rows were omitted.
+func Table(w io.Writer, rep stat.Report, maxRows int) error {
+	rows := rep.Nrow
+	truncated := 0
+	if maxRows > 0 && rows > maxRows {
+		truncated = rows - maxRows
+		rows = maxRows
+	}
+	if _, err := fmt.Fprintf(w, "%6s", "row"); err != nil {
+		return err
+	}
+	for j := 0; j < rep.Ncol; j++ {
+		if _, err := fmt.Fprintf(w, "  %24s", fmt.Sprintf("col %d (mean ± 3σ/√L)", j+1)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := fmt.Fprintf(w, "%6d", i+1); err != nil {
+			return err
+		}
+		for j := 0; j < rep.Ncol; j++ {
+			cell := fmt.Sprintf("%.6g ± %.3g", rep.MeanAt(i, j), rep.AbsErrAt(i, j))
+			if _, err := fmt.Fprintf(w, "  %24s", cell); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if truncated > 0 {
+		if _, err := fmt.Fprintf(w, "... %d more rows in func.dat\n", truncated); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compare writes per-experiment means side by side with the pooled
+// estimate for entry (i, j) — the multi-experiment validation view.
+func Compare(w io.Writer, reports []stat.Report, combined stat.Report, i, j int) error {
+	if _, err := fmt.Fprintf(w, "entry (%d,%d):\n", i+1, j+1); err != nil {
+		return err
+	}
+	for k, rep := range reports {
+		if _, err := fmt.Fprintf(w, "  experiment %-3d  %.6g ± %.3g  (L = %d)\n",
+			k, rep.MeanAt(i, j), rep.AbsErrAt(i, j), rep.N); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  pooled          %.6g ± %.3g  (L = %d)\n",
+		combined.MeanAt(i, j), combined.AbsErrAt(i, j), combined.N)
+	return err
+}

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"parmonc/internal/stat"
+)
+
+func sampleReport(t *testing.T, nrow, ncol int) stat.Report {
+	t.Helper()
+	a := stat.New(nrow, ncol)
+	row := make([]float64, nrow*ncol)
+	for i := range row {
+		row[i] = float64(i + 1)
+	}
+	if err := a.AddTimed(row, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for i := range row {
+		row[i] = float64(i + 2)
+	}
+	if err := a.AddTimed(row, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	return a.Report(3)
+}
+
+func TestSummaryContents(t *testing.T) {
+	var sb strings.Builder
+	if err := Summary(&sb, sampleReport(t, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"2×2", "total sample volume", "2\n", "max relative error", "1ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAllRows(t *testing.T) {
+	var sb strings.Builder
+	if err := Table(&sb, sampleReport(t, 3, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "\n"); got != 4 { // header + 3 rows
+		t.Fatalf("line count %d:\n%s", got, out)
+	}
+	if strings.Contains(out, "more rows") {
+		t.Fatal("unexpected truncation notice")
+	}
+}
+
+func TestTableTruncation(t *testing.T) {
+	var sb strings.Builder
+	if err := Table(&sb, sampleReport(t, 10, 1), 4); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "... 6 more rows") {
+		t.Fatalf("missing truncation notice:\n%s", out)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	r1 := sampleReport(t, 1, 1)
+	r2 := sampleReport(t, 1, 1)
+	comb := sampleReport(t, 1, 1)
+	var sb strings.Builder
+	if err := Compare(&sb, []stat.Report{r1, r2}, comb, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "experiment 0") || !strings.Contains(out, "pooled") {
+		t.Fatalf("compare output incomplete:\n%s", out)
+	}
+}

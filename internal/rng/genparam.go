@@ -1,0 +1,167 @@
+package rng
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"parmonc/internal/u128"
+)
+
+// GenparamFile is the name of the parameter file the genparam command
+// writes into the user's working directory (Sec. 3.5 of the paper). When
+// present, the library uses the leap exponents and multipliers from this
+// file instead of the defaults.
+const GenparamFile = "parmonc_genparam.dat"
+
+// GenparamData is the content of a parmonc_genparam.dat file: the three
+// leap exponents chosen by the user and the corresponding leap
+// multipliers Â(n_e), Â(n_p), Â(n_r).
+type GenparamData struct {
+	Params      Params
+	ExpMult     u128.Uint128 // Â(n_e) = A^(2^ne) mod 2^128
+	ProcMult    u128.Uint128 // Â(n_p)
+	RealizeMult u128.Uint128 // Â(n_r)
+}
+
+// ComputeGenparam computes the leap multipliers for the given exponents,
+// validating the hierarchy invariants. This is the work of the paper's
+// `genparam ne np nr` command.
+func ComputeGenparam(ne, np, nr uint) (GenparamData, error) {
+	p, err := NewParams(ne, np, nr)
+	if err != nil {
+		return GenparamData{}, err
+	}
+	ae, ap, ar := p.Multipliers()
+	return GenparamData{Params: p, ExpMult: ae, ProcMult: ap, RealizeMult: ar}, nil
+}
+
+// WriteGenparam writes the parameter file into dir.
+func WriteGenparam(dir string, d GenparamData) error {
+	if err := d.Params.Validate(); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, GenparamFile)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("rng: writing genparam file: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# PARMONC parallel RNG leap parameters\n")
+	fmt.Fprintf(w, "ne %d\n", d.Params.ExperimentLeapLog2)
+	fmt.Fprintf(w, "np %d\n", d.Params.ProcessorLeapLog2)
+	fmt.Fprintf(w, "nr %d\n", d.Params.RealizationLeapLog2)
+	fmt.Fprintf(w, "Ane %s\n", d.ExpMult.Hex())
+	fmt.Fprintf(w, "Anp %s\n", d.ProcMult.Hex())
+	fmt.Fprintf(w, "Anr %s\n", d.RealizeMult.Hex())
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadGenparam reads the parameter file from dir and verifies that the
+// stored multipliers match the stored exponents (guarding against a
+// corrupted or hand-edited file that would silently produce overlapping
+// streams).
+func ReadGenparam(dir string) (GenparamData, error) {
+	path := filepath.Join(dir, GenparamFile)
+	f, err := os.Open(path)
+	if err != nil {
+		return GenparamData{}, err
+	}
+	defer f.Close()
+
+	var d GenparamData
+	fields := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return GenparamData{}, fmt.Errorf("rng: malformed line %q in %s", line, path)
+		}
+		fields[key] = strings.TrimSpace(val)
+	}
+	if err := sc.Err(); err != nil {
+		return GenparamData{}, err
+	}
+	exp := func(key string) (uint, error) {
+		v, ok := fields[key]
+		if !ok {
+			return 0, fmt.Errorf("rng: missing field %q in %s", key, path)
+		}
+		n, err := strconv.ParseUint(v, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("rng: bad %s value %q: %w", key, v, err)
+		}
+		return uint(n), nil
+	}
+	mult := func(key string) (u128.Uint128, error) {
+		v, ok := fields[key]
+		if !ok {
+			return u128.Zero, fmt.Errorf("rng: missing field %q in %s", key, path)
+		}
+		m, err := u128.ParseHex(v)
+		if err != nil {
+			return u128.Zero, fmt.Errorf("rng: bad %s value %q: %w", key, v, err)
+		}
+		return m, nil
+	}
+	ne, err := exp("ne")
+	if err != nil {
+		return GenparamData{}, err
+	}
+	np, err := exp("np")
+	if err != nil {
+		return GenparamData{}, err
+	}
+	nr, err := exp("nr")
+	if err != nil {
+		return GenparamData{}, err
+	}
+	d.Params, err = NewParams(ne, np, nr)
+	if err != nil {
+		return GenparamData{}, err
+	}
+	if d.ExpMult, err = mult("Ane"); err != nil {
+		return GenparamData{}, err
+	}
+	if d.ProcMult, err = mult("Anp"); err != nil {
+		return GenparamData{}, err
+	}
+	if d.RealizeMult, err = mult("Anr"); err != nil {
+		return GenparamData{}, err
+	}
+	ae, ap, ar := d.Params.Multipliers()
+	if !d.ExpMult.Eq(ae) || !d.ProcMult.Eq(ap) || !d.RealizeMult.Eq(ar) {
+		return GenparamData{}, fmt.Errorf("rng: multipliers in %s do not match exponents (file corrupted or edited)", path)
+	}
+	return d, nil
+}
+
+// LoadParams returns the Params from dir's genparam file if one exists,
+// or the defaults otherwise. This mirrors the paper's behaviour: "the
+// PARMONC routines use the multipliers' values from this file instead of
+// the default ones".
+func LoadParams(dir string) (Params, error) {
+	d, err := ReadGenparam(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return DefaultParams(), nil
+		}
+		return Params{}, err
+	}
+	return d.Params, nil
+}

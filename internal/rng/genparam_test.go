@@ -1,0 +1,161 @@
+package rng
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parmonc/internal/lcg"
+)
+
+func TestComputeGenparamDefaults(t *testing.T) {
+	d, err := ComputeGenparam(115, 98, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ExpMult.Eq(lcg.LeapMultiplierPow2(115)) {
+		t.Error("experiment multiplier mismatch")
+	}
+	if !d.ProcMult.Eq(lcg.LeapMultiplierPow2(98)) {
+		t.Error("processor multiplier mismatch")
+	}
+	if !d.RealizeMult.Eq(lcg.LeapMultiplierPow2(43)) {
+		t.Error("realization multiplier mismatch")
+	}
+}
+
+func TestComputeGenparamRejectsBad(t *testing.T) {
+	if _, err := ComputeGenparam(43, 98, 115); err == nil {
+		t.Fatal("expected nesting error")
+	}
+}
+
+func TestGenparamRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := ComputeGenparam(100, 80, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGenparam(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGenparam(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params != d.Params {
+		t.Fatalf("params: got %+v, want %+v", got.Params, d.Params)
+	}
+	if !got.ExpMult.Eq(d.ExpMult) || !got.ProcMult.Eq(d.ProcMult) || !got.RealizeMult.Eq(d.RealizeMult) {
+		t.Fatal("multipliers lost in round trip")
+	}
+}
+
+func TestReadGenparamDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	d, err := ComputeGenparam(100, 80, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGenparam(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, GenparamFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the stored exponent but not the multiplier.
+	tampered := strings.Replace(string(raw), "ne 100", "ne 99", 1)
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGenparam(dir); err == nil {
+		t.Fatal("expected corruption error")
+	}
+}
+
+func TestReadGenparamMalformed(t *testing.T) {
+	cases := map[string]string{
+		"missing field": "ne 100\nnp 80\n",
+		"bad exponent":  "ne abc\nnp 80\nnr 40\nAne 0\nAnp 0\nAnr 0\n",
+		"bad hex":       "ne 100\nnp 80\nnr 40\nAne zz\nAnp 0\nAnr 0\n",
+		"no separator":  "ne100\n",
+	}
+	for name, content := range cases {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, GenparamFile), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadGenparam(dir); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLoadParamsFallsBackToDefaults(t *testing.T) {
+	p, err := LoadParams(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != DefaultParams() {
+		t.Fatalf("got %+v, want defaults", p)
+	}
+}
+
+func TestLoadParamsUsesFile(t *testing.T) {
+	dir := t.TempDir()
+	d, err := ComputeGenparam(90, 70, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGenparam(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadParams(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != d.Params {
+		t.Fatalf("got %+v, want %+v", p, d.Params)
+	}
+}
+
+func FuzzReadGenparam(f *testing.F) {
+	good, err := ComputeGenparam(100, 80, 40)
+	if err != nil {
+		f.Fatal(err)
+	}
+	dir := f.TempDir()
+	if err := WriteGenparam(dir, good); err != nil {
+		f.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, GenparamFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(raw))
+	f.Add("")
+	f.Add("ne 10\nnp 5\nnr 2\nAne 0\nAnp 0\nAnr 0\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, content string) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, GenparamFile), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ReadGenparam(dir)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent: valid
+		// nesting and multipliers that match the exponents.
+		if err := d.Params.Validate(); err != nil {
+			t.Fatalf("accepted invalid params: %v", err)
+		}
+		ae, ap, ar := d.Params.Multipliers()
+		if !d.ExpMult.Eq(ae) || !d.ProcMult.Eq(ap) || !d.RealizeMult.Eq(ar) {
+			t.Fatal("accepted multipliers inconsistent with exponents")
+		}
+	})
+}

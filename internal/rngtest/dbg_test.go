@@ -1,0 +1,35 @@
+package rngtest
+
+import (
+	"math/big"
+	"testing"
+
+	"parmonc/internal/lcg"
+)
+
+// TestSpectral3DLibraryAcrossModuli sweeps the library multiplier's 3-D
+// spectral value over growing moduli: every value must be a valid
+// normalized merit, and the reduction must stay exact (non-degenerate)
+// all the way to the real period lattice m = 2^126.
+func TestSpectral3DLibraryAcrossModuli(t *testing.T) {
+	a := new(big.Int)
+	a.SetString(lcg.DefaultMultiplier.String(), 10)
+	for _, e := range []uint{20, 40, 60, 80, 100, 126} {
+		m := new(big.Int).Lsh(big.NewInt(1), e)
+		res, err := SpectralTest3D(a, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("m=2^%d: ν₃² bitlen=%d S₃=%.4f", e, res.Nu2Squared.BitLen(), res.S2)
+		if res.S2 <= 0 || res.S2 > 1 {
+			t.Fatalf("m=2^%d: S₃ = %g outside (0,1]", e, res.S2)
+		}
+		// ν₃ may not exceed the Hermite bound: ν₃² ≤ γ₃·(m²)^{2/3}.
+		// Equivalent check: S₃ ≤ 1 (already asserted); also require the
+		// reduced vector to be far below the trivial (0,m,0) vector.
+		trivial := new(big.Int).Mul(m, m)
+		if res.Nu2Squared.Cmp(trivial) >= 0 {
+			t.Fatalf("m=2^%d: reduction failed, ν₃² = %s ≥ m²", e, res.Nu2Squared)
+		}
+	}
+}

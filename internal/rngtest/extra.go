@@ -1,0 +1,82 @@
+package rngtest
+
+import (
+	"fmt"
+	"math"
+)
+
+// CollisionTest throws n balls into m ≫ n urns (derived from
+// consecutive samples) and compares the observed collision count with
+// its distribution under uniformity (Knuth 3.3.2.I). The statistic is
+// the normal approximation z of the collision count; for n²/(2m)
+// expected collisions the count is approximately Poisson.
+func CollisionTest(src Source, n, m int) (Verdict, error) {
+	if m < 16 {
+		return Verdict{}, fmt.Errorf("rngtest: urn count %d too small", m)
+	}
+	if n < 100 {
+		return Verdict{}, fmt.Errorf("rngtest: n = %d too small for collision test", n)
+	}
+	expected := float64(n) * float64(n) / (2 * float64(m))
+	if expected < 5 || expected > float64(n)/4 {
+		return Verdict{}, fmt.Errorf("rngtest: n=%d, m=%d gives %g expected collisions; pick parameters with 5 ≤ E ≤ n/4", n, m, expected)
+	}
+	urns := make(map[int]bool, n)
+	collisions := 0
+	for i := 0; i < n; i++ {
+		u := int(src.Float64() * float64(m))
+		if u == m {
+			u--
+		}
+		if urns[u] {
+			collisions++
+		} else {
+			urns[u] = true
+		}
+	}
+	// Collision count ≈ Poisson(expected) for sparse occupancy.
+	z := (float64(collisions) - expected) / math.Sqrt(expected)
+	return Verdict{Name: "collision", Stat: z, P: normalTailP(z), N: n}, nil
+}
+
+// MaximumOfT groups samples into n blocks of t and tests that the block
+// maxima follow the distribution F(x) = x^t, by transforming each
+// maximum through F (giving uniforms) and applying a chi-square test
+// with bins cells (Knuth 3.3.2.E).
+func MaximumOfT(src Source, n, t, bins int) (Verdict, error) {
+	if t < 2 {
+		return Verdict{}, fmt.Errorf("rngtest: block size %d must be >= 2", t)
+	}
+	if bins < 2 {
+		return Verdict{}, fmt.Errorf("rngtest: bins %d must be >= 2", bins)
+	}
+	if n < 10*bins {
+		return Verdict{}, fmt.Errorf("rngtest: n = %d blocks too small for %d bins", n, bins)
+	}
+	counts := make([]int, bins)
+	for i := 0; i < n; i++ {
+		maxV := 0.0
+		for j := 0; j < t; j++ {
+			if v := src.Float64(); v > maxV {
+				maxV = v
+			}
+		}
+		u := math.Pow(maxV, float64(t)) // uniform under H0
+		idx := int(u * float64(bins))
+		if idx == bins {
+			idx--
+		}
+		counts[idx]++
+	}
+	expected := float64(n) / float64(bins)
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	p, err := ChiSquareP(chi2, bins-1)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{Name: fmt.Sprintf("max-of-%d", t), Stat: chi2, P: p, N: n * t}, nil
+}

@@ -1,0 +1,134 @@
+package rngtest
+
+import (
+	"testing"
+
+	"parmonc/internal/lcg"
+	"parmonc/internal/rng"
+	"parmonc/internal/u128"
+)
+
+func TestCollisionLibraryPasses(t *testing.T) {
+	v, err := CollisionTest(libStream(t, rng.Coord{}), 20000, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass(alpha) {
+		t.Fatalf("library failed collision test: %s", v)
+	}
+}
+
+func TestCollisionDetectsCoarseSource(t *testing.T) {
+	// A source with only 256 distinct values slams the urns: vastly too
+	// many collisions.
+	coarse := &quantized{src: libStream(t, rng.Coord{}), levels: 256}
+	v, err := CollisionTest(coarse, 20000, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass(alpha) {
+		t.Fatalf("coarse source passed collision test: %s", v)
+	}
+}
+
+// quantized rounds a source down to a fixed number of levels.
+type quantized struct {
+	src    Source
+	levels int
+}
+
+func (q *quantized) Float64() float64 {
+	v := q.src.Float64()
+	return float64(int(v*float64(q.levels))) / float64(q.levels)
+}
+
+func TestCollisionParameterValidation(t *testing.T) {
+	s := libStream(t, rng.Coord{})
+	if _, err := CollisionTest(s, 10, 1<<24); err == nil {
+		t.Error("tiny n accepted")
+	}
+	if _, err := CollisionTest(s, 20000, 4); err == nil {
+		t.Error("tiny m accepted")
+	}
+	if _, err := CollisionTest(s, 1000, 1<<30); err == nil {
+		t.Error("starved expectation accepted")
+	}
+}
+
+func TestMaximumOfTLibraryPasses(t *testing.T) {
+	v, err := MaximumOfT(libStream(t, rng.Coord{Processor: 2}), 20000, 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass(alpha) {
+		t.Fatalf("library failed max-of-t: %s", v)
+	}
+}
+
+func TestMaximumOfTDetectsHalfRange(t *testing.T) {
+	v, err := MaximumOfT(brokenHalf{libStream(t, rng.Coord{})}, 20000, 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass(alpha) {
+		t.Fatalf("half-range source passed max-of-t: %s", v)
+	}
+}
+
+func TestMaximumOfTValidation(t *testing.T) {
+	s := libStream(t, rng.Coord{})
+	if _, err := MaximumOfT(s, 100, 1, 50); err == nil {
+		t.Error("block size 1 accepted")
+	}
+	if _, err := MaximumOfT(s, 100, 5, 1); err == nil {
+		t.Error("1 bin accepted")
+	}
+	if _, err := MaximumOfT(s, 10, 5, 50); err == nil {
+		t.Error("too few blocks accepted")
+	}
+}
+
+// blockSplit mimics the naive alternative to leapfrog substreams: give
+// each "processor" a contiguous block of the sequence starting right
+// where the previous one ended after a *fixed small* block. If blocks
+// are shorter than actual consumption, streams overlap — the failure
+// mode the PARMONC leap hierarchy is designed to rule out.
+func TestBlockSplitOverlapDetected(t *testing.T) {
+	// Two "processors" with block length 1000, but the first draws 2000
+	// numbers: its second thousand is exactly the second processor's
+	// first thousand. Cross-correlating the overlapping stretches must
+	// fail spectacularly.
+	mkGen := func(offset uint64) Source {
+		g := lcg.New()
+		g.SkipAhead(u128.From64(offset))
+		return genSource{g}
+	}
+	a := mkGen(1000) // processor 0's overflow region
+	b := mkGen(1000) // processor 1's assigned block — identical!
+	v, err := CrossCorrelation(a, b, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass(alpha) {
+		t.Fatalf("overlapping block split not detected: %s", v)
+	}
+
+	// The PARMONC leap hierarchy at the same consumption level stays
+	// independent: processor streams are 2^98 apart.
+	pa := libStream(t, rng.Coord{Processor: 0})
+	pb := libStream(t, rng.Coord{Processor: 1})
+	for i := 0; i < 2000; i++ {
+		pa.Float64() // heavy consumption on processor 0
+	}
+	v2, err := CrossCorrelation(pa, pb, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Pass(alpha) {
+		t.Fatalf("leap substreams correlated after heavy consumption: %s", v2)
+	}
+}
+
+type genSource struct{ g *lcg.Gen }
+
+func (s genSource) Float64() float64 { return s.g.Float64() }

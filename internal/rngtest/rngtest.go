@@ -1,0 +1,389 @@
+// Package rngtest is a battery of statistical tests for uniform random
+// number generators. The paper states that the PARMONC generator "was
+// verified on parallel processors using rigorous statistical testing";
+// this package reproduces that verification: classical empirical tests
+// (Knuth TAoCP vol. 2, 3.3) applied both within a stream and across the
+// parallel substreams the library hands to different processors.
+//
+// Every test returns a Verdict with the test statistic and its p-value
+// under the null hypothesis "the source is i.i.d. uniform on (0,1)". A
+// healthy generator produces p-values spread over (0,1); systematically
+// tiny p-values indicate failure. The package takes a Source, so the
+// same battery runs against the library generator, the 40-bit baseline
+// generator, and deliberately broken sources in tests.
+package rngtest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Source supplies base random numbers uniform on (0,1).
+type Source interface {
+	Float64() float64
+}
+
+// Verdict is the outcome of one statistical test.
+type Verdict struct {
+	Name string  // test identifier
+	Stat float64 // test statistic
+	P    float64 // p-value under the uniformity null
+	N    int     // sample size consumed
+}
+
+// Pass reports whether the verdict is consistent with uniformity at
+// significance level alpha (e.g. 0.001).
+func (v Verdict) Pass(alpha float64) bool { return v.P >= alpha }
+
+// String formats the verdict for reports.
+func (v Verdict) String() string {
+	return fmt.Sprintf("%-22s n=%-9d stat=%-12.4f p=%.6f", v.Name, v.N, v.Stat, v.P)
+}
+
+// ChiSquareUniformity bins n samples into bins equal cells and applies
+// the chi-square goodness-of-fit test against the uniform distribution.
+func ChiSquareUniformity(src Source, n, bins int) (Verdict, error) {
+	if bins < 2 {
+		return Verdict{}, fmt.Errorf("rngtest: bins %d must be >= 2", bins)
+	}
+	if n < 10*bins {
+		return Verdict{}, fmt.Errorf("rngtest: n = %d too small for %d bins (want >= %d)", n, bins, 10*bins)
+	}
+	counts := make([]int, bins)
+	for i := 0; i < n; i++ {
+		v := src.Float64()
+		idx := int(v * float64(bins))
+		if idx == bins {
+			idx--
+		}
+		if idx < 0 || idx >= bins {
+			return Verdict{}, fmt.Errorf("rngtest: sample %g outside [0,1)", v)
+		}
+		counts[idx]++
+	}
+	expected := float64(n) / float64(bins)
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	p, err := ChiSquareP(chi2, bins-1)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{Name: "chi2-uniformity", Stat: chi2, P: p, N: n}, nil
+}
+
+// KolmogorovSmirnov applies the one-sample KS test against U(0,1).
+func KolmogorovSmirnov(src Source, n int) (Verdict, error) {
+	if n < 100 {
+		return Verdict{}, fmt.Errorf("rngtest: n = %d too small for KS", n)
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.Float64()
+	}
+	sort.Float64s(xs)
+	var d float64
+	for i, x := range xs {
+		lo := x - float64(i)/float64(n)
+		hi := float64(i+1)/float64(n) - x
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	sqn := math.Sqrt(float64(n))
+	lambda := (sqn + 0.12 + 0.11/sqn) * d
+	return Verdict{Name: "kolmogorov-smirnov", Stat: d, P: KSProb(lambda), N: n}, nil
+}
+
+// SerialPairs applies the serial test: non-overlapping pairs
+// (α_{2i}, α_{2i+1}) must be uniform on the unit square. n is the number
+// of pairs; the square is divided into g×g cells.
+func SerialPairs(src Source, n, g int) (Verdict, error) {
+	if g < 2 {
+		return Verdict{}, fmt.Errorf("rngtest: grid %d must be >= 2", g)
+	}
+	cells := g * g
+	if n < 10*cells {
+		return Verdict{}, fmt.Errorf("rngtest: n = %d pairs too small for %d cells", n, cells)
+	}
+	counts := make([]int, cells)
+	for i := 0; i < n; i++ {
+		x := int(src.Float64() * float64(g))
+		y := int(src.Float64() * float64(g))
+		if x == g {
+			x--
+		}
+		if y == g {
+			y--
+		}
+		counts[x*g+y]++
+	}
+	expected := float64(n) / float64(cells)
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	p, err := ChiSquareP(chi2, cells-1)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{Name: "serial-pairs", Stat: chi2, P: p, N: 2 * n}, nil
+}
+
+// RunsUpDown counts maximal ascending/descending runs in n samples. For
+// i.i.d. continuous samples, the run count is asymptotically normal with
+// mean (2n−1)/3 and variance (16n−29)/90.
+func RunsUpDown(src Source, n int) (Verdict, error) {
+	if n < 1000 {
+		return Verdict{}, fmt.Errorf("rngtest: n = %d too small for runs test", n)
+	}
+	prev := src.Float64()
+	cur := src.Float64()
+	runs := 1
+	up := cur > prev
+	prev = cur
+	for i := 2; i < n; i++ {
+		cur = src.Float64()
+		nowUp := cur > prev
+		if nowUp != up {
+			runs++
+			up = nowUp
+		}
+		prev = cur
+	}
+	mean := (2*float64(n) - 1) / 3
+	variance := (16*float64(n) - 29) / 90
+	z := (float64(runs) - mean) / math.Sqrt(variance)
+	return Verdict{Name: "runs-up-down", Stat: z, P: normalTailP(z), N: n}, nil
+}
+
+// GapTest examines the gaps between successive visits to the interval
+// [a, b) ⊂ [0,1): gap lengths are geometric with p = b−a. It draws
+// samples until ngaps gaps are observed, with gaps of length ≥ maxGap
+// pooled into the final category.
+func GapTest(src Source, ngaps int, a, b float64, maxGap int) (Verdict, error) {
+	if !(0 <= a && a < b && b <= 1) {
+		return Verdict{}, fmt.Errorf("rngtest: invalid gap interval [%g, %g)", a, b)
+	}
+	if maxGap < 2 {
+		return Verdict{}, fmt.Errorf("rngtest: maxGap %d must be >= 2", maxGap)
+	}
+	if ngaps < 20*(maxGap+1) {
+		return Verdict{}, fmt.Errorf("rngtest: ngaps = %d too small for maxGap %d", ngaps, maxGap)
+	}
+	p := b - a
+	counts := make([]int, maxGap+1) // gap length 0..maxGap-1, plus >= maxGap
+	drawn := 0
+	for seen := 0; seen < ngaps; {
+		gap := 0
+		for {
+			v := src.Float64()
+			drawn++
+			if v >= a && v < b {
+				break
+			}
+			gap++
+			if drawn > 1000*ngaps {
+				return Verdict{}, fmt.Errorf("rngtest: gap test starving — source may avoid [%g,%g)", a, b)
+			}
+		}
+		if gap >= maxGap {
+			counts[maxGap]++
+		} else {
+			counts[gap]++
+		}
+		seen++
+	}
+	var chi2 float64
+	for g := 0; g < maxGap; g++ {
+		exp := float64(ngaps) * p * math.Pow(1-p, float64(g))
+		d := float64(counts[g]) - exp
+		chi2 += d * d / exp
+	}
+	expTail := float64(ngaps) * math.Pow(1-p, float64(maxGap))
+	d := float64(counts[maxGap]) - expTail
+	chi2 += d * d / expTail
+	pv, err := ChiSquareP(chi2, maxGap)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{Name: "gap", Stat: chi2, P: pv, N: drawn}, nil
+}
+
+// Autocorrelation estimates the lag-k autocorrelation of n samples; for
+// i.i.d. uniforms it is asymptotically N(0, 1/n).
+func Autocorrelation(src Source, n, lag int) (Verdict, error) {
+	if lag < 1 {
+		return Verdict{}, fmt.Errorf("rngtest: lag %d must be >= 1", lag)
+	}
+	if n < 1000+lag {
+		return Verdict{}, fmt.Errorf("rngtest: n = %d too small for lag %d", n, lag)
+	}
+	xs := make([]float64, n)
+	var mean float64
+	for i := range xs {
+		xs[i] = src.Float64()
+		mean += xs[i]
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n-lag; i++ {
+		num += (xs[i] - mean) * (xs[i+lag] - mean)
+	}
+	for i := 0; i < n; i++ {
+		den += (xs[i] - mean) * (xs[i] - mean)
+	}
+	if den == 0 {
+		return Verdict{Name: "autocorrelation", Stat: math.Inf(1), P: 0, N: n}, nil
+	}
+	r := num / den
+	z := r * math.Sqrt(float64(n-lag))
+	return Verdict{Name: "autocorrelation", Stat: z, P: normalTailP(z), N: n}, nil
+}
+
+// PermutationTest examines the relative ordering of non-overlapping
+// triples: all 6 orderings must be equally likely. n is the number of
+// triples.
+func PermutationTest(src Source, n int) (Verdict, error) {
+	if n < 120 {
+		return Verdict{}, fmt.Errorf("rngtest: n = %d triples too small", n)
+	}
+	counts := make([]int, 6)
+	for i := 0; i < n; i++ {
+		a, b, c := src.Float64(), src.Float64(), src.Float64()
+		counts[orderIndex(a, b, c)]++
+	}
+	expected := float64(n) / 6
+	var chi2 float64
+	for _, cnt := range counts {
+		d := float64(cnt) - expected
+		chi2 += d * d / expected
+	}
+	p, err := ChiSquareP(chi2, 5)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{Name: "permutation-3", Stat: chi2, P: p, N: 3 * n}, nil
+}
+
+// orderIndex maps the ordering pattern of (a,b,c) to 0..5. Ties have
+// probability zero for continuous sources and fold arbitrarily.
+func orderIndex(a, b, c float64) int {
+	switch {
+	case a <= b && b <= c:
+		return 0
+	case a <= c && c < b:
+		return 1
+	case b < a && a <= c:
+		return 2
+	case b <= c && c < a:
+		return 3
+	case c < a && a <= b:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// CrossCorrelation measures the sample correlation between two sources
+// (e.g. two processor substreams); for independent uniform streams it is
+// asymptotically N(0, 1/n). This is the key property the PARMONC
+// substream hierarchy must deliver: streams on different processors must
+// be independent.
+func CrossCorrelation(a, b Source, n int) (Verdict, error) {
+	if n < 1000 {
+		return Verdict{}, fmt.Errorf("rngtest: n = %d too small for cross-correlation", n)
+	}
+	var sa, sb, saa, sbb, sab float64
+	for i := 0; i < n; i++ {
+		x, y := a.Float64(), b.Float64()
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+	}
+	fn := float64(n)
+	cov := sab/fn - (sa/fn)*(sb/fn)
+	va := saa/fn - (sa/fn)*(sa/fn)
+	vb := sbb/fn - (sb/fn)*(sb/fn)
+	if va <= 0 || vb <= 0 {
+		return Verdict{Name: "cross-correlation", Stat: math.Inf(1), P: 0, N: 2 * n}, nil
+	}
+	r := cov / math.Sqrt(va*vb)
+	z := r * math.Sqrt(fn)
+	return Verdict{Name: "cross-correlation", Stat: z, P: normalTailP(z), N: 2 * n}, nil
+}
+
+// MomentsCheck verifies the first two moments: mean 1/2 and variance
+// 1/12, combining both deviations into a chi-square statistic with 2
+// degrees of freedom.
+func MomentsCheck(src Source, n int) (Verdict, error) {
+	if n < 1000 {
+		return Verdict{}, fmt.Errorf("rngtest: n = %d too small for moment check", n)
+	}
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := src.Float64()
+		sum += v
+		sum2 += v * v
+	}
+	fn := float64(n)
+	mean := sum / fn
+	m2 := sum2 / fn
+	// Var(mean) = 1/(12n); Var(m2 estimator) = (E α⁴ − (E α²)²)/n = (1/5 − 1/9)/n.
+	zMean := (mean - 0.5) / math.Sqrt(1.0/(12*fn))
+	zM2 := (m2 - 1.0/3) / math.Sqrt((1.0/5-1.0/9)/fn)
+	chi2 := zMean*zMean + zM2*zM2
+	p, err := ChiSquareP(chi2, 2)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{Name: "moments", Stat: chi2, P: p, N: n}, nil
+}
+
+// BatterySize is the number of tests Battery runs.
+const BatterySize = 7
+
+// Battery runs the full within-stream battery at size n and returns all
+// verdicts. Tests consume independent stretches of the source in
+// sequence.
+func Battery(src Source, n int) ([]Verdict, error) {
+	var out []Verdict
+	run := func(v Verdict, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, v)
+		return nil
+	}
+	if err := run(ChiSquareUniformity(src, n, 100)); err != nil {
+		return nil, err
+	}
+	if err := run(KolmogorovSmirnov(src, n)); err != nil {
+		return nil, err
+	}
+	if err := run(SerialPairs(src, n/2, 10)); err != nil {
+		return nil, err
+	}
+	if err := run(RunsUpDown(src, n)); err != nil {
+		return nil, err
+	}
+	if err := run(GapTest(src, n/4, 0, 0.5, 8)); err != nil {
+		return nil, err
+	}
+	if err := run(Autocorrelation(src, n, 1)); err != nil {
+		return nil, err
+	}
+	if err := run(MomentsCheck(src, n)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,297 @@
+package rngtest
+
+import (
+	"math"
+	"testing"
+
+	"parmonc/internal/rng"
+)
+
+const alpha = 1e-4 // significance for "must pass" assertions
+
+func libStream(t testing.TB, c rng.Coord) Source {
+	t.Helper()
+	s, err := rng.NewStream(rng.DefaultParams(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// brokenConst always returns the same value.
+type brokenConst struct{ v float64 }
+
+func (b brokenConst) Float64() float64 { return b.v }
+
+// brokenSaw returns a deterministic sawtooth — strongly autocorrelated.
+type brokenSaw struct{ i int }
+
+func (b *brokenSaw) Float64() float64 {
+	b.i++
+	return float64(b.i%100) / 100.0
+}
+
+// brokenHalf is uniform but only on (0, 0.5).
+type brokenHalf struct{ src Source }
+
+func (b brokenHalf) Float64() float64 { return b.src.Float64() / 2 }
+
+func TestChiSquarePKnownValues(t *testing.T) {
+	// χ²=0 → p=1; median of χ²(1) ≈ 0.455 → p ≈ 0.5.
+	p, err := ChiSquareP(0, 5)
+	if err != nil || math.Abs(p-1) > 1e-12 {
+		t.Fatalf("p(0) = %g, err %v", p, err)
+	}
+	p, err = ChiSquareP(0.455, 1)
+	if err != nil || math.Abs(p-0.5) > 0.01 {
+		t.Fatalf("p(median χ²₁) = %g", p)
+	}
+	// 95th percentile of χ²(10) is 18.307.
+	p, err = ChiSquareP(18.307, 10)
+	if err != nil || math.Abs(p-0.05) > 0.001 {
+		t.Fatalf("p(18.307; 10) = %g", p)
+	}
+	if _, err := ChiSquareP(1, 0); err == nil {
+		t.Fatal("dof 0: expected error")
+	}
+}
+
+func TestKSProbLimits(t *testing.T) {
+	if got := KSProb(0); got != 1 {
+		t.Fatalf("KSProb(0) = %g", got)
+	}
+	if got := KSProb(10); got > 1e-10 {
+		t.Fatalf("KSProb(10) = %g", got)
+	}
+	// Known value: Q_KS(1.0) ≈ 0.27.
+	if got := KSProb(1.0); math.Abs(got-0.27) > 0.01 {
+		t.Fatalf("KSProb(1) = %g", got)
+	}
+}
+
+func TestLibraryGeneratorPassesBattery(t *testing.T) {
+	verdicts, err := Battery(libStream(t, rng.Coord{}), 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != BatterySize {
+		t.Fatalf("battery ran %d tests, want %d", len(verdicts), BatterySize)
+	}
+	for _, v := range verdicts {
+		if !v.Pass(alpha) {
+			t.Errorf("FAILED %s", v)
+		}
+	}
+}
+
+func TestSubstreamsPassBattery(t *testing.T) {
+	// The paper's parallel claim: substreams handed to different
+	// processors are individually sound.
+	for _, c := range []rng.Coord{
+		{Processor: 1},
+		{Processor: 1000},
+		{Experiment: 5, Processor: 77},
+		{Processor: 3, Realization: 123456},
+	} {
+		verdicts, err := Battery(libStream(t, c), 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range verdicts {
+			if !v.Pass(alpha) {
+				t.Errorf("coord %+v: FAILED %s", c, v)
+			}
+		}
+	}
+}
+
+func TestCrossStreamIndependence(t *testing.T) {
+	// Streams on different processors must be uncorrelated; likewise
+	// different experiments and far-apart realizations.
+	pairs := [][2]rng.Coord{
+		{{Processor: 0}, {Processor: 1}},
+		{{Processor: 0}, {Processor: 65535}},
+		{{Experiment: 0}, {Experiment: 1}},
+		{{Realization: 0}, {Realization: 1}},
+		{{Processor: 2}, {Experiment: 1, Processor: 2}},
+	}
+	for _, pc := range pairs {
+		a := libStream(t, pc[0])
+		b := libStream(t, pc[1])
+		v, err := CrossCorrelation(a, b, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Pass(alpha) {
+			t.Errorf("streams %+v vs %+v: %s", pc[0], pc[1], v)
+		}
+	}
+}
+
+func TestConstSourceFailsUniformity(t *testing.T) {
+	v, err := ChiSquareUniformity(brokenConst{0.3}, 10000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass(alpha) {
+		t.Fatalf("constant source passed: %s", v)
+	}
+}
+
+func TestHalfRangeSourceFailsKS(t *testing.T) {
+	v, err := KolmogorovSmirnov(brokenHalf{libStream(t, rng.Coord{})}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass(alpha) {
+		t.Fatalf("half-range source passed KS: %s", v)
+	}
+}
+
+func TestSawtoothFailsAutocorrelation(t *testing.T) {
+	v, err := Autocorrelation(&brokenSaw{}, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass(alpha) {
+		t.Fatalf("sawtooth passed autocorrelation: %s", v)
+	}
+}
+
+func TestSawtoothFailsRuns(t *testing.T) {
+	v, err := RunsUpDown(&brokenSaw{}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass(alpha) {
+		t.Fatalf("sawtooth passed runs test: %s", v)
+	}
+}
+
+func TestIdenticalStreamsFailCrossCorrelation(t *testing.T) {
+	a := libStream(t, rng.Coord{Processor: 7})
+	b := libStream(t, rng.Coord{Processor: 7})
+	v, err := CrossCorrelation(a, b, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass(alpha) {
+		t.Fatalf("identical streams passed cross-correlation: %s", v)
+	}
+}
+
+func TestConstantSourceDegenerateCrossCorrelation(t *testing.T) {
+	v, err := CrossCorrelation(brokenConst{0.5}, brokenConst{0.5}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.P != 0 {
+		t.Fatalf("degenerate correlation p = %g, want 0", v.P)
+	}
+}
+
+func TestHalfRangeFailsMoments(t *testing.T) {
+	v, err := MomentsCheck(brokenHalf{libStream(t, rng.Coord{})}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass(alpha) {
+		t.Fatalf("half-range source passed moments: %s", v)
+	}
+}
+
+func TestGapTestDetectsAvoidance(t *testing.T) {
+	// A source that never lands in [0, 0.5) must make the gap test
+	// starve out with an error rather than loop forever.
+	if _, err := GapTest(brokenConst{0.9}, 2000, 0, 0.5, 8); err == nil {
+		t.Fatal("expected starvation error")
+	}
+}
+
+func TestPermutationBalanced(t *testing.T) {
+	v, err := PermutationTest(libStream(t, rng.Coord{Processor: 4}), 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass(alpha) {
+		t.Fatalf("library failed permutation test: %s", v)
+	}
+}
+
+func TestOrderIndexCoversAllSix(t *testing.T) {
+	cases := []struct {
+		a, b, c float64
+		want    int
+	}{
+		{1, 2, 3, 0},
+		{1, 3, 2, 1},
+		{2, 1, 3, 2},
+		{3, 1, 2, 3},
+		{2, 3, 1, 4},
+		{3, 2, 1, 5},
+	}
+	for _, c := range cases {
+		if got := orderIndex(c.a, c.b, c.c); got != c.want {
+			t.Errorf("orderIndex(%g,%g,%g) = %d, want %d", c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+func TestParameterValidation(t *testing.T) {
+	s := libStream(t, rng.Coord{})
+	if _, err := ChiSquareUniformity(s, 10, 100); err == nil {
+		t.Error("tiny n accepted")
+	}
+	if _, err := ChiSquareUniformity(s, 1000, 1); err == nil {
+		t.Error("1 bin accepted")
+	}
+	if _, err := KolmogorovSmirnov(s, 5); err == nil {
+		t.Error("tiny KS n accepted")
+	}
+	if _, err := SerialPairs(s, 5, 10); err == nil {
+		t.Error("tiny serial n accepted")
+	}
+	if _, err := RunsUpDown(s, 10); err == nil {
+		t.Error("tiny runs n accepted")
+	}
+	if _, err := GapTest(s, 10, 0.5, 0.2, 8); err == nil {
+		t.Error("inverted gap interval accepted")
+	}
+	if _, err := Autocorrelation(s, 10, 1); err == nil {
+		t.Error("tiny autocorrelation n accepted")
+	}
+	if _, err := Autocorrelation(s, 100000, 0); err == nil {
+		t.Error("lag 0 accepted")
+	}
+	if _, err := PermutationTest(s, 5); err == nil {
+		t.Error("tiny permutation n accepted")
+	}
+	if _, err := CrossCorrelation(s, s, 5); err == nil {
+		t.Error("tiny cross-correlation n accepted")
+	}
+	if _, err := MomentsCheck(s, 5); err == nil {
+		t.Error("tiny moments n accepted")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	v := Verdict{Name: "x", Stat: 1.5, P: 0.25, N: 100}
+	if v.String() == "" {
+		t.Fatal("empty string")
+	}
+	if !v.Pass(0.05) {
+		t.Fatal("p=0.25 should pass at 0.05")
+	}
+	if v.Pass(0.3) {
+		t.Fatal("p=0.25 should fail at 0.3")
+	}
+}
+
+func BenchmarkBattery100k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := libStream(b, rng.Coord{})
+		if _, err := Battery(s, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

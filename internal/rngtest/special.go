@@ -1,0 +1,133 @@
+package rngtest
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareP returns the upper-tail p-value P(X > x) for a chi-square
+// variable with k degrees of freedom: Q(k/2, x/2), the regularized upper
+// incomplete gamma function.
+func ChiSquareP(x float64, k int) (float64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("rngtest: chi-square dof %d must be positive", k)
+	}
+	if x < 0 {
+		return 1, nil
+	}
+	return regIncGammaQ(float64(k)/2, x/2)
+}
+
+// regIncGammaQ computes the regularized upper incomplete gamma function
+// Q(a, x) = Γ(a,x)/Γ(a) using the series for x < a+1 and the continued
+// fraction otherwise (Numerical Recipes 6.2).
+func regIncGammaQ(a, x float64) (float64, error) {
+	if a <= 0 {
+		return 0, fmt.Errorf("rngtest: gamma parameter a = %g must be positive", a)
+	}
+	if x < 0 {
+		return 0, fmt.Errorf("rngtest: gamma argument x = %g must be non-negative", x)
+	}
+	if x == 0 {
+		return 1, nil
+	}
+	if x < a+1 {
+		p, err := gammaSeriesP(a, x)
+		if err != nil {
+			return 0, err
+		}
+		return 1 - p, nil
+	}
+	return gammaContFracQ(a, x)
+}
+
+// gammaSeriesP computes P(a, x) by the power series.
+func gammaSeriesP(a, x float64) (float64, error) {
+	const (
+		maxIter = 1000
+		eps     = 1e-14
+	)
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			return sum * math.Exp(-x+a*math.Log(x)-lg), nil
+		}
+	}
+	return 0, fmt.Errorf("rngtest: gamma series did not converge for a=%g, x=%g", a, x)
+}
+
+// gammaContFracQ computes Q(a, x) by the modified Lentz continued
+// fraction.
+func gammaContFracQ(a, x float64) (float64, error) {
+	const (
+		maxIter = 1000
+		eps     = 1e-14
+		fpmin   = 1e-300
+	)
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			return math.Exp(-x+a*math.Log(x)-lg) * h, nil
+		}
+	}
+	return 0, fmt.Errorf("rngtest: gamma continued fraction did not converge for a=%g, x=%g", a, x)
+}
+
+// KSProb returns the asymptotic Kolmogorov–Smirnov tail probability
+// Q_KS(λ) = 2 Σ (−1)^{j−1} exp(−2 j² λ²).
+func KSProb(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	const eps1, eps2 = 1e-6, 1e-16
+	a2 := -2 * lambda * lambda
+	sum, fac, prevTerm := 0.0, 2.0, 0.0
+	for j := 1; j <= 100; j++ {
+		term := fac * math.Exp(a2*float64(j)*float64(j))
+		sum += term
+		if math.Abs(term) <= eps1*prevTerm || math.Abs(term) <= eps2*sum {
+			return clamp01(sum)
+		}
+		fac = -fac
+		prevTerm = math.Abs(term)
+	}
+	return 1 // failed to converge: no evidence against H0
+}
+
+// normalTailP returns the two-sided p-value of a standard normal z.
+func normalTailP(z float64) float64 {
+	return clamp01(math.Erfc(math.Abs(z) / math.Sqrt2))
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,127 @@
+package rngtest
+
+import (
+	"math/big"
+	"testing"
+
+	"parmonc/internal/lcg"
+)
+
+// bruteNu3 computes ν₃² for the consecutive-triples lattice by
+// exhaustive search — feasible ground truth for small moduli.
+func bruteNu3(a, m int64) int64 {
+	a2 := (a * a) % m
+	best := m * m // (0, m, 0) is in the lattice
+	reduce := func(v int64) int64 {
+		// representative of v mod m with smallest absolute value
+		v %= m
+		if v > m/2 {
+			v -= m
+		}
+		if v < -m/2 {
+			v += m
+		}
+		return v
+	}
+	for x := int64(1); x*x < best; x++ {
+		y := reduce(a * x)
+		z := reduce(a2 * x)
+		// For each coordinate also try the neighbour representative,
+		// since the closest may not be unique for even m.
+		for _, yy := range []int64{y, y - m, y + m} {
+			for _, zz := range []int64{z, z - m, z + m} {
+				n := x*x + yy*yy + zz*zz
+				if n < best {
+					best = n
+				}
+			}
+		}
+	}
+	return best
+}
+
+func TestSpectral3DMatchesBruteForce(t *testing.T) {
+	cases := []struct{ a, m int64 }{
+		{137, 256},
+		{21, 64},
+		{1229, 2048},
+		{4093, 16384},
+		{365, 1024},
+		{5, 512},
+	}
+	for _, c := range cases {
+		res, err := SpectralTest3D(big.NewInt(c.a), big.NewInt(c.m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteNu3(c.a, c.m)
+		if res.Nu2Squared.Int64() != want {
+			t.Errorf("a=%d m=%d: ν₃² = %s, brute force %d", c.a, c.m, res.Nu2Squared, want)
+		}
+	}
+}
+
+func TestSpectral3DValidation(t *testing.T) {
+	if _, err := SpectralTest3D(big.NewInt(5), big.NewInt(0)); err == nil {
+		t.Error("zero modulus accepted")
+	}
+	if _, err := SpectralTest3D(big.NewInt(64), big.NewInt(64)); err == nil {
+		t.Error("multiplier ≡ 0 accepted")
+	}
+}
+
+func TestSpectral3DSmallMultiplierIsBad(t *testing.T) {
+	// a = 5: triple (1, 5, 25) → ν₃² = 651, S₃ ≈ 0 for a large modulus.
+	m := new(big.Int).Lsh(big.NewInt(1), 30)
+	res, err := SpectralTest3D(big.NewInt(5), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nu2Squared.Int64() != 1+25+625 {
+		t.Fatalf("ν₃² = %s, want 651", res.Nu2Squared)
+	}
+	if res.S2 > 0.05 {
+		t.Fatalf("S₃ = %g for a tiny multiplier", res.S2)
+	}
+}
+
+func TestSpectral3DLibraryMultiplier(t *testing.T) {
+	a := new(big.Int)
+	a.SetString(lcg.DefaultMultiplier.String(), 10)
+	m := new(big.Int).Lsh(big.NewInt(1), 126)
+	res, err := SpectralTest3D(a, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("A = 5^101 mod 2^128: ν₃² = %s, S₃ = %.4f", res.Nu2Squared, res.S2)
+	if res.S2 < 0.1 {
+		t.Fatalf("library multiplier has degenerate 3-D spectral value S₃ = %g", res.S2)
+	}
+	if res.S2 > 1 {
+		t.Fatalf("S₃ = %g exceeds the Hermite bound", res.S2)
+	}
+}
+
+func TestSpectral3DNormalizedRangeSweep(t *testing.T) {
+	m := big.NewInt(4096)
+	for a := int64(3); a < 4096; a += 211 {
+		res, err := SpectralTest3D(big.NewInt(a), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.S2 <= 0 || res.S2 > 1 {
+			t.Fatalf("a=%d: S₃ = %g outside (0,1]", a, res.S2)
+		}
+	}
+}
+
+func BenchmarkSpectral3D128(b *testing.B) {
+	a := new(big.Int)
+	a.SetString(lcg.DefaultMultiplier.String(), 10)
+	m := new(big.Int).Lsh(big.NewInt(1), 126)
+	for i := 0; i < b.N; i++ {
+		if _, err := SpectralTest3D(a, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package rngtest
+
+import (
+	"math/big"
+	"testing"
+
+	"parmonc/internal/lcg"
+)
+
+// bruteNu2 computes ν₂² by exhaustive search over lattice points with
+// |x| ≤ m — feasible ground truth for small moduli.
+func bruteNu2(a, m int64) int64 {
+	best := m * m // (0, m) is always in the lattice
+	for x := int64(1); x <= m; x++ {
+		y := (a * x) % m
+		for _, yy := range []int64{y, y - m} {
+			n := x*x + yy*yy
+			if n < best {
+				best = n
+			}
+		}
+		if x*x >= best {
+			break // norms only grow beyond this x
+		}
+	}
+	return best
+}
+
+func TestSpectralMatchesBruteForce(t *testing.T) {
+	cases := []struct{ a, m int64 }{
+		{137, 256},
+		{3, 64},
+		{21, 64},
+		{4093, 16384},
+		{1229, 2048},
+		{5, 1024},
+	}
+	for _, c := range cases {
+		res, err := SpectralTest2D(big.NewInt(c.a), big.NewInt(c.m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteNu2(c.a, c.m)
+		if res.Nu2Squared.Int64() != want {
+			t.Errorf("a=%d m=%d: ν₂² = %s, brute force %d", c.a, c.m, res.Nu2Squared, want)
+		}
+	}
+}
+
+func TestSpectralValidation(t *testing.T) {
+	if _, err := SpectralTest2D(big.NewInt(5), big.NewInt(0)); err == nil {
+		t.Error("zero modulus accepted")
+	}
+	if _, err := SpectralTest2D(big.NewInt(0), big.NewInt(64)); err == nil {
+		t.Error("zero multiplier accepted")
+	}
+	if _, err := SpectralTest2D(big.NewInt(128), big.NewInt(64)); err == nil {
+		t.Error("multiplier ≡ 0 (mod m) accepted")
+	}
+	// Multipliers above m are reduced, not rejected.
+	big1, err := SpectralTest2D(big.NewInt(137+256), big.NewInt(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := SpectralTest2D(big.NewInt(137), big.NewInt(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big1.Nu2Squared.Cmp(small.Nu2Squared) != 0 {
+		t.Error("reduction mod m changed the lattice")
+	}
+}
+
+func TestSpectralSmallMultiplierIsBad(t *testing.T) {
+	// a = 5 mod 2^30: pairs lie on lines y = 5x, ν₂² = 26 → S₂ ≈ 0.
+	m := new(big.Int).Lsh(big.NewInt(1), 30)
+	res, err := SpectralTest2D(big.NewInt(5), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nu2Squared.Int64() != 26 {
+		t.Fatalf("ν₂² = %s, want 26", res.Nu2Squared)
+	}
+	if res.S2 > 0.01 {
+		t.Fatalf("S₂ = %g for a tiny multiplier; want ≈ 0", res.S2)
+	}
+}
+
+func TestSpectralLibraryMultiplier(t *testing.T) {
+	// The PARMONC multiplier A = 5^101 mod 2^128 against the period
+	// lattice m = 2^126. A structurally sound multiplier scores a
+	// non-degenerate S₂; tiny values would indicate lattice defects of
+	// the kind the spectral test exists to catch.
+	a := new(big.Int)
+	a.SetString(lcg.DefaultMultiplier.String(), 10)
+	m := new(big.Int).Lsh(big.NewInt(1), 126)
+	res, err := SpectralTest2D(a, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("A = 5^101 mod 2^128: ν₂² = %s, S₂ = %.4f", res.Nu2Squared, res.S2)
+	if res.S2 < 0.1 {
+		t.Fatalf("library multiplier has degenerate 2-D spectral value S₂ = %g", res.S2)
+	}
+	if res.S2 > 1 {
+		t.Fatalf("S₂ = %g exceeds the Hermite bound", res.S2)
+	}
+}
+
+func TestSpectralPerfectLattice(t *testing.T) {
+	// a/m chosen so pairs form a near-square lattice: a = 8, m = 65 has
+	// (1,8) and (-8, ...)? Instead verify upper bound: S₂ ≤ 1 for a
+	// sweep of multipliers.
+	m := big.NewInt(4096)
+	for a := int64(3); a < 4096; a += 137 {
+		res, err := SpectralTest2D(big.NewInt(a), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.S2 > 1 || res.S2 <= 0 {
+			t.Fatalf("a=%d: S₂ = %g outside (0,1]", a, res.S2)
+		}
+	}
+}
+
+func BenchmarkSpectral128(b *testing.B) {
+	a := new(big.Int)
+	a.SetString(lcg.DefaultMultiplier.String(), 10)
+	m := new(big.Int).Lsh(big.NewInt(1), 126)
+	for i := 0; i < b.N; i++ {
+		if _, err := SpectralTest2D(a, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package sde
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntegrateScalarValidation(t *testing.T) {
+	s := stream(t)
+	if _, err := IntegrateScalar(s, Scalar1D{}, Euler, 0.1, 1); err == nil {
+		t.Error("missing coefficients accepted")
+	}
+	sys := GBM(0.1, 0.2, 1)
+	if _, err := IntegrateScalar(s, sys, Euler, 0, 1); err == nil {
+		t.Error("zero mesh accepted")
+	}
+	if _, err := IntegrateScalar(s, sys, Euler, 0.1, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	noDeriv := sys
+	noDeriv.BPrime = nil
+	if _, err := IntegrateScalar(s, noDeriv, Milstein, 0.1, 1); err == nil {
+		t.Error("Milstein without derivative accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Euler.String() != "euler" || Milstein.String() != "milstein" {
+		t.Fatal("scheme names wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Fatal("unknown scheme unnamed")
+	}
+}
+
+func TestGBMWeakMean(t *testing.T) {
+	// E y(1) = y0·e^{μ} for GBM regardless of σ; both schemes must hit
+	// it within statistical error.
+	const (
+		mu, sigma, y0 = 0.5, 0.4, 1.0
+		h             = 0.01
+		n             = 40000
+	)
+	want := y0 * math.Exp(mu)
+	for _, scheme := range []Scheme{Euler, Milstein} {
+		s := stream(t)
+		var sum float64
+		for p := 0; p < n; p++ {
+			y, err := IntegrateScalar(s, GBM(mu, sigma, y0), scheme, h, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += y
+		}
+		got := sum / n
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("%s: E y(1) = %g, want %g", scheme, got, want)
+		}
+	}
+}
+
+func TestMilsteinStrongOrderBeatsEuler(t *testing.T) {
+	// At a fixed mesh the Milstein pathwise error on GBM must be well
+	// below Euler's (strong order 1 vs 1/2).
+	const (
+		mu, sigma, y0 = 0.2, 0.5, 1.0
+		h             = 0.01
+		n             = 2000
+	)
+	s1 := stream(t)
+	euler, err := StrongError(s1, mu, sigma, y0, Euler, h, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := stream(t)
+	milstein, err := StrongError(s2, mu, sigma, y0, Milstein, h, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if milstein >= euler/2 {
+		t.Fatalf("Milstein error %g not well below Euler %g", milstein, euler)
+	}
+}
+
+func TestStrongErrorHalvesWithMeshForMilstein(t *testing.T) {
+	// Strong order 1: halving h should roughly halve the error.
+	const (
+		mu, sigma, y0 = 0.2, 0.5, 1.0
+		n             = 4000
+	)
+	s1 := stream(t)
+	e1, err := StrongError(s1, mu, sigma, y0, Milstein, 0.02, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := stream(t)
+	e2, err := StrongError(s2, mu, sigma, y0, Milstein, 0.01, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := e1 / e2
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Fatalf("error ratio e(2h)/e(h) = %g, want ≈ 2", ratio)
+	}
+}
+
+func TestEulerStrongOrderHalf(t *testing.T) {
+	// Strong order 1/2: halving h shrinks the error by ≈ √2.
+	const (
+		mu, sigma, y0 = 0.2, 0.5, 1.0
+		n             = 4000
+	)
+	s1 := stream(t)
+	e1, err := StrongError(s1, mu, sigma, y0, Euler, 0.02, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := stream(t)
+	e2, err := StrongError(s2, mu, sigma, y0, Euler, 0.01, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := e1 / e2
+	if ratio < 1.2 || ratio > 1.7 {
+		t.Fatalf("error ratio e(2h)/e(h) = %g, want ≈ √2", ratio)
+	}
+}
+
+func TestStrongErrorValidation(t *testing.T) {
+	s := stream(t)
+	if _, err := StrongError(s, 0.1, 0.2, 1, Euler, 0.01, 1, 0); err == nil {
+		t.Error("zero paths accepted")
+	}
+	if _, err := StrongError(s, 0.1, 0.2, 1, Euler, 2, 1, 10); err == nil {
+		t.Error("mesh coarser than horizon accepted")
+	}
+}
+
+func BenchmarkMilsteinGBM(b *testing.B) {
+	s := stream(b)
+	sys := GBM(0.2, 0.5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := IntegrateScalar(s, sys, Milstein, 0.001, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package smoluchowski
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+)
+
+func stream(t testing.TB) *rng.Stream {
+	t.Helper()
+	s, err := rng.NewStream(rng.DefaultParams(), rng.Coord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func constSys(n0 int) System {
+	return System{N0: n0, Volume: float64(n0), Kernel: ConstantKernel(1), K0: 1}
+}
+
+func TestValidate(t *testing.T) {
+	if err := constSys(100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []System{
+		{N0: 1, Volume: 1, Kernel: ConstantKernel(1), K0: 1},
+		{N0: 10, Volume: 0, Kernel: ConstantKernel(1), K0: 1},
+		{N0: 10, Volume: 1, Kernel: nil, K0: 1},
+		{N0: 10, Volume: 1, Kernel: ConstantKernel(1), K0: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestClusterCountsArguments(t *testing.T) {
+	sys := constSys(10)
+	s := stream(t)
+	if err := sys.ClusterCounts(s, nil, nil); err == nil {
+		t.Error("empty times accepted")
+	}
+	if err := sys.ClusterCounts(s, []float64{1, 0.5}, make([]float64, 2)); err == nil {
+		t.Error("non-ascending times accepted")
+	}
+	if err := sys.ClusterCounts(s, []float64{-1, 0.5}, make([]float64, 2)); err == nil {
+		t.Error("negative time accepted")
+	}
+	if err := sys.ClusterCounts(s, []float64{1}, make([]float64, 2)); err == nil {
+		t.Error("mismatched out accepted")
+	}
+}
+
+func TestMonotoneNonIncreasingCounts(t *testing.T) {
+	sys := constSys(200)
+	times := []float64{0.5, 1, 2, 4, 8}
+	out := make([]float64, len(times))
+	s := stream(t)
+	for rep := 0; rep < 50; rep++ {
+		if err := sys.ClusterCounts(s, times, out); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i] > out[i-1] {
+				t.Fatalf("cluster count increased: %v", out)
+			}
+		}
+		if out[0] > float64(sys.N0) || out[len(out)-1] < 1 {
+			t.Fatalf("counts out of range: %v", out)
+		}
+	}
+}
+
+func TestConstantKernelMatchesMeanField(t *testing.T) {
+	// Run the full PARMONC pipeline and compare E M(t) with the
+	// mean-field solution N0/(1 + t/2) (n0 = 1). Finite-size corrections
+	// are O(1/N0), so with N0 = 500 a 3% tolerance is ample.
+	sys := constSys(500)
+	times := []float64{0.5, 1, 2, 4}
+	cfg := core.Config{
+		Nrow: len(times), Ncol: 1,
+		MaxSamples: 600,
+		Workers:    4,
+		WorkDir:    t.TempDir(),
+		PassPeriod: time.Millisecond,
+		AverPeriod: 2 * time.Millisecond,
+	}
+	res, err := core.Run(context.Background(), cfg, func(src *rng.Stream, out []float64) error {
+		return sys.ClusterCounts(src, times, out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range times {
+		want := sys.MeanClusters(tt)
+		got := res.Report.MeanAt(i, 0)
+		if math.Abs(got-want)/want > 0.03 {
+			t.Errorf("E M(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestAdditiveKernelRuns(t *testing.T) {
+	// Additive kernel with majorant 2·N0·k0 (max i+j = N0).
+	sys := System{N0: 100, Volume: 100, Kernel: AdditiveKernel(0.01), K0: 0.01 * 2 * 100}
+	out := make([]float64, 3)
+	if err := sys.ClusterCounts(stream(t), []float64{1, 2, 3}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[2] > out[0] {
+		t.Fatalf("counts increased: %v", out)
+	}
+}
+
+func TestKernelExceedingMajorantRejected(t *testing.T) {
+	sys := System{N0: 50, Volume: 50, Kernel: ConstantKernel(10), K0: 1}
+	out := make([]float64, 1)
+	if err := sys.ClusterCounts(stream(t), []float64{1}, out); err == nil {
+		t.Fatal("expected majorant violation error")
+	}
+}
+
+func TestFinalStateSingleCluster(t *testing.T) {
+	// At t → ∞ everything has coalesced into one cluster.
+	sys := constSys(50)
+	out := make([]float64, 1)
+	if err := sys.ClusterCounts(stream(t), []float64{1e9}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 {
+		t.Fatalf("final cluster count %g, want 1", out[0])
+	}
+}
+
+func BenchmarkClusterCounts500(b *testing.B) {
+	sys := constSys(500)
+	times := []float64{0.5, 1, 2, 4}
+	out := make([]float64, len(times))
+	s := stream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.ClusterCounts(s, times, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

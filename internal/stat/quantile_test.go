@@ -1,0 +1,105 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.8413447460685429, 1}, // Φ(1)
+		{0.9772498680518208, 2}, // Φ(2)
+		{0.9986501019683699, 3}, // Φ(3)
+		{0.975, 1.959963984540054},
+		{0.995, 2.5758293035489004},
+		{0.0013498980316301035, -3}, // Φ(-3)
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("NormalQuantile(%g) = %.15g, want %.15g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if got := NormalQuantile(0); !math.IsInf(got, -1) {
+		t.Errorf("NormalQuantile(0) = %g, want -Inf", got)
+	}
+	if got := NormalQuantile(1); !math.IsInf(got, 1) {
+		t.Errorf("NormalQuantile(1) = %g, want +Inf", got)
+	}
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if got := NormalQuantile(p); !math.IsNaN(got) {
+			t.Errorf("NormalQuantile(%g) = %g, want NaN", p, got)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	f := func(raw float64) bool {
+		// Map raw into a well-conditioned open interval.
+		p := 0.0001 + math.Mod(math.Abs(raw), 0.9998)
+		x := NormalQuantile(p)
+		return math.Abs(NormalCDF(x)-p) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalQuantileSymmetry(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.4} {
+		if got := NormalQuantile(p) + NormalQuantile(1-p); math.Abs(got) > 1e-12 {
+			t.Errorf("Φ⁻¹(%g)+Φ⁻¹(%g) = %g, want 0", p, 1-p, got)
+		}
+	}
+}
+
+func TestConfidenceCoefficientPaperValue(t *testing.T) {
+	// γ(0.997) ≈ 3 — the paper's "according to tables of a standard
+	// normal distribution, γ(λ) = 3 for λ = 0.997".
+	// The paper quotes the rounded table value; the exact coefficient
+	// for λ = 0.997 is 2.968, and γ = 3 corresponds to λ = 0.9973.
+	g, err := ConfidenceCoefficient(0.997)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-3) > 0.05 {
+		t.Fatalf("γ(0.997) = %g, want ≈ 3", g)
+	}
+	g3sigma, err := ConfidenceCoefficient(0.9973002039367398) // λ = P(|Z|<3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g3sigma-3) > 1e-9 {
+		t.Fatalf("γ(0.9973) = %.12g, want 3", g3sigma)
+	}
+	g95, err := ConfidenceCoefficient(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g95-1.96) > 0.001 {
+		t.Fatalf("γ(0.95) = %g, want ≈ 1.96", g95)
+	}
+}
+
+func TestConfidenceCoefficientRejectsBadLevel(t *testing.T) {
+	for _, l := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := ConfidenceCoefficient(l); err == nil {
+			t.Errorf("ConfidenceCoefficient(%g): expected error", l)
+		}
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	if got := NormalCDF(0); got != 0.5 {
+		t.Errorf("Φ(0) = %g", got)
+	}
+	if got := NormalCDF(1.959963984540054); math.Abs(got-0.975) > 1e-12 {
+		t.Errorf("Φ(1.96) = %g", got)
+	}
+}

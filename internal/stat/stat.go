@@ -1,0 +1,295 @@
+// Package stat implements the PARMONC sample-moment machinery of
+// Sec. 2.1–2.2 of the paper.
+//
+// A realization of a random object is a matrix [ζ_ij], 1 ≤ i ≤ nrow,
+// 1 ≤ j ≤ ncol. The library accumulates, per entry, the running sums
+// Σζ_ij and Σζ_ij² together with the sample volume L, from which it
+// computes
+//
+//   - the matrix of sample means        ζ̄_ij = L⁻¹ Σ ζ_ij,
+//   - the matrix of sample variances    σ̄²_ij = ξ̄_ij − ζ̄²_ij,
+//   - the matrix of absolute errors     ε_ij = γ(λ)·σ̄_ij·L^{-1/2},
+//   - the matrix of relative errors     ρ_ij = ε_ij/|ζ̄_ij|·100%,
+//
+// and the upper bounds ε_max, ρ_max, σ̄²_max over all entries. The default
+// confidence coefficient is γ = 3, corresponding to confidence level
+// λ = 0.997 of the normal distribution, exactly as in formula (3) of the
+// paper.
+//
+// Accumulators merge by adding sums and sample volumes (formula (5)),
+// which is what the collector processor does with the subtotal moments
+// pushed by workers, and what resumption does with the moments loaded
+// from a previous simulation's files.
+package stat
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// DefaultConfidenceCoefficient is γ(0.997) = 3, the paper's default.
+const DefaultConfidenceCoefficient = 3.0
+
+// Accumulator collects running first and second moments of a matrix-
+// valued random variable. The zero value is unusable; construct with
+// New. Accumulator is not safe for concurrent use: in the PARMONC
+// design each worker owns one and the collector owns one, merged via
+// snapshots.
+type Accumulator struct {
+	nrow, ncol int
+	sum        []float64 // Σ ζ_ij, row-major
+	sum2       []float64 // Σ ζ_ij², row-major
+	n          int64     // sample volume L
+	simTime    time.Duration
+}
+
+// New returns an empty accumulator for nrow×ncol realization matrices.
+// It panics if either dimension is not positive (a programming error,
+// not a runtime condition).
+func New(nrow, ncol int) *Accumulator {
+	if nrow <= 0 || ncol <= 0 {
+		panic(fmt.Sprintf("stat: invalid dimensions %d×%d", nrow, ncol))
+	}
+	return &Accumulator{
+		nrow: nrow,
+		ncol: ncol,
+		sum:  make([]float64, nrow*ncol),
+		sum2: make([]float64, nrow*ncol),
+	}
+}
+
+// Rows returns the number of realization matrix rows.
+func (a *Accumulator) Rows() int { return a.nrow }
+
+// Cols returns the number of realization matrix columns.
+func (a *Accumulator) Cols() int { return a.ncol }
+
+// N returns the accumulated sample volume L.
+func (a *Accumulator) N() int64 { return a.n }
+
+// SimTime returns the total simulation time accumulated via AddTimed.
+func (a *Accumulator) SimTime() time.Duration { return a.simTime }
+
+// Add accumulates one realization given as a row-major nrow×ncol slice.
+// It returns an error if the slice has the wrong length.
+func (a *Accumulator) Add(realization []float64) error {
+	if len(realization) != len(a.sum) {
+		return fmt.Errorf("stat: realization has %d entries, accumulator wants %d×%d=%d",
+			len(realization), a.nrow, a.ncol, len(a.sum))
+	}
+	for i, v := range realization {
+		a.sum[i] += v
+		a.sum2[i] += v * v
+	}
+	a.n++
+	return nil
+}
+
+// AddTimed accumulates one realization together with the wall time it
+// took to simulate, feeding the mean-time-per-realization statistic in
+// the log report.
+func (a *Accumulator) AddTimed(realization []float64, elapsed time.Duration) error {
+	if err := a.Add(realization); err != nil {
+		return err
+	}
+	a.simTime += elapsed
+	return nil
+}
+
+// Reset empties the accumulator in place, retaining dimensions.
+func (a *Accumulator) Reset() {
+	for i := range a.sum {
+		a.sum[i] = 0
+		a.sum2[i] = 0
+	}
+	a.n = 0
+	a.simTime = 0
+}
+
+// Snapshot is the serializable state of an accumulator: the subtotal
+// moments a worker pushes to the collector, and the on-disk checkpoint
+// format's payload.
+type Snapshot struct {
+	Nrow, Ncol int
+	Sum        []float64
+	Sum2       []float64
+	N          int64
+	SimTimeNS  int64
+}
+
+// Snapshot returns a deep copy of the accumulator state.
+func (a *Accumulator) Snapshot() Snapshot {
+	s := Snapshot{
+		Nrow:      a.nrow,
+		Ncol:      a.ncol,
+		Sum:       make([]float64, len(a.sum)),
+		Sum2:      make([]float64, len(a.sum2)),
+		N:         a.n,
+		SimTimeNS: int64(a.simTime),
+	}
+	copy(s.Sum, a.sum)
+	copy(s.Sum2, a.sum2)
+	return s
+}
+
+// Validate checks internal consistency of a snapshot (dimensions, slice
+// lengths, non-negative volume, finite moments).
+func (s Snapshot) Validate() error {
+	if s.Nrow <= 0 || s.Ncol <= 0 {
+		return fmt.Errorf("stat: snapshot has invalid dimensions %d×%d", s.Nrow, s.Ncol)
+	}
+	want := s.Nrow * s.Ncol
+	if len(s.Sum) != want || len(s.Sum2) != want {
+		return fmt.Errorf("stat: snapshot slices have lengths %d/%d, want %d", len(s.Sum), len(s.Sum2), want)
+	}
+	if s.N < 0 {
+		return fmt.Errorf("stat: snapshot has negative sample volume %d", s.N)
+	}
+	if s.SimTimeNS < 0 {
+		return fmt.Errorf("stat: snapshot has negative simulation time %d", s.SimTimeNS)
+	}
+	for i, v := range s.Sum {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("stat: snapshot Sum[%d] = %g is not finite", i, v)
+		}
+	}
+	for i, v := range s.Sum2 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("stat: snapshot Sum2[%d] = %g is not finite", i, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("stat: snapshot Sum2[%d] = %g is negative", i, v)
+		}
+	}
+	return nil
+}
+
+// FromSnapshot reconstructs an accumulator from a snapshot.
+func FromSnapshot(s Snapshot) (*Accumulator, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	a := New(s.Nrow, s.Ncol)
+	copy(a.sum, s.Sum)
+	copy(a.sum2, s.Sum2)
+	a.n = s.N
+	a.simTime = time.Duration(s.SimTimeNS)
+	return a, nil
+}
+
+// Merge adds the moments of a snapshot into the accumulator — formula
+// (5): ζ̄ = l⁻¹ Σ_m l_m ζ̄^(m) expressed on raw sums. Dimensions must
+// match.
+func (a *Accumulator) Merge(s Snapshot) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.Nrow != a.nrow || s.Ncol != a.ncol {
+		return fmt.Errorf("stat: cannot merge %d×%d snapshot into %d×%d accumulator",
+			s.Nrow, s.Ncol, a.nrow, a.ncol)
+	}
+	for i := range a.sum {
+		a.sum[i] += s.Sum[i]
+		a.sum2[i] += s.Sum2[i]
+	}
+	a.n += s.N
+	a.simTime += time.Duration(s.SimTimeNS)
+	return nil
+}
+
+// Report holds the derived statistics of an accumulator at a point in
+// time: the four matrices the paper saves to files plus their upper
+// bounds and timing information.
+type Report struct {
+	Nrow, Ncol int
+	N          int64     // total sample volume L
+	Mean       []float64 // ζ̄_ij, row-major
+	Var        []float64 // σ̄²_ij
+	AbsErr     []float64 // ε_ij = γ σ̄_ij L^{-1/2}
+	RelErr     []float64 // ρ_ij = ε_ij/|ζ̄_ij| · 100%
+
+	MaxAbsErr float64 // ε_max
+	MaxRelErr float64 // ρ_max
+	MaxVar    float64 // σ̄²_max
+
+	Gamma       float64       // confidence coefficient used
+	MeanSimTime time.Duration // mean computer time per realization (τ_ζ)
+}
+
+// Report computes the derived statistics with confidence coefficient γ
+// (use DefaultConfidenceCoefficient for the paper's 3σ intervals). With
+// L = 0 all matrices are zero and errors are zero.
+//
+// Relative error for a zero sample mean is reported as +Inf when the
+// absolute error is positive (the estimate carries no relative accuracy)
+// and 0 when the entry is identically zero.
+func (a *Accumulator) Report(gamma float64) Report {
+	r := Report{
+		Nrow:   a.nrow,
+		Ncol:   a.ncol,
+		N:      a.n,
+		Mean:   make([]float64, len(a.sum)),
+		Var:    make([]float64, len(a.sum)),
+		AbsErr: make([]float64, len(a.sum)),
+		RelErr: make([]float64, len(a.sum)),
+		Gamma:  gamma,
+	}
+	if a.n == 0 {
+		return r
+	}
+	l := float64(a.n)
+	sqrtL := math.Sqrt(l)
+	for i := range a.sum {
+		mean := a.sum[i] / l
+		second := a.sum2[i] / l
+		variance := second - mean*mean
+		if variance < 0 { // numerical noise for near-constant entries
+			variance = 0
+		}
+		abs := gamma * math.Sqrt(variance) / sqrtL
+		r.Mean[i] = mean
+		r.Var[i] = variance
+		r.AbsErr[i] = abs
+		switch {
+		case mean != 0:
+			r.RelErr[i] = abs / math.Abs(mean) * 100
+		case abs > 0:
+			r.RelErr[i] = math.Inf(1)
+		default:
+			r.RelErr[i] = 0
+		}
+		if r.AbsErr[i] > r.MaxAbsErr {
+			r.MaxAbsErr = r.AbsErr[i]
+		}
+		if r.RelErr[i] > r.MaxRelErr {
+			r.MaxRelErr = r.RelErr[i]
+		}
+		if r.Var[i] > r.MaxVar {
+			r.MaxVar = r.Var[i]
+		}
+	}
+	r.MeanSimTime = time.Duration(int64(a.simTime) / a.n)
+	return r
+}
+
+// At returns the row-major index of entry (i, j); it panics on
+// out-of-range indices (programming error).
+func (r Report) At(i, j int) int {
+	if i < 0 || i >= r.Nrow || j < 0 || j >= r.Ncol {
+		panic(fmt.Sprintf("stat: index (%d,%d) out of range %d×%d", i, j, r.Nrow, r.Ncol))
+	}
+	return i*r.Ncol + j
+}
+
+// MeanAt returns ζ̄_ij.
+func (r Report) MeanAt(i, j int) float64 { return r.Mean[r.At(i, j)] }
+
+// VarAt returns σ̄²_ij.
+func (r Report) VarAt(i, j int) float64 { return r.Var[r.At(i, j)] }
+
+// AbsErrAt returns ε_ij.
+func (r Report) AbsErrAt(i, j int) float64 { return r.AbsErr[r.At(i, j)] }
+
+// RelErrAt returns ρ_ij in percent.
+func (r Report) RelErrAt(i, j int) float64 { return r.RelErr[r.At(i, j)] }

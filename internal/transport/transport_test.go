@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+)
+
+func stream(t testing.TB) *rng.Stream {
+	t.Helper()
+	s, err := rng.NewStream(rng.DefaultParams(), rng.Coord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	good := Slab{Thickness: 1, SigmaT: 1, SigmaS: 0.5, Mu0: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Slab{
+		{Thickness: 0, SigmaT: 1, SigmaS: 0.5, Mu0: 1},
+		{Thickness: 1, SigmaT: 0, SigmaS: 0, Mu0: 1},
+		{Thickness: 1, SigmaT: 1, SigmaS: 2, Mu0: 1},
+		{Thickness: 1, SigmaT: 1, SigmaS: -1, Mu0: 1},
+		{Thickness: 1, SigmaT: 1, SigmaS: 0.5, Mu0: 0},
+		{Thickness: 1, SigmaT: 1, SigmaS: 0.5, Mu0: 1.5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestHistoryExactlyOneOutcome(t *testing.T) {
+	slab := Slab{Thickness: 2, SigmaT: 1, SigmaS: 0.8, Mu0: 1}
+	s := stream(t)
+	out := make([]float64, NOutcomes)
+	for i := 0; i < 10000; i++ {
+		for j := range out {
+			out[j] = 0
+		}
+		if err := slab.History(s, out); err != nil {
+			t.Fatal(err)
+		}
+		if sum := out[0] + out[1] + out[2]; sum != 1 {
+			t.Fatalf("outcome sum = %g, want 1 (%v)", sum, out)
+		}
+	}
+}
+
+func TestHistoryWrongOutLength(t *testing.T) {
+	slab := Slab{Thickness: 1, SigmaT: 1, Mu0: 1}
+	if err := slab.History(stream(t), make([]float64, 2)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestPureAbsorberMatchesExact(t *testing.T) {
+	// With no scattering the transmission probability is exactly
+	// exp(−Σ·T/μ₀); run the full pipeline and check the 3σ interval.
+	slab := Slab{Thickness: 2, SigmaT: 1, SigmaS: 0, Mu0: 1}
+	cfg := core.Config{
+		Nrow: 1, Ncol: NOutcomes,
+		MaxSamples: 50000,
+		Workers:    4,
+		WorkDir:    t.TempDir(),
+		PassPeriod: time.Millisecond,
+		AverPeriod: 2 * time.Millisecond,
+	}
+	res, err := core.Run(context.Background(), cfg, func(src *rng.Stream, out []float64) error {
+		return slab.History(src, out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := slab.UncollidedTransmission() // e^-2 ≈ 0.1353
+	got := res.Report.MeanAt(0, Transmitted)
+	if diff := math.Abs(got - want); diff > res.Report.AbsErrAt(0, Transmitted)*4/3 {
+		t.Fatalf("P(transmit) = %g, want %g ± %g", got, want, res.Report.AbsErrAt(0, Transmitted))
+	}
+	// A pure absorber with μ₀ > 0 never reflects.
+	if refl := res.Report.MeanAt(0, Reflected); refl != 0 {
+		t.Fatalf("P(reflect) = %g, want 0", refl)
+	}
+	// Conservation.
+	total := res.Report.MeanAt(0, 0) + res.Report.MeanAt(0, 1) + res.Report.MeanAt(0, 2)
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %g", total)
+	}
+}
+
+func TestScatteringIncreasesTransmissionOverUncollided(t *testing.T) {
+	// With scattering, some collided particles still cross, so the MC
+	// transmission exceeds the uncollided estimate.
+	slab := Slab{Thickness: 2, SigmaT: 1, SigmaS: 0.9, Mu0: 1}
+	s := stream(t)
+	out := make([]float64, NOutcomes)
+	trans := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		for j := range out {
+			out[j] = 0
+		}
+		if err := slab.History(s, out); err != nil {
+			t.Fatal(err)
+		}
+		if out[Transmitted] == 1 {
+			trans++
+		}
+	}
+	got := float64(trans) / n
+	if got <= slab.UncollidedTransmission() {
+		t.Fatalf("P(transmit) = %g not above uncollided %g", got, slab.UncollidedTransmission())
+	}
+}
+
+func TestObliqueIncidenceReducesTransmission(t *testing.T) {
+	straight := Slab{Thickness: 1, SigmaT: 1, SigmaS: 0, Mu0: 1.0}
+	oblique := Slab{Thickness: 1, SigmaT: 1, SigmaS: 0, Mu0: 0.5}
+	if oblique.UncollidedTransmission() >= straight.UncollidedTransmission() {
+		t.Fatal("oblique path should see more optical depth")
+	}
+}
+
+func TestCollisionCapTriggers(t *testing.T) {
+	// A pure scatterer with a tiny cap must hit the cap sometimes.
+	slab := Slab{Thickness: 100, SigmaT: 5, SigmaS: 5, Mu0: 1, MaxColl: 3}
+	s := stream(t)
+	out := make([]float64, NOutcomes)
+	sawErr := false
+	for i := 0; i < 1000 && !sawErr; i++ {
+		for j := range out {
+			out[j] = 0
+		}
+		if err := slab.History(s, out); err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("expected at least one capped history")
+	}
+}
+
+func BenchmarkHistory(b *testing.B) {
+	slab := Slab{Thickness: 2, SigmaT: 1, SigmaS: 0.8, Mu0: 1}
+	s := stream(b)
+	out := make([]float64, NOutcomes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out[0], out[1], out[2] = 0, 0, 0
+		if err := slab.History(s, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package u128
+
+import (
+	"math/big"
+	"testing"
+)
+
+func FuzzParseDecimal(f *testing.F) {
+	f.Add("0")
+	f.Add("1")
+	f.Add("340282366920938463463374607431768211455")
+	f.Add("340282366920938463463374607431768211456")
+	f.Add("00000000000000000000000000000000000000001")
+	f.Add("deadbeef")
+	f.Add("-1")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseDecimal(s)
+		if err != nil {
+			return
+		}
+		// Any accepted string must round-trip through big.Int and fit
+		// in 128 bits.
+		want, ok := new(big.Int).SetString(s, 10)
+		if !ok {
+			t.Fatalf("accepted %q that big.Int rejects", s)
+		}
+		if want.Sign() < 0 || want.BitLen() > 128 {
+			t.Fatalf("accepted out-of-range %q", s)
+		}
+		if got := toBig(v); got.Cmp(want) != 0 {
+			t.Fatalf("ParseDecimal(%q) = %s, want %s", s, got, want)
+		}
+	})
+}
+
+func FuzzParseHex(f *testing.F) {
+	f.Add("0")
+	f.Add("ffffffffffffffffffffffffffffffff")
+	f.Add("123456789abcdefABCDEF")
+	f.Add("xyz")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseHex(s)
+		if err != nil {
+			return
+		}
+		want, ok := new(big.Int).SetString(s, 16)
+		if !ok {
+			t.Fatalf("accepted %q that big.Int rejects", s)
+		}
+		if got := toBig(v); got.Cmp(want) != 0 {
+			t.Fatalf("ParseHex(%q) = %s, want %s", s, got, want)
+		}
+		// Round trip: formatting the value and reparsing must agree.
+		back, err := ParseHex(v.Hex())
+		if err != nil || !back.Eq(v) {
+			t.Fatalf("hex round trip failed for %q", s)
+		}
+	})
+}

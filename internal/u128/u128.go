@@ -1,0 +1,333 @@
+// Package u128 implements 128-bit unsigned integer arithmetic modulo 2^128.
+//
+// The PARMONC base generator (Marchenko, PaCT 2011, Sec. 2.4) is the
+// multiplicative congruential generator
+//
+//	u_{k+1} = u_k · A  (mod 2^128),  A = 5^101 (mod 2^128),
+//
+// so every operation the library needs — multiplication, exponentiation,
+// and conversion of states to floating point — is arithmetic in the ring
+// Z/2^128. This package provides exactly that ring, plus the parsing and
+// formatting needed to read and write generator parameter files.
+//
+// A Uint128 is a value type; all operations return new values and no
+// operation allocates.
+package u128
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Uint128 is an unsigned 128-bit integer. The zero value is 0.
+type Uint128 struct {
+	Hi uint64 // most significant 64 bits
+	Lo uint64 // least significant 64 bits
+}
+
+// Common small constants.
+var (
+	Zero = Uint128{}
+	One  = Uint128{Lo: 1}
+)
+
+// New returns the Uint128 with the given high and low 64-bit halves.
+func New(hi, lo uint64) Uint128 { return Uint128{Hi: hi, Lo: lo} }
+
+// From64 returns the Uint128 equal to x.
+func From64(x uint64) Uint128 { return Uint128{Lo: x} }
+
+// IsZero reports whether x == 0.
+func (x Uint128) IsZero() bool { return x.Hi == 0 && x.Lo == 0 }
+
+// Eq reports whether x == y.
+func (x Uint128) Eq(y Uint128) bool { return x.Hi == y.Hi && x.Lo == y.Lo }
+
+// Cmp returns -1, 0 or +1 according to whether x < y, x == y or x > y.
+func (x Uint128) Cmp(y Uint128) int {
+	switch {
+	case x.Hi != y.Hi:
+		if x.Hi < y.Hi {
+			return -1
+		}
+		return 1
+	case x.Lo != y.Lo:
+		if x.Lo < y.Lo {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Add returns x + y mod 2^128.
+func (x Uint128) Add(y Uint128) Uint128 {
+	lo, carry := bits.Add64(x.Lo, y.Lo, 0)
+	hi, _ := bits.Add64(x.Hi, y.Hi, carry)
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// Sub returns x - y mod 2^128.
+func (x Uint128) Sub(y Uint128) Uint128 {
+	lo, borrow := bits.Sub64(x.Lo, y.Lo, 0)
+	hi, _ := bits.Sub64(x.Hi, y.Hi, borrow)
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// Mul returns x · y mod 2^128.
+//
+// This is the core operation of the PARMONC generator: one 128×128→128
+// bit multiply per random number. It compiles to four 64-bit multiplies.
+func (x Uint128) Mul(y Uint128) Uint128 {
+	hi, lo := bits.Mul64(x.Lo, y.Lo)
+	hi += x.Hi*y.Lo + x.Lo*y.Hi
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// Lsh returns x << n mod 2^128. Shifts of 128 or more return zero.
+func (x Uint128) Lsh(n uint) Uint128 {
+	switch {
+	case n >= 128:
+		return Zero
+	case n >= 64:
+		return Uint128{Hi: x.Lo << (n - 64)}
+	case n == 0:
+		return x
+	default:
+		return Uint128{Hi: x.Hi<<n | x.Lo>>(64-n), Lo: x.Lo << n}
+	}
+}
+
+// Rsh returns x >> n. Shifts of 128 or more return zero.
+func (x Uint128) Rsh(n uint) Uint128 {
+	switch {
+	case n >= 128:
+		return Zero
+	case n >= 64:
+		return Uint128{Lo: x.Hi >> (n - 64)}
+	case n == 0:
+		return x
+	default:
+		return Uint128{Hi: x.Hi >> n, Lo: x.Lo>>n | x.Hi<<(64-n)}
+	}
+}
+
+// Bit returns the value of the i-th bit of x (bit 0 is least significant).
+// Bits at positions 128 and above are zero.
+func (x Uint128) Bit(i uint) uint {
+	switch {
+	case i >= 128:
+		return 0
+	case i >= 64:
+		return uint(x.Hi>>(i-64)) & 1
+	default:
+		return uint(x.Lo>>i) & 1
+	}
+}
+
+// BitLen returns the number of bits required to represent x; the bit
+// length of 0 is 0.
+func (x Uint128) BitLen() int {
+	if x.Hi != 0 {
+		return 128 - bits.LeadingZeros64(x.Hi)
+	}
+	return 64 - bits.LeadingZeros64(x.Lo)
+}
+
+// TrailingZeros returns the number of trailing zero bits in x;
+// TrailingZeros(0) is 128.
+func (x Uint128) TrailingZeros() int {
+	if x.Lo != 0 {
+		return bits.TrailingZeros64(x.Lo)
+	}
+	if x.Hi != 0 {
+		return 64 + bits.TrailingZeros64(x.Hi)
+	}
+	return 128
+}
+
+// Exp returns base^exp mod 2^128 by binary square-and-multiply.
+// By convention Exp(b, 0) == 1 for every b, including b == 0.
+func Exp(base Uint128, exp Uint128) Uint128 {
+	result := One
+	b := base
+	n := exp.BitLen()
+	for i := 0; i < n; i++ {
+		if exp.Bit(uint(i)) == 1 {
+			result = result.Mul(b)
+		}
+		b = b.Mul(b)
+	}
+	return result
+}
+
+// ExpUint returns base^exp mod 2^128 for a machine-word exponent.
+func ExpUint(base Uint128, exp uint64) Uint128 {
+	return Exp(base, From64(exp))
+}
+
+// ExpPow2 returns base^(2^k) mod 2^128, i.e. base squared k times.
+// For k >= 128 the result is base^(2^k) where the exponent wraps the
+// group order; callers pass k < 128 in practice (PARMONC leap lengths
+// are powers of two below the generator period).
+func ExpPow2(base Uint128, k uint) Uint128 {
+	r := base
+	for i := uint(0); i < k; i++ {
+		r = r.Mul(r)
+	}
+	return r
+}
+
+// Float64 returns x · 2^-128 as a float64 in [0, 1).
+//
+// This is the conversion the paper's rnd128 performs: the generator state
+// u_k interpreted as the base random number α_k = u_k·2^-r with r = 128.
+// The result is 0 only for x == 0, which the generator never produces
+// (states are odd).
+func (x Uint128) Float64() float64 {
+	const twoNeg64 = 1.0 / (1 << 32) / (1 << 32)
+	return (float64(x.Hi) + float64(x.Lo)*twoNeg64) * twoNeg64
+}
+
+// String returns the decimal representation of x.
+func (x Uint128) String() string {
+	if x.Hi == 0 {
+		return fmt.Sprintf("%d", x.Lo)
+	}
+	// Repeatedly divide by 10^19 (the largest power of ten below 2^64).
+	const chunk = 10_000_000_000_000_000_000
+	var parts []string
+	v := x
+	for v.Hi != 0 {
+		q, r := v.divmod64(chunk)
+		parts = append(parts, fmt.Sprintf("%019d", r))
+		v = q
+	}
+	parts = append(parts, fmt.Sprintf("%d", v.Lo))
+	// parts are little-endian chunks; reverse.
+	var sb strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		sb.WriteString(parts[i])
+	}
+	return sb.String()
+}
+
+// Hex returns the 32-digit zero-padded hexadecimal representation of x.
+func (x Uint128) Hex() string {
+	return fmt.Sprintf("%016x%016x", x.Hi, x.Lo)
+}
+
+// divmod64 returns (x / d, x mod d) for a 64-bit divisor d.
+func (x Uint128) divmod64(d uint64) (q Uint128, r uint64) {
+	if d == 0 {
+		panic("u128: division by zero")
+	}
+	qHi := x.Hi / d
+	rem := x.Hi % d
+	qLo, rem2 := bits.Div64(rem, x.Lo, d)
+	return Uint128{Hi: qHi, Lo: qLo}, rem2
+}
+
+// ParseDecimal parses a non-negative decimal integer into a Uint128.
+// It returns an error on empty input, non-digit characters, or overflow
+// past 2^128-1.
+func ParseDecimal(s string) (Uint128, error) {
+	if s == "" {
+		return Zero, fmt.Errorf("u128: empty decimal string")
+	}
+	var v Uint128
+	ten := From64(10)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return Zero, fmt.Errorf("u128: invalid decimal digit %q in %q", c, s)
+		}
+		// v = v*10 + digit, with overflow detection.
+		next := v.Mul(ten)
+		if next.Cmp(v) < 0 && !v.IsZero() {
+			return Zero, fmt.Errorf("u128: decimal %q overflows 128 bits", s)
+		}
+		// Detect v*10 overflow properly: v > (2^128-1)/10.
+		if v.Cmp(maxDiv10) > 0 {
+			return Zero, fmt.Errorf("u128: decimal %q overflows 128 bits", s)
+		}
+		d := From64(uint64(c - '0'))
+		sum := next.Add(d)
+		if sum.Cmp(next) < 0 {
+			return Zero, fmt.Errorf("u128: decimal %q overflows 128 bits", s)
+		}
+		v = sum
+	}
+	return v, nil
+}
+
+// maxDiv10 is (2^128 - 1) / 10.
+var maxDiv10 = Uint128{Hi: 0x1999999999999999, Lo: 0x9999999999999999}
+
+// ParseHex parses a hexadecimal string (without 0x prefix, up to 32
+// digits) into a Uint128.
+func ParseHex(s string) (Uint128, error) {
+	if s == "" || len(s) > 32 {
+		return Zero, fmt.Errorf("u128: hex string %q must have 1..32 digits", s)
+	}
+	var v Uint128
+	for i := 0; i < len(s); i++ {
+		var d uint64
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return Zero, fmt.Errorf("u128: invalid hex digit %q in %q", c, s)
+		}
+		v = v.Lsh(4).Add(From64(d))
+	}
+	return v, nil
+}
+
+// DivMod returns (x / y, x mod y) for y != 0, by binary long division.
+// It panics on division by zero (a programming error, like the built-in
+// integer division).
+func (x Uint128) DivMod(y Uint128) (q, r Uint128) {
+	if y.IsZero() {
+		panic("u128: division by zero")
+	}
+	if x.Cmp(y) < 0 {
+		return Zero, x
+	}
+	if y.Hi == 0 {
+		// Fast path via 64-bit divisor.
+		q, r64 := x.divmod64(y.Lo)
+		return q, From64(r64)
+	}
+	// Binary long division: y.Hi != 0, so the quotient fits in 64 bits
+	// and at most 64 iterations are needed.
+	shift := x.BitLen() - y.BitLen()
+	d := y.Lsh(uint(shift))
+	for i := shift; i >= 0; i-- {
+		q = q.Lsh(1)
+		if d.Cmp(x) <= 0 {
+			x = x.Sub(d)
+			q = q.Add(One)
+		}
+		d = d.Rsh(1)
+	}
+	return q, x
+}
+
+// Div returns x / y.
+func (x Uint128) Div(y Uint128) Uint128 {
+	q, _ := x.DivMod(y)
+	return q
+}
+
+// Mod returns x mod y.
+func (x Uint128) Mod(y Uint128) Uint128 {
+	_, r := x.DivMod(y)
+	return r
+}

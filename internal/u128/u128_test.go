@@ -1,0 +1,428 @@
+package u128
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// toBig converts a Uint128 to *big.Int for cross-checking.
+func toBig(x Uint128) *big.Int {
+	b := new(big.Int).SetUint64(x.Hi)
+	b.Lsh(b, 64)
+	return b.Add(b, new(big.Int).SetUint64(x.Lo))
+}
+
+// fromBig reduces a *big.Int mod 2^128 into a Uint128.
+func fromBig(b *big.Int) Uint128 {
+	m := new(big.Int).Mod(b, mod128())
+	lo := new(big.Int).And(m, new(big.Int).SetUint64(^uint64(0)))
+	hi := new(big.Int).Rsh(m, 64)
+	return Uint128{Hi: hi.Uint64(), Lo: lo.Uint64()}
+}
+
+func mod128() *big.Int {
+	return new(big.Int).Lsh(big.NewInt(1), 128)
+}
+
+// Generate makes Uint128 a quick.Generator so property tests draw
+// uniformly random 128-bit values.
+func (x Uint128) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(Uint128{Hi: r.Uint64(), Lo: r.Uint64()})
+}
+
+var _ quick.Generator = Uint128{}
+
+func TestAddMatchesBig(t *testing.T) {
+	f := func(x, y Uint128) bool {
+		got := x.Add(y)
+		want := fromBig(new(big.Int).Add(toBig(x), toBig(y)))
+		return got.Eq(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubMatchesBig(t *testing.T) {
+	f := func(x, y Uint128) bool {
+		got := x.Sub(y)
+		want := fromBig(new(big.Int).Sub(toBig(x), toBig(y)))
+		return got.Eq(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulMatchesBig(t *testing.T) {
+	f := func(x, y Uint128) bool {
+		got := x.Mul(y)
+		want := fromBig(new(big.Int).Mul(toBig(x), toBig(y)))
+		return got.Eq(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(x, y Uint128) bool { return x.Mul(y).Eq(y.Mul(x)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(x, y, z Uint128) bool { return x.Mul(y).Mul(z).Eq(x.Mul(y.Mul(z))) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(x, y Uint128) bool { return x.Add(y).Sub(y).Eq(x) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpMatchesBig(t *testing.T) {
+	f := func(base Uint128, e uint16) bool {
+		got := ExpUint(base, uint64(e))
+		want := fromBig(new(big.Int).Exp(toBig(base), big.NewInt(int64(e)), mod128()))
+		return got.Eq(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpZeroExponent(t *testing.T) {
+	for _, b := range []Uint128{Zero, One, New(^uint64(0), ^uint64(0)), From64(5)} {
+		if got := Exp(b, Zero); !got.Eq(One) {
+			t.Errorf("Exp(%v, 0) = %v, want 1", b, got)
+		}
+	}
+}
+
+func TestExpPow2MatchesExp(t *testing.T) {
+	base := From64(5)
+	for k := uint(0); k < 20; k++ {
+		want := Exp(base, One.Lsh(k))
+		got := ExpPow2(base, k)
+		if !got.Eq(want) {
+			t.Errorf("ExpPow2(5, %d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestExpAdditionLaw(t *testing.T) {
+	// base^(m+n) == base^m · base^n — the identity behind substream leaps.
+	f := func(base Uint128, m, n uint16) bool {
+		lhs := ExpUint(base, uint64(m)+uint64(n))
+		rhs := ExpUint(base, uint64(m)).Mul(ExpUint(base, uint64(n)))
+		return lhs.Eq(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	f := func(x Uint128, nRaw uint8) bool {
+		n := uint(nRaw) % 140
+		wantL := fromBig(new(big.Int).Lsh(toBig(x), n))
+		wantR := fromBig(new(big.Int).Rsh(toBig(x), n))
+		return x.Lsh(n).Eq(wantL) && x.Rsh(n).Eq(wantR)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBit(t *testing.T) {
+	x := New(0x8000000000000001, 0x0000000000000003)
+	cases := []struct {
+		i    uint
+		want uint
+	}{
+		{0, 1}, {1, 1}, {2, 0}, {63, 0}, {64, 1}, {65, 0}, {127, 1}, {128, 0}, {200, 0},
+	}
+	for _, c := range cases {
+		if got := x.Bit(c.i); got != c.want {
+			t.Errorf("Bit(%d) = %d, want %d", c.i, got, c.want)
+		}
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	cases := []struct {
+		x    Uint128
+		want int
+	}{
+		{Zero, 0},
+		{One, 1},
+		{From64(255), 8},
+		{New(1, 0), 65},
+		{New(1<<63, 0), 128},
+	}
+	for _, c := range cases {
+		if got := c.x.BitLen(); got != c.want {
+			t.Errorf("BitLen(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestTrailingZeros(t *testing.T) {
+	cases := []struct {
+		x    Uint128
+		want int
+	}{
+		{Zero, 128},
+		{One, 0},
+		{From64(8), 3},
+		{New(1, 0), 64},
+		{New(1<<5, 0), 69},
+	}
+	for _, c := range cases {
+		if got := c.x.TrailingZeros(); got != c.want {
+			t.Errorf("TrailingZeros(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestStringMatchesBig(t *testing.T) {
+	f := func(x Uint128) bool { return x.String() == toBig(x).String() }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringKnownValues(t *testing.T) {
+	cases := []struct {
+		x    Uint128
+		want string
+	}{
+		{Zero, "0"},
+		{One, "1"},
+		{From64(^uint64(0)), "18446744073709551615"},
+		{New(1, 0), "18446744073709551616"},
+		{New(^uint64(0), ^uint64(0)), "340282366920938463463374607431768211455"},
+	}
+	for _, c := range cases {
+		if got := c.x.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.x, got, c.want)
+		}
+	}
+}
+
+func TestParseDecimalRoundTrip(t *testing.T) {
+	f := func(x Uint128) bool {
+		v, err := ParseDecimal(x.String())
+		return err == nil && v.Eq(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDecimalErrors(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"12a",
+		"-5",
+		"340282366920938463463374607431768211456",  // 2^128
+		"9340282366920938463463374607431768211455", // way over
+	} {
+		if _, err := ParseDecimal(s); err == nil {
+			t.Errorf("ParseDecimal(%q): expected error", s)
+		}
+	}
+}
+
+func TestParseDecimalMax(t *testing.T) {
+	v, err := ParseDecimal("340282366920938463463374607431768211455")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Eq(New(^uint64(0), ^uint64(0))) {
+		t.Errorf("max parse = %v", v)
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	f := func(x Uint128) bool {
+		v, err := ParseHex(x.Hex())
+		return err == nil && v.Eq(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHexErrors(t *testing.T) {
+	for _, s := range []string{"", "xyz", "123456789012345678901234567890123"} {
+		if _, err := ParseHex(s); err == nil {
+			t.Errorf("ParseHex(%q): expected error", s)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(x Uint128) bool {
+		v := x.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64KnownValues(t *testing.T) {
+	if got := Zero.Float64(); got != 0 {
+		t.Errorf("0.Float64() = %g", got)
+	}
+	// 2^127 · 2^-128 = 0.5
+	if got := New(1<<63, 0).Float64(); got != 0.5 {
+		t.Errorf("2^127·2^-128 = %g, want 0.5", got)
+	}
+	// 2^64 · 2^-128 = 2^-64
+	if got := New(1, 0).Float64(); got != 1.0/(1<<32)/(1<<32) {
+		t.Errorf("2^64·2^-128 = %g", got)
+	}
+	// Smallest positive state value: strictly positive.
+	if got := One.Float64(); got <= 0 {
+		t.Errorf("1·2^-128 = %g, want > 0", got)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		x, y Uint128
+		want int
+	}{
+		{Zero, Zero, 0},
+		{One, Zero, 1},
+		{Zero, One, -1},
+		{New(1, 0), From64(^uint64(0)), 1},
+		{From64(^uint64(0)), New(1, 0), -1},
+		{New(2, 3), New(2, 3), 0},
+	}
+	for _, c := range cases {
+		if got := c.x.Cmp(c.y); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestDivmod64(t *testing.T) {
+	f := func(x Uint128, dRaw uint64) bool {
+		d := dRaw | 1 // avoid zero
+		q, r := x.divmod64(d)
+		bd := new(big.Int).SetUint64(d)
+		wantQ, wantR := new(big.Int).QuoRem(toBig(x), bd, new(big.Int))
+		return q.Eq(fromBig(wantQ)) && r == wantR.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivmodByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on division by zero")
+		}
+	}()
+	One.divmod64(0)
+}
+
+func BenchmarkMul(b *testing.B) {
+	x := New(0x0123456789abcdef, 0xfedcba9876543210)
+	y := New(0x0fedcba987654321, 0x123456789abcdef0)
+	for i := 0; i < b.N; i++ {
+		x = x.Mul(y)
+	}
+	benchSink = x
+}
+
+func BenchmarkExpPow2_115(b *testing.B) {
+	base := From64(5)
+	for i := 0; i < b.N; i++ {
+		benchSink = ExpPow2(base, 115)
+	}
+}
+
+var benchSink Uint128
+
+func TestDivModMatchesBig(t *testing.T) {
+	f := func(x, y Uint128) bool {
+		if y.IsZero() {
+			return true
+		}
+		q, r := x.DivMod(y)
+		wantQ, wantR := new(big.Int).QuoRem(toBig(x), toBig(y), new(big.Int))
+		return toBig(q).Cmp(wantQ) == 0 && toBig(r).Cmp(wantR) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivModSmallDivisorsMatchBig(t *testing.T) {
+	// Exercise the 64-bit fast path against big.Int.
+	f := func(x Uint128, yRaw uint64) bool {
+		y := From64(yRaw | 1)
+		q, r := x.DivMod(y)
+		wantQ, wantR := new(big.Int).QuoRem(toBig(x), toBig(y), new(big.Int))
+		return toBig(q).Cmp(wantQ) == 0 && toBig(r).Cmp(wantR) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivModIdentity(t *testing.T) {
+	// x == q·y + r with r < y.
+	f := func(x, y Uint128) bool {
+		if y.IsZero() {
+			return true
+		}
+		q, r := x.DivMod(y)
+		if r.Cmp(y) >= 0 {
+			return false
+		}
+		return q.Mul(y).Add(r).Eq(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivModEdgeCases(t *testing.T) {
+	max := New(^uint64(0), ^uint64(0))
+	if q := max.Div(One); !q.Eq(max) {
+		t.Fatalf("max/1 = %s", q)
+	}
+	if q := max.Div(max); !q.Eq(One) {
+		t.Fatalf("max/max = %s", q)
+	}
+	if r := One.Mod(max); !r.Eq(One) {
+		t.Fatalf("1 mod max = %s", r)
+	}
+	if q := Zero.Div(max); !q.IsZero() {
+		t.Fatalf("0/max = %s", q)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	One.DivMod(Zero)
+}

@@ -1,0 +1,225 @@
+package wos
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+)
+
+func stream(t testing.TB) *rng.Stream {
+	t.Helper()
+	s, err := rng.NewStream(rng.DefaultParams(), rng.Coord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func unitDisk() Disk { return Disk{Radius: 1} }
+
+func TestDiskGeometry(t *testing.T) {
+	d := Disk{Center: [2]float64{1, 2}, Radius: 3}
+	if !d.Contains([2]float64{1, 2}) {
+		t.Fatal("center not contained")
+	}
+	if d.Contains([2]float64{4.5, 2}) {
+		t.Fatal("exterior point contained")
+	}
+	if got := d.DistanceToBoundary([2]float64{1, 2}); got != 3 {
+		t.Fatalf("distance from center %g", got)
+	}
+	nb := d.NearestBoundary([2]float64{2, 2})
+	if math.Abs(nb[0]-4) > 1e-12 || math.Abs(nb[1]-2) > 1e-12 {
+		t.Fatalf("nearest boundary %v", nb)
+	}
+	// Center special case: any boundary point is fine; must be ON the
+	// boundary.
+	nbc := d.NearestBoundary([2]float64{1, 2})
+	if r := math.Hypot(nbc[0]-1, nbc[1]-2); math.Abs(r-3) > 1e-12 {
+		t.Fatalf("center nearest-boundary radius %g", r)
+	}
+}
+
+func TestSolverValidation(t *testing.T) {
+	g := func(p [2]float64) float64 { return 0 }
+	bad := []Solver{
+		{Domain: nil, Boundary: g},
+		{Domain: unitDisk(), Boundary: nil},
+		{Domain: unitDisk(), Boundary: g, Epsilon: -1},
+		{Domain: unitDisk(), Boundary: g, MaxSteps: -1},
+	}
+	for i, s := range bad {
+		out := make([]float64, 1)
+		if err := s.Walk(stream(t), [2]float64{0, 0}, out); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	good := Solver{Domain: unitDisk(), Boundary: g}
+	if err := good.Walk(stream(t), [2]float64{2, 0}, make([]float64, 1)); err == nil {
+		t.Error("exterior start accepted")
+	}
+	if err := good.Walk(stream(t), [2]float64{0, 0}, make([]float64, 2)); err == nil {
+		t.Error("wrong out length accepted")
+	}
+}
+
+func TestHarmonicBoundaryReproducedInside(t *testing.T) {
+	// g(x, y) = x² − y² is harmonic, so u(x₀) = g(x₀) exactly. Run the
+	// full pipeline at two interior points.
+	solver := Solver{
+		Domain:   unitDisk(),
+		Boundary: func(p [2]float64) float64 { return p[0]*p[0] - p[1]*p[1] },
+		Epsilon:  1e-4,
+	}
+	points := [][2]float64{{0.3, 0.2}, {-0.5, 0.4}}
+	for _, x0 := range points {
+		x0 := x0
+		cfg := core.Config{
+			Nrow: 1, Ncol: 1,
+			MaxSamples: 30000,
+			Workers:    4,
+			WorkDir:    t.TempDir(),
+			PassPeriod: time.Millisecond,
+			AverPeriod: 2 * time.Millisecond,
+		}
+		res, err := core.Run(context.Background(), cfg, func(src *rng.Stream, out []float64) error {
+			return solver.Walk(src, x0, out)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := x0[0]*x0[0] - x0[1]*x0[1]
+		got := res.Report.MeanAt(0, 0)
+		// ε-shell bias is O(ε); statistical bound dominates.
+		if math.Abs(got-want) > res.Report.AbsErrAt(0, 0)*4/3+1e-3 {
+			t.Errorf("u(%v) = %g, want %g ± %g", x0, got, want, res.Report.AbsErrAt(0, 0))
+		}
+	}
+}
+
+func TestMatchesPoissonKernelForNonHarmonicData(t *testing.T) {
+	// g(θ) = indicator of the upper half circle: u is not g's extension;
+	// compare against the Poisson kernel quadrature.
+	gTheta := func(theta float64) float64 {
+		if math.Sin(theta) > 0 {
+			return 1
+		}
+		return 0
+	}
+	solver := Solver{
+		Domain: unitDisk(),
+		Boundary: func(p [2]float64) float64 {
+			return gTheta(math.Atan2(p[1], p[0]))
+		},
+		Epsilon: 1e-4,
+	}
+	x0 := [2]float64{0.2, 0.3}
+	r := math.Hypot(x0[0], x0[1])
+	phi := math.Atan2(x0[1], x0[0])
+	want, err := PoissonKernelSolution(gTheta, r, phi, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := stream(t)
+	out := make([]float64, 1)
+	var sum float64
+	const n = 40000
+	for i := 0; i < n; i++ {
+		if err := solver.Walk(s, x0, out); err != nil {
+			t.Fatal(err)
+		}
+		sum += out[0]
+	}
+	got := sum / n
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("u = %g, Poisson kernel %g", got, want)
+	}
+}
+
+func TestCenterSolutionIsBoundaryAverage(t *testing.T) {
+	// At the disk center u = mean of g over the circle (mean value
+	// property). g(θ) = cos²θ has average 1/2.
+	solver := Solver{
+		Domain: unitDisk(),
+		Boundary: func(p [2]float64) float64 {
+			c := p[0] / math.Hypot(p[0], p[1])
+			return c * c
+		},
+	}
+	s := stream(t)
+	out := make([]float64, 1)
+	var sum float64
+	const n = 30000
+	for i := 0; i < n; i++ {
+		if err := solver.Walk(s, [2]float64{0, 0}, out); err != nil {
+			t.Fatal(err)
+		}
+		sum += out[0]
+	}
+	if got := sum / n; math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("u(0) = %g, want 1/2", got)
+	}
+}
+
+func TestPoissonKernelValidation(t *testing.T) {
+	g := func(theta float64) float64 { return 1 }
+	if _, err := PoissonKernelSolution(g, 1, 0, 100); err == nil {
+		t.Error("r = 1 accepted")
+	}
+	if _, err := PoissonKernelSolution(g, 0.5, 0, 2); err == nil {
+		t.Error("tiny quadrature accepted")
+	}
+	// Constant boundary data: u ≡ 1 everywhere.
+	u, err := PoissonKernelSolution(g, 0.7, 1.2, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-1) > 1e-6 {
+		t.Fatalf("u = %g for constant data", u)
+	}
+}
+
+func TestStepCapTriggers(t *testing.T) {
+	// From an off-center start each jump only shrinks the boundary
+	// distance geometrically, so a 2-step cap with a 1e-12 shell cannot
+	// be met (note: from the exact center one jump lands on the
+	// boundary, so the start must be off-center).
+	solver := Solver{
+		Domain:   unitDisk(),
+		Boundary: func(p [2]float64) float64 { return 0 },
+		Epsilon:  1e-12,
+		MaxSteps: 2,
+	}
+	out := make([]float64, 1)
+	sawErr := false
+	s := stream(t)
+	for i := 0; i < 100 && !sawErr; i++ {
+		if err := solver.Walk(s, [2]float64{0.3, 0.2}, out); err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("expected step-cap error")
+	}
+}
+
+func BenchmarkWalk(b *testing.B) {
+	solver := Solver{
+		Domain:   unitDisk(),
+		Boundary: func(p [2]float64) float64 { return p[0] },
+		Epsilon:  1e-4,
+	}
+	s := stream(b)
+	out := make([]float64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := solver.Walk(s, [2]float64{0.3, 0.2}, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package parmonc_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"parmonc"
+	"parmonc/dist"
+)
+
+func testConfig(dir string) parmonc.Config {
+	return parmonc.Config{
+		Nrow: 1, Ncol: 1,
+		MaxSamples: 10000,
+		Workers:    4,
+		WorkDir:    dir,
+		PassPeriod: time.Millisecond,
+		AverPeriod: 2 * time.Millisecond,
+	}
+}
+
+func TestPublicRunEstimatesPi(t *testing.T) {
+	res, err := parmonc.Run(context.Background(), testConfig(t.TempDir()),
+		func(src *parmonc.Stream, out []float64) error {
+			x, y := src.Float64(), src.Float64()
+			if x*x+y*y < 1 {
+				out[0] = 1
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 4 * res.Report.MeanAt(0, 0)
+	if math.Abs(got-math.Pi) > 4*res.Report.AbsErrAt(0, 0)*4/3 {
+		t.Fatalf("π ≈ %g outside tolerance", got)
+	}
+}
+
+func TestPublicRunFactoryWithDistSamplers(t *testing.T) {
+	// Estimate E X for X ~ Exp(2) using the public dist package — the
+	// "complex distributions by formula (2)" workflow.
+	res, err := parmonc.RunFactory(context.Background(), testConfig(t.TempDir()),
+		func(worker int) (parmonc.Realization, error) {
+			return func(src *parmonc.Stream, out []float64) error {
+				out[0] = dist.Exponential(src, 2)
+				return nil
+			}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Report.MeanAt(0, 0); math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("E X = %g, want 0.5", got)
+	}
+}
+
+func TestPublicManaverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(dir)
+	cfg.SaveWorkerSnapshots = true
+	cfg.StrictExchange = true
+	cfg.MaxSamples = 500
+	res, err := parmonc.Run(context.Background(), cfg,
+		func(src *parmonc.Stream, out []float64) error {
+			out[0] = src.Float64()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := parmonc.Manaver(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != res.Report.N {
+		t.Fatalf("manaver N = %d, run N = %d", rep.N, res.Report.N)
+	}
+}
+
+func TestPublicParamsAndStream(t *testing.T) {
+	p, err := parmonc.NewParams(100, 80, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := parmonc.NewStream(p, parmonc.Coord{Experiment: 1, Processor: 2, Realization: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.Float64()
+	if v <= 0 || v >= 1 {
+		t.Fatalf("draw %g", v)
+	}
+	if parmonc.DefaultParams().ExperimentLeapLog2 != 115 {
+		t.Fatal("default params wrong")
+	}
+}
+
+func TestPublicConfidenceCoefficient(t *testing.T) {
+	g, err := parmonc.ConfidenceCoefficient(0.9973002039367398)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-3) > 1e-9 {
+		t.Fatalf("γ = %g", g)
+	}
+}
+
+func TestPublicAccumulator(t *testing.T) {
+	a := parmonc.NewAccumulator(1, 1)
+	for i := 1; i <= 4; i++ {
+		if err := a.Add([]float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := a.Report(3)
+	if rep.MeanAt(0, 0) != 2.5 {
+		t.Fatalf("mean %g", rep.MeanAt(0, 0))
+	}
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	if parmonc.Version == "" {
+		t.Fatal("empty version")
+	}
+}
+
+// ExampleRun demonstrates the minimal PARMONC program: estimating E α
+// for α uniform on (0, 1).
+func ExampleRun() {
+	dir, err := os.MkdirTemp("", "parmonc-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	res, err := parmonc.Run(context.Background(), parmonc.Config{
+		Nrow: 1, Ncol: 1,
+		MaxSamples: 100000,
+		Workers:    2,
+		WorkDir:    dir,
+	}, func(src *parmonc.Stream, out []float64) error {
+		out[0] = src.Float64()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mean within 0.01 of 1/2: %v\n", math.Abs(res.Report.MeanAt(0, 0)-0.5) < 0.01)
+	// Output:
+	// mean within 0.01 of 1/2: true
+}
+
+// ExampleRunFactory shows a stateful realization routine (an integrator
+// with scratch buffers) safely instantiated once per worker.
+func ExampleRunFactory() {
+	dir, err := os.MkdirTemp("", "parmonc-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	res, err := parmonc.RunFactory(context.Background(), parmonc.Config{
+		Nrow: 1, Ncol: 1,
+		MaxSamples: 50000,
+		Workers:    2,
+		WorkDir:    dir,
+	}, func(worker int) (parmonc.Realization, error) {
+		scratch := make([]float64, 8) // per-worker state: no sharing
+		return func(src *parmonc.Stream, out []float64) error {
+			for i := range scratch {
+				scratch[i] = src.Float64()
+			}
+			// Estimate E max of 8 uniforms = 8/9.
+			m := 0.0
+			for _, v := range scratch {
+				if v > m {
+					m = v
+				}
+			}
+			out[0] = m
+			return nil
+		}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mean within 0.01 of 8/9: %v\n", math.Abs(res.Report.MeanAt(0, 0)-8.0/9) < 0.01)
+	// Output:
+	// mean within 0.01 of 8/9: true
+}
+
+// ExampleConfig_onSave demonstrates error-controlled termination: stop
+// as soon as the relative error falls below 2%.
+func ExampleConfig_onSave() {
+	dir, err := os.MkdirTemp("", "parmonc-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := parmonc.Run(ctx, parmonc.Config{
+		Nrow: 1, Ncol: 1,
+		MaxSamples: 0, // unbounded; accuracy decides
+		WorkDir:    dir,
+		PassPeriod: time.Millisecond,
+		AverPeriod: 2 * time.Millisecond,
+		OnSave: func(p parmonc.Progress) {
+			if p.N > 500 && p.MaxRelErr < 2.0 {
+				cancel()
+			}
+		},
+	}, func(src *parmonc.Stream, out []float64) error {
+		out[0] = src.Float64()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stopped by accuracy control: %v\n", res.Interrupted && res.Report.MaxRelErr < 2.5)
+	// Output:
+	// stopped by accuracy control: true
+}
