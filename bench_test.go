@@ -27,9 +27,12 @@ import (
 	"parmonc"
 	"parmonc/internal/baseline"
 	"parmonc/internal/clustersim"
+	"parmonc/internal/collect"
 	"parmonc/internal/core"
 	"parmonc/internal/lcg"
 	"parmonc/internal/sde"
+	"parmonc/internal/stat"
+	"parmonc/internal/store"
 )
 
 // benchPanel runs one Fig. 2 panel on the cluster simulator and reports
@@ -206,6 +209,45 @@ func BenchmarkCollectorMerge(b *testing.B) {
 		if err := total.Merge(snap); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCollectorPush measures the collector engine's push
+// throughput — validation, merge, liveness bookkeeping and metrics on
+// the hot path — at worker counts spanning the paper's range (1 to
+// 512). The engine runs in-memory, so this isolates the per-push cost
+// every transport pays, independent of I/O; compare with
+// BenchmarkCollectorMerge for the bare merge arithmetic.
+func BenchmarkCollectorPush(b *testing.B) {
+	for _, m := range []int{1, 64, 512} {
+		b.Run(fmt.Sprintf("workers=%d", m), func(b *testing.B) {
+			eng, err := collect.New(nil, store.RunMeta{
+				Nrow: 1000, Ncol: 2,
+				Gamma: stat.DefaultConfidenceCoefficient,
+			}, collect.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for w := 0; w < m; w++ {
+				eng.Register(w)
+			}
+			worker := stat.New(1000, 2)
+			row := make([]float64, 2000)
+			for i := range row {
+				row[i] = float64(i)
+			}
+			if err := worker.Add(row); err != nil {
+				b.Fatal(err)
+			}
+			snap := worker.Snapshot()
+			b.SetBytes(int64(16 * len(row))) // Sum + Sum2, 8 bytes each
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.Push(i%m, snap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -68,6 +70,52 @@ func TestCLIRunJSON(t *testing.T) {
 	// Files written into the working directory.
 	if _, err := os.Stat(filepath.Join(dir, "parmonc_data", "results", "func.dat")); err != nil {
 		t.Fatal("func.dat missing")
+	}
+}
+
+func TestCLIRunStats(t *testing.T) {
+	bin := buildCLI(t, "cmd/parmonc")
+	dir := t.TempDir()
+	out, err := runCLI(t, dir, bin, "run", "-workload", "pi", "-maxsv", "20000",
+		"-perpass", "5ms", "-peraver", "10ms", "-stats")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "collector statistics:") {
+		t.Fatalf("no statistics block in output:\n%s", out)
+	}
+	// The counters must be observable and non-zero for a completed run.
+	for _, key := range []string{"pushes", "merges", "saves"} {
+		m := regexp.MustCompile(`(?m)^` + key + `\s+(\d+)$`).FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("counter %q missing from stats output:\n%s", key, out)
+		}
+		if n, _ := strconv.Atoi(m[1]); n == 0 {
+			t.Fatalf("counter %q is zero:\n%s", key, out)
+		}
+	}
+	if !strings.Contains(out, "rejected_snapshots       0") {
+		t.Fatalf("expected zero rejected snapshots:\n%s", out)
+	}
+
+	// The same counters ride along in the JSON output.
+	out, err = runCLI(t, dir, bin, "run", "-workload", "pi", "-maxsv", "20000",
+		"-perpass", "5ms", "-peraver", "10ms", "-seqnum", "1", "-json", "-stats")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	var res struct {
+		Stats *struct {
+			Pushes int64 `json:"pushes"`
+			Merges int64 `json:"merges"`
+			Saves  int64 `json:"saves"`
+		} `json:"collector_stats"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if res.Stats == nil || res.Stats.Pushes == 0 || res.Stats.Merges == 0 || res.Stats.Saves == 0 {
+		t.Fatalf("collector_stats missing or zero: %+v\n%s", res.Stats, out)
 	}
 }
 

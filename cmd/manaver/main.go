@@ -13,14 +13,14 @@ import (
 	"fmt"
 	"os"
 
-	"parmonc/internal/core"
+	"parmonc/internal/collect"
 	"parmonc/internal/report"
 )
 
 func main() {
 	dir := flag.String("dir", ".", "working directory holding parmonc_data")
 	flag.Parse()
-	rep, err := core.Manaver(*dir)
+	rep, err := collect.Manaver(*dir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "manaver: %v\n", err)
 		os.Exit(1)

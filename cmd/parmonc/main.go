@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"parmonc/internal/cluster"
+	"parmonc/internal/collect"
 	"parmonc/internal/core"
 	"parmonc/internal/report"
 	"parmonc/internal/rng"
@@ -111,6 +112,7 @@ func cmdRun(args []string) error {
 	strict := fs.Bool("strict", false, "exchange after every realization (Fig. 2 conditions)")
 	snapshots := fs.Bool("worker-snapshots", true, "write per-worker snapshots for manaver")
 	jsonOut := fs.Bool("json", false, "emit the result as JSON on stdout")
+	stats := fs.Bool("stats", false, "print collector engine statistics (pushes, merges, saves, ...)")
 	fs.Parse(args)
 
 	w, err := lookupWorkload(*name)
@@ -138,10 +140,18 @@ func cmdRun(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return printJSON(result)
+		return printJSON(result, *stats)
 	}
 	printSummary(result, *dir)
+	if *stats {
+		printStats(result.Metrics)
+	}
 	return nil
+}
+
+func printStats(m collect.MetricsSnapshot) {
+	fmt.Println("\ncollector statistics:")
+	m.WriteTo(os.Stdout)
 }
 
 // jsonResult is the machine-readable run summary of the -json flag.
@@ -159,9 +169,24 @@ type jsonResult struct {
 	MaxRelErr   float64   `json:"max_rel_err_pct"`
 	ElapsedSec  float64   `json:"elapsed_seconds"`
 	Interrupted bool      `json:"interrupted"`
+
+	Stats *jsonStats `json:"collector_stats,omitempty"`
 }
 
-func printJSON(result core.Result) error {
+// jsonStats mirrors collect.MetricsSnapshot for the -json -stats output.
+type jsonStats struct {
+	Pushes            int64   `json:"pushes"`
+	Merges            int64   `json:"merges"`
+	RejectedSnapshots int64   `json:"rejected_snapshots"`
+	Saves             int64   `json:"saves"`
+	SaveLatencySec    float64 `json:"save_latency_seconds"`
+	WorkerSnapshots   int64   `json:"worker_snapshots"`
+	RegisteredWorkers int64   `json:"registered_workers"`
+	PrunedWorkers     int64   `json:"pruned_workers"`
+	ResumedSamples    int64   `json:"resumed_samples"`
+}
+
+func printJSON(result core.Result, stats bool) error {
 	rep := result.Report
 	out := jsonResult{
 		N:           rep.N,
@@ -176,6 +201,20 @@ func printJSON(result core.Result) error {
 		MaxRelErr:   rep.MaxRelErr,
 		ElapsedSec:  result.Elapsed.Seconds(),
 		Interrupted: result.Interrupted,
+	}
+	if stats {
+		m := result.Metrics
+		out.Stats = &jsonStats{
+			Pushes:            m.Pushes,
+			Merges:            m.Merges,
+			RejectedSnapshots: m.RejectedSnapshots,
+			Saves:             m.Saves,
+			SaveLatencySec:    m.SaveLatency.Seconds(),
+			WorkerSnapshots:   m.WorkerSnapshots,
+			RegisteredWorkers: m.RegisteredWorkers,
+			PrunedWorkers:     m.PrunedWorkers,
+			ResumedSamples:    m.ResumedSamples,
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -205,6 +244,7 @@ func cmdCoord(args []string) error {
 	peraver := fs.Duration("peraver", 2*time.Minute, "period of saving results")
 	passEvery := fs.Int64("pass-every", 100, "worker pushes after this many realizations")
 	snapshots := fs.Bool("worker-snapshots", true, "write per-worker snapshots for manaver")
+	stats := fs.Bool("stats", false, "print collector engine statistics after the job finishes")
 	fs.Parse(args)
 
 	w, err := lookupWorkload(*name)
@@ -245,6 +285,9 @@ func cmdCoord(args []string) error {
 	}
 	fmt.Printf("job finished: N = %d, max abs err %g, max rel err %g%%\n",
 		rep.N, rep.MaxAbsErr, rep.MaxRelErr)
+	if *stats {
+		printStats(coord.Status().Metrics)
+	}
 	return nil
 }
 

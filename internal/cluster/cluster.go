@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"parmonc/internal/collect"
 	"parmonc/internal/core"
 	"parmonc/internal/rng"
 	"parmonc/internal/stat"
@@ -103,26 +104,17 @@ type DoneReply struct{}
 // ServiceName is the RPC service name workers dial.
 const ServiceName = "Parmonc"
 
-// Coordinator is the rank-0 process: it assigns processor indices,
-// merges pushed moments and writes results files.
+// Coordinator is the rank-0 process: it assigns processor indices and
+// feeds pushed moments to the collector engine, which owns merging,
+// checkpointing and results files. The coordinator itself is only the
+// net/rpc transport.
 type Coordinator struct {
 	spec JobSpec
-	dir  *store.Dir
-	meta store.RunMeta
-
-	aver time.Duration
+	eng  *collect.Collector
 
 	mu        sync.Mutex
-	total     *stat.Accumulator
-	perWorker map[int]*stat.Accumulator // nil unless SaveWorkerSnapshots
-	baseN     int64
 	next      int // next processor index to hand out
-	active    map[int]bool
-	lastSeen  map[int]time.Time
-	pruned    int
 	stopped   bool
-	lastSave  time.Time
-	saveErr   error
 	completed chan struct{} // closed when target reached and all workers done
 
 	timeout    time.Duration
@@ -169,59 +161,29 @@ func NewCoordinator(spec JobSpec, cfg CoordinatorConfig, addr string) (*Coordina
 	if err != nil {
 		return nil, err
 	}
+	meta := store.RunMeta{
+		SeqNum:    spec.SeqNum,
+		Nrow:      spec.Nrow,
+		Ncol:      spec.Ncol,
+		MaxSV:     spec.MaxSamples,
+		Params:    spec.Params,
+		Gamma:     spec.Gamma,
+		StartedAt: time.Now(),
+	}
+	eng, err := collect.New(dir, meta, collect.Config{
+		Resume:              cfg.Resume,
+		AverPeriod:          cfg.AverPeriod,
+		SaveWorkerSnapshots: cfg.SaveWorkerSnapshots,
+	})
+	if err != nil {
+		return nil, err
+	}
 	c := &Coordinator{
-		spec: spec,
-		dir:  dir,
-		aver: cfg.AverPeriod,
-		meta: store.RunMeta{
-			SeqNum:    spec.SeqNum,
-			Nrow:      spec.Nrow,
-			Ncol:      spec.Ncol,
-			MaxSV:     spec.MaxSamples,
-			Params:    spec.Params,
-			Gamma:     spec.Gamma,
-			StartedAt: time.Now(),
-		},
-		total:      stat.New(spec.Nrow, spec.Ncol),
-		active:     map[int]bool{},
-		lastSeen:   map[int]time.Time{},
+		spec:       spec,
+		eng:        eng,
 		completed:  make(chan struct{}),
-		lastSave:   time.Now(),
 		timeout:    cfg.WorkerTimeout,
 		reaperStop: make(chan struct{}),
-	}
-	if cfg.SaveWorkerSnapshots {
-		c.perWorker = map[int]*stat.Accumulator{}
-	}
-	if cfg.Resume {
-		snap, prevMeta, err := dir.LoadCheckpoint()
-		if err != nil {
-			return nil, fmt.Errorf("cluster: resume: %w", err)
-		}
-		if prevMeta.Nrow != spec.Nrow || prevMeta.Ncol != spec.Ncol {
-			return nil, fmt.Errorf("cluster: previous run is %d×%d, this job is %d×%d",
-				prevMeta.Nrow, prevMeta.Ncol, spec.Nrow, spec.Ncol)
-		}
-		if prevMeta.SeqNum == spec.SeqNum {
-			return nil, fmt.Errorf("cluster: resume must change the experiments subsequence number (both %d)", spec.SeqNum)
-		}
-		if err := c.total.Merge(snap); err != nil {
-			return nil, err
-		}
-		c.baseN = c.total.N()
-	} else {
-		if err := dir.RemoveCheckpoint(); err != nil {
-			return nil, err
-		}
-		if err := dir.RemoveWorkerSnapshots(); err != nil {
-			return nil, err
-		}
-	}
-	if err := dir.SaveBaseCheckpoint(c.total.Snapshot(), c.meta); err != nil {
-		return nil, err
-	}
-	if err := dir.AppendExperiment(c.meta, cfg.Resume); err != nil {
-		return nil, err
 	}
 
 	c.server = rpc.NewServer()
@@ -249,15 +211,9 @@ func (c *Coordinator) reapLoop() {
 			return
 		case <-c.completed:
 			return
-		case now := <-tick.C:
+		case <-tick.C:
+			c.eng.PruneStale(c.timeout)
 			c.mu.Lock()
-			for w, seen := range c.lastSeen {
-				if c.active[w] && now.Sub(seen) > c.timeout {
-					delete(c.active, w)
-					delete(c.lastSeen, w)
-					c.pruned++
-				}
-			}
 			c.maybeCompleteLocked()
 			c.mu.Unlock()
 		}
@@ -266,9 +222,7 @@ func (c *Coordinator) reapLoop() {
 
 // PrunedWorkers reports how many workers were dropped for silence.
 func (c *Coordinator) PrunedWorkers() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.pruned
+	return int(c.eng.Metrics().PrunedWorkers)
 }
 
 // Addr returns the address workers should dial.
@@ -296,7 +250,7 @@ func (s *service) Register(args RegisterArgs, reply *RegisterReply) error {
 	if c.spec.Workload != "" && args.Workload != "" && args.Workload != c.spec.Workload {
 		return fmt.Errorf("cluster: worker runs workload %q but the job is %q", args.Workload, c.spec.Workload)
 	}
-	if c.stopped || c.targetReachedLocked() {
+	if c.stopped || c.eng.TargetReached() {
 		reply.Stop = true
 		reply.Spec = c.spec
 		return nil
@@ -306,85 +260,47 @@ func (s *service) Register(args RegisterArgs, reply *RegisterReply) error {
 	if err := c.spec.Params.CheckCoord(rng.Coord{Experiment: c.spec.SeqNum, Processor: uint64(w)}); err != nil {
 		return fmt.Errorf("cluster: out of processor subsequences: %w", err)
 	}
-	c.active[w] = true
-	c.lastSeen[w] = time.Now()
+	c.eng.Register(w)
 	reply.Worker = w
 	reply.Spec = c.spec
 	return nil
 }
 
-// Push merges a worker's subtotal moments.
+// Push merges a worker's subtotal moments through the collector engine,
+// which validates the snapshot before merging: a malformed or
+// wrong-dimension push is rejected with an error and cannot corrupt the
+// totals.
 func (s *service) Push(args PushArgs, reply *PushReply) error {
 	c := s.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.active[args.Worker] {
-		return fmt.Errorf("cluster: push from unknown worker %d", args.Worker)
-	}
-	c.lastSeen[args.Worker] = time.Now()
-	if err := c.total.Merge(args.Snap); err != nil {
+	if err := c.eng.Push(args.Worker, args.Snap); err != nil {
 		return err
 	}
-	if c.perWorker != nil {
-		acc, ok := c.perWorker[args.Worker]
-		if !ok {
-			acc = stat.New(c.spec.Nrow, c.spec.Ncol)
-			c.perWorker[args.Worker] = acc
-		}
-		if err := acc.Merge(args.Snap); err != nil {
-			return err
-		}
-		meta := c.meta
-		meta.Workers = c.next
-		if err := c.dir.SaveWorkerSnapshot(args.Worker, acc.Snapshot(), meta); err != nil {
-			return err
-		}
-	}
-	if time.Since(c.lastSave) >= c.aver {
-		c.saveLocked()
-	}
-	reply.Stop = c.stopped || c.targetReachedLocked()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reply.Stop = c.stopped || c.eng.TargetReached()
 	return nil
 }
 
 // Done releases a worker.
 func (s *service) Done(args DoneArgs, reply *DoneReply) error {
 	c := s.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.active[args.Worker] {
+	if err := c.eng.Deregister(args.Worker); err != nil {
 		return fmt.Errorf("cluster: done from unknown worker %d", args.Worker)
 	}
-	delete(c.active, args.Worker)
-	delete(c.lastSeen, args.Worker)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.maybeCompleteLocked()
 	return nil
 }
 
-func (c *Coordinator) targetReachedLocked() bool {
-	return c.spec.MaxSamples > 0 && c.total.N()-c.baseN >= c.spec.MaxSamples
-}
-
 func (c *Coordinator) maybeCompleteLocked() {
-	if len(c.active) == 0 && (c.stopped || c.targetReachedLocked()) {
+	if c.eng.Active() == 0 && (c.stopped || c.eng.TargetReached()) {
 		select {
 		case <-c.completed:
 		default:
 			close(c.completed)
 		}
 	}
-}
-
-func (c *Coordinator) saveLocked() {
-	meta := c.meta
-	meta.Workers = c.next
-	if err := c.dir.SaveResults(c.total.Report(c.spec.Gamma), meta); err != nil && c.saveErr == nil {
-		c.saveErr = err
-	}
-	if err := c.dir.SaveCheckpoint(c.total.Snapshot(), meta); err != nil && c.saveErr == nil {
-		c.saveErr = err
-	}
-	c.lastSave = time.Now()
 }
 
 // Stop tells all workers (at their next push) to stop, even if the
@@ -411,21 +327,35 @@ func (c *Coordinator) Wait(ctx context.Context) (stat.Report, error) {
 		case <-time.After(5 * time.Second):
 		}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.saveLocked()
-	if c.saveErr != nil {
-		return stat.Report{}, c.saveErr
-	}
-	return c.total.Report(c.spec.Gamma), nil
+	return c.eng.Finalize()
 }
 
 // N returns the current total sample volume (including any resumed
 // base).
-func (c *Coordinator) N() int64 {
+func (c *Coordinator) N() int64 { return c.eng.N() }
+
+// Status is a point-in-time view of the coordinator, including the
+// collector engine's metrics.
+type Status struct {
+	N             int64                   // total sample volume (incl. resumed base)
+	ActiveWorkers int                     // workers currently attached
+	Stopped       bool                    // Stop was called
+	TargetReached bool                    // the sample target has been met
+	Metrics       collect.MetricsSnapshot // engine counters
+}
+
+// Status reports the coordinator's current state and metrics.
+func (c *Coordinator) Status() Status {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.total.N()
+	stopped := c.stopped
+	c.mu.Unlock()
+	return Status{
+		N:             c.eng.N(),
+		ActiveWorkers: c.eng.Active(),
+		Stopped:       stopped,
+		TargetReached: c.eng.TargetReached(),
+		Metrics:       c.eng.Metrics(),
+	}
 }
 
 // Close shuts down the listener and the worker reaper. Workers'

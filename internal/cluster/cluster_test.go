@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"math"
 	"net"
+	"net/rpc"
 	"sync"
 	"testing"
 	"time"
@@ -252,6 +253,102 @@ func TestPushFromUnknownWorkerRejected(t *testing.T) {
 	var dr DoneReply
 	if err := svc.Done(DoneArgs{Worker: 99}, &dr); err == nil {
 		t.Fatal("expected unknown-worker error")
+	}
+}
+
+func TestPushMalformedSnapshotRejected(t *testing.T) {
+	// A registered worker pushing a wrong-dimension or internally
+	// inconsistent snapshot must be refused over the wire, with the
+	// totals untouched — the engine validates at the merge boundary for
+	// every transport, so a buggy or hostile worker binary cannot
+	// corrupt the statistics.
+	coord, err := NewCoordinator(testSpec(1000), CoordinatorConfig{WorkDir: t.TempDir()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	client, err := rpc.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	var reg RegisterReply
+	if err := client.Call(ServiceName+".Register", RegisterArgs{}, &reg); err != nil {
+		t.Fatal(err)
+	}
+	w := reg.Worker
+
+	// One good push to establish a baseline total.
+	good := stat.New(1, 1)
+	if err := good.Add([]float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	var pr PushReply
+	if err := client.Call(ServiceName+".Push", PushArgs{Worker: w, Snap: good.Snapshot()}, &pr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong dimensions for the job.
+	wrong := stat.New(2, 3)
+	if err := wrong.Add([]float64{1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Call(ServiceName+".Push", PushArgs{Worker: w, Snap: wrong.Snapshot()}, &pr); err == nil {
+		t.Fatal("wrong-dimension push accepted over RPC")
+	}
+
+	// Internally inconsistent snapshot.
+	bad := good.Snapshot()
+	bad.N = -5
+	if err := client.Call(ServiceName+".Push", PushArgs{Worker: w, Snap: bad}, &pr); err == nil {
+		t.Fatal("malformed push accepted over RPC")
+	}
+
+	if got := coord.N(); got != 1 {
+		t.Fatalf("rejected pushes changed the total: N = %d, want 1", got)
+	}
+	st := coord.Status()
+	if st.Metrics.RejectedSnapshots != 2 {
+		t.Fatalf("RejectedSnapshots = %d, want 2", st.Metrics.RejectedSnapshots)
+	}
+	if st.Metrics.Merges != 1 || st.Metrics.Pushes != 3 {
+		t.Fatalf("merges/pushes = %d/%d, want 1/3", st.Metrics.Merges, st.Metrics.Pushes)
+	}
+}
+
+func TestStatusReportsMetrics(t *testing.T) {
+	dir := t.TempDir()
+	coord, err := NewCoordinator(testSpec(300), CoordinatorConfig{WorkDir: dir, AverPeriod: time.Millisecond}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- RunWorker(ctx, coord.Addr(), uniformRealization) }()
+	if _, err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	st := coord.Status()
+	if !st.TargetReached {
+		t.Fatal("Status.TargetReached false after Wait")
+	}
+	if st.ActiveWorkers != 0 {
+		t.Fatalf("ActiveWorkers = %d after completion", st.ActiveWorkers)
+	}
+	if st.N < 300 || st.N != st.Metrics.Merges*50 {
+		t.Fatalf("N = %d, merges = %d (PassEvery 50)", st.N, st.Metrics.Merges)
+	}
+	m := st.Metrics
+	if m.Pushes == 0 || m.Merges == 0 || m.Saves == 0 || m.RegisteredWorkers != 1 {
+		t.Fatalf("zero counters in %+v", m)
 	}
 }
 

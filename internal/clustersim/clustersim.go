@@ -32,8 +32,12 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 
+	"parmonc/internal/collect"
 	"parmonc/internal/lcg"
+	"parmonc/internal/stat"
+	"parmonc/internal/store"
 	"parmonc/internal/u128"
 )
 
@@ -102,11 +106,17 @@ type Result struct {
 	CollectorBusy    float64 // seconds the collector spent servicing messages and local saves
 	Realizations     int64   // total realizations simulated (= requested L)
 	SlowestProcessor float64 // finish time of the slowest processor's simulation work
+
+	// Metrics are the collector engine's counters for the simulated
+	// run: the simulator drives the same internal/collect engine as the
+	// real transports, with simulated time injected as its clock.
+	Metrics collect.MetricsSnapshot
 }
 
 // arrival is one message in flight to the collector.
 type arrival struct {
 	at    float64 // arrival time at the collector
+	from  int     // sending processor index
 	count int64   // realizations accounted by this message
 }
 
@@ -146,6 +156,12 @@ func (p Params) netDelay() float64 {
 // Simulate runs the cluster for a total of L realizations split evenly
 // over the M processors (processor m gets L/M rounded as in the real
 // driver) and returns the simulated timings.
+//
+// The collector side is the real engine: every serviced message is a
+// collect.Collector.Push and every save a collect.Collector.Save,
+// with the simulated clock injected via collect.Config.Now — the same
+// lifecycle code the goroutine and RPC transports run, exercised at
+// processor counts the host cannot reach.
 func Simulate(p Params, L int64) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
@@ -162,6 +178,31 @@ func Simulate(p Params, L int64) (Result, error) {
 		return q
 	}
 	delay := p.netDelay()
+
+	// The engine runs in-memory (nil store) on simulated time. Each
+	// message carries only its realization count: the statistical
+	// payload is irrelevant to the timing model, so subtotals are
+	// zero-moment snapshots of the right volume.
+	var simNow float64 // seconds; the simulated clock the engine reads
+	epoch := time.Unix(0, 0)
+	eng, err := collect.New(nil, store.RunMeta{
+		Nrow: 1, Ncol: 1,
+		MaxSV: L,
+		Gamma: stat.DefaultConfidenceCoefficient,
+	}, collect.Config{
+		Now: func() time.Time {
+			return epoch.Add(time.Duration(simNow * float64(time.Second)))
+		},
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for m := 0; m < p.M; m++ {
+		eng.Register(m)
+	}
+	countSnap := func(n int64) stat.Snapshot {
+		return stat.Snapshot{Nrow: 1, Ncol: 1, Sum: []float64{0}, Sum2: []float64{0}, N: n}
+	}
 
 	// Build the arrival stream from processors 1..M-1. Processor m's
 	// k-th realization completes at k·τ_m (1-based); a message departs
@@ -180,44 +221,52 @@ func Simulate(p Params, L int64) (Result, error) {
 		}
 		var sentAt int64
 		for k := p.PassEvery; k <= q; k += p.PassEvery {
-			heap.Push(h, arrival{at: float64(k)*tm + delay, count: p.PassEvery})
+			heap.Push(h, arrival{at: float64(k)*tm + delay, from: m, count: p.PassEvery})
 			sentAt = k
 		}
 		if rem := q - sentAt; rem > 0 {
-			heap.Push(h, arrival{at: finish + delay, count: rem})
+			heap.Push(h, arrival{at: finish + delay, from: m, count: rem})
 		}
 	}
 
 	// Processor 0's CPU runs realizations and message service
 	// non-preemptively, servicing arrived messages first. It also
 	// "saves" its own subtotals every PassEvery realizations (a local
-	// merge+save, no network).
+	// merge+save, no network). Every merge+save goes through the
+	// engine: ServiceSeconds is the modelled cost of that pair.
 	var (
 		t          float64 // processor-0 clock
 		busy       float64 // collector busy time
-		processed  int64   // realizations accounted at the collector
 		messages   int64
 		q0         = quota(0)
 		done0      int64 // processor-0 realizations completed
 		sinceSave0 int64
 		tau0       = p.tau(0)
 	)
-	target := L
 
-	serviceOne := func(a arrival) {
+	mergeSave := func(from int, count int64) error {
+		simNow = t
+		if err := eng.Push(from, countSnap(count)); err != nil {
+			return fmt.Errorf("clustersim: internal: %w", err)
+		}
+		return eng.Save()
+	}
+	serviceOne := func(a arrival) error {
 		if a.at > t {
 			t = a.at
 		}
 		t += p.ServiceSeconds
 		busy += p.ServiceSeconds
-		processed += a.count
 		messages++
+		return mergeSave(a.from, a.count)
 	}
 
-	for processed < target {
+	for !eng.TargetReached() {
 		// Service every message that has already arrived.
 		if h.Len() > 0 && (*h)[0].at <= t {
-			serviceOne(heap.Pop(h).(arrival))
+			if err := serviceOne(heap.Pop(h).(arrival)); err != nil {
+				return Result{}, err
+			}
 			continue
 		}
 		if done0 < q0 {
@@ -229,16 +278,20 @@ func Simulate(p Params, L int64) (Result, error) {
 				// Local merge+save of processor 0's own subtotal.
 				t += p.ServiceSeconds
 				busy += p.ServiceSeconds
-				processed += sinceSave0
+				if err := mergeSave(0, sinceSave0); err != nil {
+					return Result{}, err
+				}
 				sinceSave0 = 0
 			}
 			continue
 		}
 		// Idle until the next arrival.
 		if h.Len() == 0 {
-			return Result{}, fmt.Errorf("clustersim: internal: collector starved with %d/%d accounted", processed, target)
+			return Result{}, fmt.Errorf("clustersim: internal: collector starved with %d/%d accounted", eng.N(), L)
 		}
-		serviceOne(heap.Pop(h).(arrival))
+		if err := serviceOne(heap.Pop(h).(arrival)); err != nil {
+			return Result{}, err
+		}
 	}
 	end0 := float64(done0) * tau0
 	if end0 > slowest {
@@ -249,8 +302,9 @@ func Simulate(p Params, L int64) (Result, error) {
 		TCompSeconds:     t,
 		Messages:         messages,
 		CollectorBusy:    busy,
-		Realizations:     processed,
+		Realizations:     eng.N(),
 		SlowestProcessor: slowest,
+		Metrics:          eng.Metrics(),
 	}, nil
 }
 

@@ -127,6 +127,36 @@ func TestAllRealizationsAccounted(t *testing.T) {
 	}
 }
 
+func TestEngineMetricsMatchSimulation(t *testing.T) {
+	// The simulator drives the real collector engine, so the engine's
+	// counters and the simulator's own bookkeeping must tell one story:
+	// every serviced network message plus every processor-0 local save
+	// is exactly one push, one merge and one save, and nothing is ever
+	// rejected.
+	for _, m := range []int{1, 4, 32} {
+		res, err := Simulate(PaperParams(m), 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mx := res.Metrics
+		if mx.RejectedSnapshots != 0 {
+			t.Errorf("M=%d: %d rejected snapshots", m, mx.RejectedSnapshots)
+		}
+		if mx.Pushes != mx.Merges || mx.Saves != mx.Merges {
+			t.Errorf("M=%d: pushes/merges/saves = %d/%d/%d, want all equal",
+				m, mx.Pushes, mx.Merges, mx.Saves)
+		}
+		localSaves := mx.Merges - res.Messages
+		if localSaves < 1 {
+			t.Errorf("M=%d: merges %d <= network messages %d; processor 0's local saves missing",
+				m, mx.Merges, res.Messages)
+		}
+		if mx.RegisteredWorkers != int64(m) {
+			t.Errorf("M=%d: RegisteredWorkers = %d", m, mx.RegisteredWorkers)
+		}
+	}
+}
+
 func TestMessageCountStrictMode(t *testing.T) {
 	// Strict mode, M processors: every realization of processors 1..M-1
 	// becomes one network message.

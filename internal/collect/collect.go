@@ -1,0 +1,452 @@
+// Package collect is the transport-agnostic collector engine — the
+// paper's 0-th processor, factored out of the transports that feed it.
+//
+// The PARMONC design has exactly one statistical authority: workers
+// push subtotal sample moments, the collector merges them by formula
+// (5), periodically averages and saves results to files, and detects
+// when the target sample volume is reached (Sec. 2.2, 3.2). Before this
+// package existed that lifecycle was implemented twice — once in the
+// in-process driver and once in the RPC coordinator — which is exactly
+// the kind of duplicated parallel path where silent statistical drift
+// hides (Lubachevsky, "Why The Results of Parallel and Serial Monte
+// Carlo Simulations May Differ").
+//
+// Collector owns the full lifecycle:
+//
+//   - resume / base-checkpoint establishment (the paper's res = 1),
+//   - snapshot validation at the merge boundary (every transport),
+//   - per-worker registration, liveness and pruning,
+//   - raw-sum (Accumulator) or Welford/Chan (StableAccumulator)
+//     accumulation behind the shared stat.Moments contract,
+//   - per-worker cumulative snapshots for post-mortem averaging,
+//   - periodic averaging + atomic save, target detection, progress
+//     callbacks,
+//   - built-in Metrics (atomic counters + optional event hook).
+//
+// Transports stay thin: the goroutine driver (internal/core), the
+// net/rpc coordinator (internal/cluster) and the discrete-event cluster
+// simulator (internal/clustersim) all reduce to Register / Push /
+// Finalize calls against one Collector. Collector is safe for
+// concurrent use by multiple transport goroutines.
+package collect
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"parmonc/internal/stat"
+	"parmonc/internal/store"
+)
+
+// Progress is the point-in-time view of the running statistics handed
+// to Config.OnSave after every save — the paper's "control the absolute
+// and relative stochastic errors during the simulation".
+type Progress struct {
+	N         int64         // total sample volume so far (incl. resumed)
+	MaxAbsErr float64       // ε_max over the matrix
+	MaxRelErr float64       // ρ_max over the matrix, percent
+	MaxVar    float64       // σ̄²_max
+	Elapsed   time.Duration // time since the collector was created
+}
+
+// Config tunes a Collector beyond what the run metadata carries.
+type Config struct {
+	// Resume merges the previous simulation's checkpoint found in the
+	// store (the paper's res = 1). The previous run must have identical
+	// matrix dimensions and a different experiments subsequence number.
+	// Requires a non-nil store.
+	Resume bool
+
+	// AverPeriod is the paper's peraver: pushes arriving at least this
+	// long after the previous save trigger averaging + save. Zero or
+	// negative disables periodic saves; Save and Finalize still work.
+	AverPeriod time.Duration
+
+	// SaveWorkerSnapshots writes each worker's cumulative moments on
+	// every push, enabling post-mortem averaging with manaver.
+	SaveWorkerSnapshots bool
+
+	// StableMoments accumulates with the numerically stable
+	// Welford/Chan algorithm instead of raw sums; see
+	// stat.StableAccumulator.
+	StableMoments bool
+
+	// OnSave, if non-nil, is invoked after every save with a snapshot
+	// of the running statistics. It runs with the collector lock held:
+	// it must not block for long and must not call back into the
+	// Collector.
+	OnSave func(Progress)
+
+	// Hook, if non-nil, receives one Event per collector occurrence
+	// (push, reject, merge, save, prune) in addition to the atomic
+	// counters. Same locking caveats as OnSave.
+	Hook Hook
+
+	// Now supplies the clock; nil means time.Now. The cluster
+	// simulator injects simulated time here.
+	Now func() time.Time
+}
+
+// Collector is the engine. Create with New; all methods are safe for
+// concurrent use.
+type Collector struct {
+	dir  *store.Dir // nil: in-memory engine, nothing persisted
+	meta store.RunMeta
+	cfg  Config
+	now  func() time.Time
+
+	mu         sync.Mutex
+	total      stat.Moments
+	baseN      int64
+	perWorker  map[int]*stat.Accumulator // nil unless SaveWorkerSnapshots
+	active     map[int]bool
+	lastSeen   map[int]time.Time
+	registered int // workers ever registered (stamped into saved metadata)
+	lastSave   time.Time
+	start      time.Time
+	saveErr    error // first save failure, sticky
+
+	metrics Metrics
+}
+
+// New creates a collector for the run described by meta, persisting
+// into dir. A nil dir yields a purely in-memory engine (used by the
+// cluster simulator and benchmarks): resume is unavailable and saves
+// only update statistics and metrics.
+//
+// With a store, New establishes the base moments — the previous run's
+// checkpoint when cfg.Resume is set, empty otherwise (removing stale
+// checkpoint and worker-snapshot files) — then writes the run-base
+// checkpoint and appends to the experiment log, exactly as both
+// transports did before.
+func New(dir *store.Dir, meta store.RunMeta, cfg Config) (*Collector, error) {
+	if meta.Nrow <= 0 || meta.Ncol <= 0 {
+		return nil, fmt.Errorf("collect: invalid realization dimensions %d×%d", meta.Nrow, meta.Ncol)
+	}
+	if meta.Gamma <= 0 {
+		return nil, fmt.Errorf("collect: confidence coefficient %g must be positive", meta.Gamma)
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	c := &Collector{
+		dir:      dir,
+		meta:     meta,
+		cfg:      cfg,
+		now:      now,
+		active:   map[int]bool{},
+		lastSeen: map[int]time.Time{},
+	}
+	c.start = now()
+	c.lastSave = c.start
+	if cfg.SaveWorkerSnapshots {
+		c.perWorker = map[int]*stat.Accumulator{}
+	}
+
+	base := stat.New(meta.Nrow, meta.Ncol)
+	if cfg.Resume {
+		if dir == nil {
+			return nil, fmt.Errorf("collect: resume requires a store")
+		}
+		snap, prevMeta, err := dir.LoadCheckpoint()
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil, fmt.Errorf("collect: resume requested but no previous simulation found in %s", dir.Root())
+			}
+			return nil, fmt.Errorf("collect: resume: %w", err)
+		}
+		if prevMeta.Nrow != meta.Nrow || prevMeta.Ncol != meta.Ncol {
+			return nil, fmt.Errorf("collect: previous simulation is %d×%d, this run is %d×%d",
+				prevMeta.Nrow, prevMeta.Ncol, meta.Nrow, meta.Ncol)
+		}
+		if prevMeta.SeqNum == meta.SeqNum {
+			return nil, fmt.Errorf("collect: resume must use a different experiments subsequence number than the previous run (both are %d); base random numbers would repeat", meta.SeqNum)
+		}
+		if err := base.Merge(snap); err != nil {
+			return nil, err
+		}
+	} else if dir != nil {
+		if err := dir.RemoveCheckpoint(); err != nil {
+			return nil, err
+		}
+		if err := dir.RemoveWorkerSnapshots(); err != nil {
+			return nil, err
+		}
+	}
+	c.baseN = base.N()
+	c.metrics.resumedSamples.Store(c.baseN)
+
+	if cfg.StableMoments {
+		sc := stat.NewStable(meta.Nrow, meta.Ncol)
+		if err := sc.Merge(base.Snapshot()); err != nil {
+			return nil, err
+		}
+		c.total = sc
+	} else {
+		c.total = base
+	}
+
+	if dir != nil {
+		if err := dir.SaveBaseCheckpoint(base.Snapshot(), meta); err != nil {
+			return nil, err
+		}
+		if err := dir.AppendExperiment(meta, cfg.Resume); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Register adds worker w to the active set. Registering an already
+// active worker only refreshes its liveness timestamp.
+func (c *Collector) Register(w int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.active[w] {
+		c.active[w] = true
+		c.registered++
+		c.metrics.registered.Add(1)
+	}
+	c.lastSeen[w] = c.now()
+}
+
+// Deregister removes worker w from the active set (the worker detached
+// voluntarily). It errors for a worker that is not active.
+func (c *Collector) Deregister(w int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.active[w] {
+		return fmt.Errorf("collect: deregister of unknown worker %d", w)
+	}
+	delete(c.active, w)
+	delete(c.lastSeen, w)
+	return nil
+}
+
+// IsActive reports whether worker w is currently registered.
+func (c *Collector) IsActive(w int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.active[w]
+}
+
+// Active returns the number of currently registered workers.
+func (c *Collector) Active() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.active)
+}
+
+// PruneStale drops workers not heard from for longer than timeout and
+// returns how many were dropped. A pruned worker's already-merged
+// subtotals remain valid (they came from its own disjoint substream);
+// only unsent work is lost — the same failure semantics as an MPI rank
+// dying in the original library.
+func (c *Collector) PruneStale(timeout time.Duration) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	pruned := 0
+	for w, seen := range c.lastSeen {
+		if c.active[w] && now.Sub(seen) > timeout {
+			delete(c.active, w)
+			delete(c.lastSeen, w)
+			pruned++
+			c.metrics.pruned.Add(1)
+			c.event(Event{Kind: EventPrune, Worker: w})
+		}
+	}
+	return pruned
+}
+
+// Push merges one subtotal snapshot from worker w — formula (5). The
+// snapshot is validated first, for every transport: a malformed or
+// wrong-dimension push is rejected with an error and cannot corrupt the
+// totals. Push also handles per-worker snapshot persistence and
+// periodic averaging + save; a save failure is returned (and remembered
+// for Finalize).
+func (c *Collector) Push(w int, snap stat.Snapshot) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics.pushes.Add(1)
+	c.event(Event{Kind: EventPush, Worker: w, Samples: snap.N})
+	if !c.active[w] {
+		c.metrics.rejected.Add(1)
+		c.event(Event{Kind: EventReject, Worker: w, Samples: snap.N})
+		return fmt.Errorf("collect: push from unknown worker %d", w)
+	}
+	c.lastSeen[w] = c.now()
+	if err := c.validateSnap(snap); err != nil {
+		c.metrics.rejected.Add(1)
+		c.event(Event{Kind: EventReject, Worker: w, Samples: snap.N})
+		return fmt.Errorf("collect: rejecting snapshot from worker %d: %w", w, err)
+	}
+	if err := c.total.Merge(snap); err != nil {
+		c.metrics.rejected.Add(1)
+		c.event(Event{Kind: EventReject, Worker: w, Samples: snap.N})
+		return err
+	}
+	c.metrics.merges.Add(1)
+	c.event(Event{Kind: EventMerge, Worker: w, Samples: snap.N})
+
+	if c.perWorker != nil {
+		acc, ok := c.perWorker[w]
+		if !ok {
+			acc = stat.New(c.meta.Nrow, c.meta.Ncol)
+			c.perWorker[w] = acc
+		}
+		if err := acc.Merge(snap); err != nil {
+			return err
+		}
+		if c.dir != nil {
+			if err := c.dir.SaveWorkerSnapshot(w, acc.Snapshot(), c.stampedMetaLocked()); err != nil {
+				return err
+			}
+		}
+		c.metrics.workerSnapshots.Add(1)
+	}
+
+	if c.cfg.AverPeriod > 0 && c.now().Sub(c.lastSave) >= c.cfg.AverPeriod {
+		return c.saveLocked()
+	}
+	return nil
+}
+
+// validateSnap rejects snapshots that are internally inconsistent or
+// have the wrong dimensions for this run.
+func (c *Collector) validateSnap(snap stat.Snapshot) error {
+	if err := snap.Validate(); err != nil {
+		return err
+	}
+	if snap.Nrow != c.meta.Nrow || snap.Ncol != c.meta.Ncol {
+		return fmt.Errorf("stat: snapshot is %d×%d, run is %d×%d", snap.Nrow, snap.Ncol, c.meta.Nrow, c.meta.Ncol)
+	}
+	return nil
+}
+
+// stampedMetaLocked returns the run metadata with the worker count
+// updated to what the collector has actually seen (the RPC transport
+// hands out indices dynamically, so the configured count can be stale).
+func (c *Collector) stampedMetaLocked() store.RunMeta {
+	meta := c.meta
+	if c.registered > meta.Workers {
+		meta.Workers = c.registered
+	}
+	return meta
+}
+
+// Save forces an averaging + save cycle regardless of AverPeriod.
+func (c *Collector) Save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saveLocked()
+}
+
+func (c *Collector) saveLocked() error {
+	t0 := c.now()
+	var err error
+	if c.dir != nil {
+		rep := c.total.Report(c.meta.Gamma)
+		meta := c.stampedMetaLocked()
+		if e := c.dir.SaveResults(rep, meta); e != nil {
+			err = e
+		}
+		if e := c.dir.SaveCheckpoint(c.total.Snapshot(), meta); e != nil && err == nil {
+			err = e
+		}
+	}
+	c.lastSave = c.now()
+	elapsed := c.lastSave.Sub(t0)
+	if err != nil {
+		if c.saveErr == nil {
+			c.saveErr = err
+		}
+		return err
+	}
+	c.metrics.saves.Add(1)
+	c.metrics.saveNanos.Add(int64(elapsed))
+	c.event(Event{Kind: EventSave, Samples: c.total.N(), Elapsed: elapsed})
+	if c.cfg.OnSave != nil {
+		c.cfg.OnSave(c.progressLocked())
+	}
+	return nil
+}
+
+func (c *Collector) progressLocked() Progress {
+	rep := c.total.Report(c.meta.Gamma)
+	return Progress{
+		N:         rep.N,
+		MaxAbsErr: rep.MaxAbsErr,
+		MaxRelErr: rep.MaxRelErr,
+		MaxVar:    rep.MaxVar,
+		Elapsed:   c.now().Sub(c.start),
+	}
+}
+
+// Finalize performs the final averaging + save and returns the merged
+// report. If any save — this one or an earlier periodic one — failed,
+// Finalize returns that first error instead.
+func (c *Collector) Finalize() (stat.Report, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = c.saveLocked() // error is sticky in saveErr
+	if c.saveErr != nil {
+		return stat.Report{}, c.saveErr
+	}
+	return c.total.Report(c.meta.Gamma), nil
+}
+
+// Report computes the current derived statistics without saving.
+func (c *Collector) Report() stat.Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total.Report(c.meta.Gamma)
+}
+
+// Progress returns the current progress snapshot without saving.
+func (c *Collector) Progress() Progress {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.progressLocked()
+}
+
+// N returns the current total sample volume, including any resumed
+// base.
+func (c *Collector) N() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total.N()
+}
+
+// BaseN returns the sample volume the run started from (zero for a
+// fresh run, the previous run's volume after a resume).
+func (c *Collector) BaseN() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.baseN
+}
+
+// TargetReached reports whether the run's new-sample target (meta
+// MaxSV) has been met. A non-positive target never completes — the
+// paper's "endless simulation" mode.
+func (c *Collector) TargetReached() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.meta.MaxSV > 0 && c.total.N()-c.baseN >= c.meta.MaxSV
+}
+
+// Metrics returns a consistent snapshot of the collector's counters.
+func (c *Collector) Metrics() MetricsSnapshot {
+	return c.metrics.snapshot()
+}
+
+// event delivers e to the configured hook, if any. Called with c.mu
+// held.
+func (c *Collector) event(e Event) {
+	if c.cfg.Hook != nil {
+		c.cfg.Hook(e)
+	}
+}

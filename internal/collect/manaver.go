@@ -1,0 +1,54 @@
+package collect
+
+import (
+	"fmt"
+	"os"
+
+	"parmonc/internal/stat"
+	"parmonc/internal/store"
+)
+
+// Manaver recomputes the averaged results from the run-base checkpoint
+// plus the per-worker snapshot files — the paper's manaver command
+// (Sec. 3.4). It is used after a job was killed, when the worker files
+// hold a larger sample volume than the last collector save. It rewrites
+// the results files and the collector checkpoint and returns the merged
+// report.
+//
+// It lives in the collector engine because it is the same merge — the
+// 0-th processor's formula (5) — replayed from disk instead of from a
+// transport.
+func Manaver(workdir string) (stat.Report, error) {
+	dir, err := store.Open(workdir)
+	if err != nil {
+		return stat.Report{}, err
+	}
+	baseSnap, meta, err := dir.LoadBaseCheckpoint()
+	if err != nil {
+		if os.IsNotExist(err) {
+			return stat.Report{}, fmt.Errorf("collect: manaver: no simulation has run in %s", workdir)
+		}
+		return stat.Report{}, err
+	}
+	total, err := stat.FromSnapshot(baseSnap)
+	if err != nil {
+		return stat.Report{}, err
+	}
+	snaps, _, err := dir.LoadWorkerSnapshots()
+	if err != nil {
+		return stat.Report{}, err
+	}
+	for i, s := range snaps {
+		if err := total.Merge(s); err != nil {
+			return stat.Report{}, fmt.Errorf("collect: manaver: worker snapshot %d: %w", i, err)
+		}
+	}
+	rep := total.Report(meta.Gamma)
+	if err := dir.SaveResults(rep, meta); err != nil {
+		return stat.Report{}, err
+	}
+	if err := dir.SaveCheckpoint(total.Snapshot(), meta); err != nil {
+		return stat.Report{}, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,132 @@
+package collect
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the collector's built-in instrumentation: lock-free atomic
+// counters updated on the hot merge path, cheap enough to stay on even
+// under the paper's "strictest conditions" (a push per realization).
+// Read a consistent view with Collector.Metrics.
+type Metrics struct {
+	pushes          atomic.Int64 // Push calls received (incl. rejected)
+	rejected        atomic.Int64 // snapshots rejected before merging
+	merges          atomic.Int64 // snapshots merged into the total
+	saves           atomic.Int64 // averaging + save cycles completed
+	saveNanos       atomic.Int64 // cumulative save latency
+	workerSnapshots atomic.Int64 // per-worker snapshot files written
+	registered      atomic.Int64 // workers ever registered
+	pruned          atomic.Int64 // workers dropped for silence
+	resumedSamples  atomic.Int64 // sample volume inherited from resume
+}
+
+func (m *Metrics) snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Pushes:            m.pushes.Load(),
+		RejectedSnapshots: m.rejected.Load(),
+		Merges:            m.merges.Load(),
+		Saves:             m.saves.Load(),
+		SaveLatency:       time.Duration(m.saveNanos.Load()),
+		WorkerSnapshots:   m.workerSnapshots.Load(),
+		RegisteredWorkers: m.registered.Load(),
+		PrunedWorkers:     m.pruned.Load(),
+		ResumedSamples:    m.resumedSamples.Load(),
+	}
+}
+
+// MetricsSnapshot is a point-in-time copy of the collector counters,
+// surfaced through core.Result, the cluster.Coordinator status API and
+// the parmonc --stats flag.
+type MetricsSnapshot struct {
+	Pushes            int64         // subtotal pushes received
+	RejectedSnapshots int64         // pushes rejected (unknown worker or invalid snapshot)
+	Merges            int64         // snapshots merged into the running total
+	Saves             int64         // averaging + save cycles
+	SaveLatency       time.Duration // cumulative time spent saving
+	WorkerSnapshots   int64         // per-worker snapshot files written
+	RegisteredWorkers int64         // workers ever registered
+	PrunedWorkers     int64         // workers dropped for silence
+	ResumedSamples    int64         // sample volume inherited from a resumed run
+}
+
+// MeanSaveLatency returns the average duration of one save cycle.
+func (s MetricsSnapshot) MeanSaveLatency() time.Duration {
+	if s.Saves == 0 {
+		return 0
+	}
+	return s.SaveLatency / time.Duration(s.Saves)
+}
+
+// WriteTo prints the counters as an aligned key-value block (the
+// --stats output format).
+func (s MetricsSnapshot) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, row := range []struct {
+		key string
+		val interface{}
+	}{
+		{"pushes", s.Pushes},
+		{"merges", s.Merges},
+		{"rejected_snapshots", s.RejectedSnapshots},
+		{"saves", s.Saves},
+		{"save_latency_total", s.SaveLatency},
+		{"save_latency_mean", s.MeanSaveLatency()},
+		{"worker_snapshots", s.WorkerSnapshots},
+		{"registered_workers", s.RegisteredWorkers},
+		{"pruned_workers", s.PrunedWorkers},
+		{"resumed_samples", s.ResumedSamples},
+	} {
+		n, err := fmt.Fprintf(w, "%-24s %v\n", row.key, row.val)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// EventKind enumerates collector occurrences delivered to a Hook.
+type EventKind int
+
+const (
+	EventPush   EventKind = iota // a subtotal push arrived
+	EventReject                  // the push was rejected before merging
+	EventMerge                   // the push was merged into the total
+	EventSave                    // an averaging + save cycle completed
+	EventPrune                   // a silent worker was dropped
+)
+
+// String returns the event kind's wire-stable name.
+func (k EventKind) String() string {
+	switch k {
+	case EventPush:
+		return "push"
+	case EventReject:
+		return "reject"
+	case EventMerge:
+		return "merge"
+	case EventSave:
+		return "save"
+	case EventPrune:
+		return "prune"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one collector occurrence. Worker is meaningful for push,
+// reject, merge and prune; Samples is the snapshot volume (push, reject,
+// merge) or the running total (save); Elapsed is the save latency.
+type Event struct {
+	Kind    EventKind
+	Worker  int
+	Samples int64
+	Elapsed time.Duration
+}
+
+// Hook observes collector events. It is called with the collector lock
+// held: keep it fast and do not call back into the Collector.
+type Hook func(Event)

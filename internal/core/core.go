@@ -22,11 +22,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 	"runtime"
 	"sync"
 	"time"
 
+	"parmonc/internal/collect"
 	"parmonc/internal/rng"
 	"parmonc/internal/stat"
 	"parmonc/internal/store"
@@ -110,17 +110,15 @@ type Config struct {
 	// collector goroutine; it must not block for long and must not call
 	// back into the running simulation.
 	OnSave func(Progress)
+
+	// Hook, if non-nil, receives the collector engine's events (pushes,
+	// merges, saves, rejections); see collect.Hook for the contract.
+	Hook collect.Hook
 }
 
 // Progress is the point-in-time view of a running simulation handed to
-// Config.OnSave.
-type Progress struct {
-	N         int64         // total sample volume so far (incl. resumed)
-	MaxAbsErr float64       // ε_max over the matrix
-	MaxRelErr float64       // ρ_max over the matrix, percent
-	MaxVar    float64       // σ̄²_max
-	Elapsed   time.Duration // wall time since Run started
-}
+// Config.OnSave. It is the collector engine's progress type.
+type Progress = collect.Progress
 
 // withDefaults validates cfg and fills in defaults.
 func (cfg Config) withDefaults() (Config, error) {
@@ -179,6 +177,10 @@ type Result struct {
 	// Interrupted reports that the run stopped because the context was
 	// cancelled rather than because MaxSamples was reached.
 	Interrupted bool
+
+	// Metrics is the collector engine's instrumentation for this run:
+	// pushes, merges, saves, rejected snapshots, save latency.
+	Metrics collect.MetricsSnapshot
 }
 
 // snapMsg is one subtotal push from a worker to the collector.
@@ -248,42 +250,23 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 		StartedAt: time.Now(),
 	}
 
-	// Establish the base moments: either the previous run's checkpoint
-	// (res = 1) or empty (res = 0).
-	base := stat.New(cfg.Nrow, cfg.Ncol)
-	if cfg.Resume {
-		snap, prevMeta, err := dir.LoadCheckpoint()
-		if err != nil {
-			if os.IsNotExist(err) {
-				return Result{}, fmt.Errorf("core: resume requested but no previous simulation found in %s", cfg.WorkDir)
-			}
-			return Result{}, err
-		}
-		if prevMeta.Nrow != cfg.Nrow || prevMeta.Ncol != cfg.Ncol {
-			return Result{}, fmt.Errorf("core: previous simulation is %d×%d, this run is %d×%d",
-				prevMeta.Nrow, prevMeta.Ncol, cfg.Nrow, cfg.Ncol)
-		}
-		if prevMeta.SeqNum == cfg.SeqNum {
-			return Result{}, fmt.Errorf("core: resume must use a different experiments subsequence number than the previous run (both are %d); base random numbers would repeat", cfg.SeqNum)
-		}
-		if err := base.Merge(snap); err != nil {
-			return Result{}, err
-		}
-	} else {
-		if err := dir.RemoveCheckpoint(); err != nil {
-			return Result{}, err
-		}
-		if err := dir.RemoveWorkerSnapshots(); err != nil {
-			return Result{}, err
-		}
-	}
-	resumedN := base.N()
-
-	if err := dir.SaveBaseCheckpoint(base.Snapshot(), meta); err != nil {
+	// The collector engine owns base-checkpoint establishment (resume
+	// or fresh), accumulation, periodic saves and metrics; this driver
+	// is only the goroutine transport feeding it.
+	eng, err := collect.New(dir, meta, collect.Config{
+		Resume:              cfg.Resume,
+		AverPeriod:          cfg.AverPeriod,
+		SaveWorkerSnapshots: cfg.SaveWorkerSnapshots,
+		StableMoments:       cfg.StableMoments,
+		OnSave:              cfg.OnSave,
+		Hook:                cfg.Hook,
+	})
+	if err != nil {
 		return Result{}, err
 	}
-	if err := dir.AppendExperiment(meta, cfg.Resume); err != nil {
-		return Result{}, err
+	resumedN := eng.BaseN()
+	for m := 0; m < cfg.Workers; m++ {
+		eng.Register(m)
 	}
 
 	start := time.Now()
@@ -337,39 +320,42 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 		close(msgs)
 	}()
 
-	// The collector runs in this goroutine — it is the paper's 0-th
-	// processor.
-	var collector moments
-	if cfg.StableMoments {
-		sc := stat.NewStable(cfg.Nrow, cfg.Ncol)
-		if err := sc.Merge(base.Snapshot()); err != nil {
-			return Result{}, err
-		}
-		collector = sc
-	} else {
-		collector = base
-	}
-	total, collectErr := collect(cfg, dir, meta, collector, msgs, start)
+	// The merge loop runs in this goroutine — the engine is the paper's
+	// 0-th processor, this loop its in-process channel transport.
+	collectErr := drain(eng, msgs)
 	if collectErr != nil {
 		errs <- collectErr
 	}
 
 	interrupted := ctx.Err() != nil
 	close(errs)
+	var runErr error
 	for e := range errs {
-		if e != nil {
-			return Result{}, e
+		if e != nil && runErr == nil {
+			runErr = e
 		}
 	}
 
-	rep := total.Report(cfg.Gamma)
-	return Result{
-		Report:      rep,
-		Meta:        meta,
-		NewSamples:  total.N() - resumedN,
-		Elapsed:     time.Since(start),
-		Interrupted: interrupted,
-	}, nil
+	if collectErr == nil {
+		// Final save even after a worker failure: the run fails cleanly
+		// with whatever was accumulated on disk. Only a collector-side
+		// failure skips it (the store is already broken).
+		rep, ferr := eng.Finalize()
+		if runErr == nil {
+			runErr = ferr
+		}
+		if runErr == nil {
+			return Result{
+				Report:      rep,
+				Meta:        meta,
+				NewSamples:  rep.N - resumedN,
+				Elapsed:     time.Since(start),
+				Interrupted: interrupted,
+				Metrics:     eng.Metrics(),
+			}, nil
+		}
+	}
+	return Result{}, runErr
 }
 
 // runWorker simulates realizations on processor m until its quota is
@@ -420,120 +406,26 @@ func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, quota 
 	return nil
 }
 
-// moments is the collector-side accumulator interface satisfied by both
-// stat.Accumulator (raw sums, the paper's scheme) and
-// stat.StableAccumulator (Welford/Chan).
-type moments interface {
-	Merge(stat.Snapshot) error
-	Snapshot() stat.Snapshot
-	Report(gamma float64) stat.Report
-	N() int64
-}
-
-// collect merges worker snapshots into the running total and saves
-// results every AverPeriod, plus a final save when all workers have
-// finished.
-func collect(cfg Config, dir *store.Dir, meta store.RunMeta, total moments, msgs <-chan snapMsg, start time.Time) (moments, error) {
-	var perWorker map[int]*stat.Accumulator
-	if cfg.SaveWorkerSnapshots {
-		perWorker = make(map[int]*stat.Accumulator, cfg.Workers)
-	}
-	lastSave := time.Now()
-
-	save := func() error {
-		rep := total.Report(cfg.Gamma)
-		if err := dir.SaveResults(rep, meta); err != nil {
-			return err
-		}
-		if err := dir.SaveCheckpoint(total.Snapshot(), meta); err != nil {
-			return err
-		}
-		lastSave = time.Now()
-		if cfg.OnSave != nil {
-			cfg.OnSave(Progress{
-				N:         rep.N,
-				MaxAbsErr: rep.MaxAbsErr,
-				MaxRelErr: rep.MaxRelErr,
-				MaxVar:    rep.MaxVar,
-				Elapsed:   time.Since(start),
-			})
-		}
-		return nil
-	}
-
-	// On a collector-side failure the workers must not be left blocked
-	// on the channel: drain the remaining messages before returning the
-	// error.
-	fail := func(err error) (moments, error) {
-		for range msgs {
-		}
-		return total, err
-	}
-
+// drain feeds worker snapshots to the collector engine until the
+// channel closes. On an engine failure the workers must not be left
+// blocked on the channel, so the remaining messages are discarded
+// before the error is returned.
+func drain(eng *collect.Collector, msgs <-chan snapMsg) error {
 	for msg := range msgs {
-		if err := total.Merge(msg.snap); err != nil {
-			return fail(err)
-		}
-		if perWorker != nil {
-			acc, ok := perWorker[msg.worker]
-			if !ok {
-				acc = stat.New(cfg.Nrow, cfg.Ncol)
-				perWorker[msg.worker] = acc
+		if err := eng.Push(msg.worker, msg.snap); err != nil {
+			for range msgs {
 			}
-			if err := acc.Merge(msg.snap); err != nil {
-				return fail(err)
-			}
-			if err := dir.SaveWorkerSnapshot(msg.worker, acc.Snapshot(), meta); err != nil {
-				return fail(err)
-			}
-		}
-		if time.Since(lastSave) >= cfg.AverPeriod {
-			if err := save(); err != nil {
-				return fail(err)
-			}
+			return err
 		}
 	}
-	return total, save()
+	return nil
 }
 
 // Manaver recomputes the averaged results from the run-base checkpoint
 // plus the per-worker snapshot files — the paper's manaver command. It
-// is used after a job was killed, when the worker files hold a larger
-// sample volume than the last collector save. It rewrites the results
-// files and the collector checkpoint and returns the merged report.
+// delegates to the collector engine, which owns the merge.
 func Manaver(workdir string) (stat.Report, error) {
-	dir, err := store.Open(workdir)
-	if err != nil {
-		return stat.Report{}, err
-	}
-	baseSnap, meta, err := dir.LoadBaseCheckpoint()
-	if err != nil {
-		if os.IsNotExist(err) {
-			return stat.Report{}, fmt.Errorf("core: manaver: no simulation has run in %s", workdir)
-		}
-		return stat.Report{}, err
-	}
-	total, err := stat.FromSnapshot(baseSnap)
-	if err != nil {
-		return stat.Report{}, err
-	}
-	snaps, _, err := dir.LoadWorkerSnapshots()
-	if err != nil {
-		return stat.Report{}, err
-	}
-	for i, s := range snaps {
-		if err := total.Merge(s); err != nil {
-			return stat.Report{}, fmt.Errorf("core: manaver: worker snapshot %d: %w", i, err)
-		}
-	}
-	rep := total.Report(meta.Gamma)
-	if err := dir.SaveResults(rep, meta); err != nil {
-		return stat.Report{}, err
-	}
-	if err := dir.SaveCheckpoint(total.Snapshot(), meta); err != nil {
-		return stat.Report{}, err
-	}
-	return rep, nil
+	return collect.Manaver(workdir)
 }
 
 // callRealization invokes the user routine, converting a panic into an

@@ -571,6 +571,71 @@ func TestStableMomentsMatchesNaiveOnBenignData(t *testing.T) {
 	}
 }
 
+func TestResumeIntoStableMoments(t *testing.T) {
+	// A raw-sum run's checkpoint must resume into a Welford/Chan
+	// collector: the base moments arrive as one snapshot merge into the
+	// stable accumulator, the paper's res = 1 on top of the shared
+	// checkpoint format.
+	dir := t.TempDir()
+	cfg := fastCfg(dir)
+	cfg.MaxSamples = 1000
+	r1, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Resume = true
+	cfg.StableMoments = true
+	cfg.SeqNum = 1
+	r2, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Report.N != 2000 || r2.NewSamples != 1000 {
+		t.Fatalf("N = %d, NewSamples = %d", r2.Report.N, r2.NewSamples)
+	}
+	if r2.Metrics.ResumedSamples != r1.Report.N {
+		t.Fatalf("ResumedSamples = %d, want %d", r2.Metrics.ResumedSamples, r1.Report.N)
+	}
+	if math.Abs(r2.Report.MeanAt(0, 0)-0.5) > r2.Report.AbsErrAt(0, 0)*4/3 {
+		t.Fatalf("resumed stable mean %g", r2.Report.MeanAt(0, 0))
+	}
+	if math.Abs(r2.Report.VarAt(0, 0)-1.0/12) > 0.01 {
+		t.Fatalf("resumed stable variance %g", r2.Report.VarAt(0, 0))
+	}
+}
+
+func TestMetricsUnderStrictExchange(t *testing.T) {
+	// Under the strictest exchange every realization is one push, so
+	// the engine's counters are exactly predictable: quota pushes, all
+	// merged, none rejected, one worker-snapshot write per push.
+	cfg := fastCfg(t.TempDir())
+	cfg.MaxSamples = 100
+	cfg.Workers = 2
+	cfg.StrictExchange = true
+	cfg.SaveWorkerSnapshots = true
+	res, err := Run(context.Background(), cfg, uniformMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.Pushes != 100 || m.Merges != 100 {
+		t.Fatalf("pushes/merges = %d/%d, want 100/100", m.Pushes, m.Merges)
+	}
+	if m.RejectedSnapshots != 0 {
+		t.Fatalf("RejectedSnapshots = %d", m.RejectedSnapshots)
+	}
+	if m.WorkerSnapshots != 100 {
+		t.Fatalf("WorkerSnapshots = %d", m.WorkerSnapshots)
+	}
+	if m.RegisteredWorkers != 2 {
+		t.Fatalf("RegisteredWorkers = %d", m.RegisteredWorkers)
+	}
+	if m.Saves < 1 {
+		t.Fatalf("Saves = %d, want >= 1 (final save)", m.Saves)
+	}
+}
+
 func TestCollectorFailureDoesNotDeadlock(t *testing.T) {
 	// Make the worker-snapshot directory unwritable so the collector
 	// fails mid-run; the run must return the error promptly rather than

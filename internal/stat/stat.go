@@ -198,6 +198,26 @@ func (a *Accumulator) Merge(s Snapshot) error {
 	return nil
 }
 
+// Moments is the collector-side accumulator contract: everything the
+// 0-th processor needs to merge subtotal snapshots (formula (5)) and
+// derive the error matrices. It is satisfied by both Accumulator (raw
+// sums, the paper's scheme) and StableAccumulator (Welford/Chan), which
+// lets the collector engine switch accumulation schemes without
+// changing any transport.
+type Moments interface {
+	Merge(Snapshot) error
+	Snapshot() Snapshot
+	Report(gamma float64) Report
+	N() int64
+	Rows() int
+	Cols() int
+}
+
+var (
+	_ Moments = (*Accumulator)(nil)
+	_ Moments = (*StableAccumulator)(nil)
+)
+
 // Report holds the derived statistics of an accumulator at a point in
 // time: the four matrices the paper saves to files plus their upper
 // bounds and timing information.

@@ -106,30 +106,43 @@ func (d *Dir) workersPath() string { return filepath.Join(d.dataPath(), WorkersD
 // CheckpointPath returns the path of the collector checkpoint file.
 func (d *Dir) CheckpointPath() string { return filepath.Join(d.dataPath(), CheckpointFile) }
 
-// atomicWrite writes content produced by fill to path via a temp file +
-// rename.
+// atomicWrite writes content produced by fill to path via a temp file,
+// fsync and rename. Every failure path removes the temp file, so a
+// crashed or failed save never leaves an orphan .tmp beside the data;
+// the fsync before the rename guarantees the renamed file's contents
+// are durable — without it a power loss shortly after the rename can
+// leave a correctly-named but empty results file, breaking the resume
+// workflow the atomic rename exists to protect.
 func atomicWrite(path string, fill func(w *bufio.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(f)
-	if err := fill(w); err != nil {
+	fail := func(err error) error {
 		f.Close()
 		os.Remove(tmp)
 		return err
 	}
+	w := bufio.NewWriter(f)
+	if err := fill(w); err != nil {
+		return fail(err)
+	}
 	if err := w.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // SaveResults writes func.dat, func_ci.dat and func_log.dat from the

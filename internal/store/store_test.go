@@ -1,6 +1,9 @@
 package store
 
 import (
+	"bufio"
+	"errors"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -336,6 +339,41 @@ func TestAtomicWriteLeavesNoTemp(t *testing.T) {
 		if strings.HasSuffix(e.Name(), ".tmp") {
 			t.Fatalf("leftover temp file %s", e.Name())
 		}
+	}
+}
+
+func TestAtomicWriteFailureRemovesTemp(t *testing.T) {
+	work := t.TempDir()
+	path := filepath.Join(work, "out.txt")
+	injected := errors.New("injected write failure")
+	err := atomicWrite(path, func(w *bufio.Writer) error {
+		fmt.Fprintln(w, "partial content")
+		return injected
+	})
+	if !errors.Is(err, injected) {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+	if _, statErr := os.Stat(path + ".tmp"); !os.IsNotExist(statErr) {
+		t.Fatalf("orphan temp file left behind: stat err = %v", statErr)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatalf("destination should not exist after failed write: stat err = %v", statErr)
+	}
+
+	// A failed write must not clobber an existing destination either.
+	if err := os.WriteFile(path, []byte("previous\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = atomicWrite(path, func(w *bufio.Writer) error { return injected })
+	if !errors.Is(err, injected) {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "previous\n" {
+		t.Fatalf("existing destination corrupted: %q, %v", got, err)
+	}
+	if _, statErr := os.Stat(path + ".tmp"); !os.IsNotExist(statErr) {
+		t.Fatal("orphan temp file left behind on second failure")
 	}
 }
 
