@@ -330,3 +330,106 @@ func TestCLIFig2Ablation(t *testing.T) {
 		t.Fatalf("ablation output:\n%s", out)
 	}
 }
+
+// TestCLIGenparamGoldenMultipliers pins genparam's printed leap
+// multipliers for two fixed exponent sets — the hex values are the
+// library's Â(n) = A^n mod 2^128, and any change here means the RNG
+// hierarchy is producing different substreams than every prior run.
+func TestCLIGenparamGoldenMultipliers(t *testing.T) {
+	bin := buildCLI(t, "cmd/genparam")
+	cases := []struct {
+		args   []string
+		golden []string
+	}{
+		{[]string{"115", "98", "43"}, []string{ // the paper's defaults
+			"Â(n_e) = 77600000000000000000000000000001",
+			"Â(n_p) = b424bbb0000000000000000000000001",
+			"Â(n_r) = 402b44410f5535684977600000000001",
+			"capacity: 1024 experiments × 131072 processors × 36028797018963968 realizations",
+		}},
+		{[]string{"20", "10", "5"}, []string{
+			"Â(n_e) = be6112e74cc17fe3433f9892eec00001",
+			"Â(n_p) = 88279b6b877c6c6e1fa26649713bb001",
+			"Â(n_r) = fd0b0d82cf7502b6bb7543c5fe88fd81",
+			"capacity: 40564819207303340847894502572032 experiments × 1024 processors × 32 realizations",
+		}},
+	}
+	for _, tc := range cases {
+		out, err := runCLI(t, t.TempDir(), bin, tc.args...)
+		if err != nil {
+			t.Fatalf("genparam %v: %v\n%s", tc.args, err, out)
+		}
+		for _, want := range tc.golden {
+			if !strings.Contains(out, want) {
+				t.Errorf("genparam %v output missing %q:\n%s", tc.args, want, out)
+			}
+		}
+	}
+}
+
+// TestCLIGenparamDirFlag: -dir places the parameter file elsewhere and
+// the run directory stays untouched.
+func TestCLIGenparamDirFlag(t *testing.T) {
+	bin := buildCLI(t, "cmd/genparam")
+	runDir, paramDir := t.TempDir(), t.TempDir()
+	out, err := runCLI(t, runDir, bin, "-dir", paramDir, "100", "80", "40")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if _, err := os.Stat(filepath.Join(paramDir, "parmonc_genparam.dat")); err != nil {
+		t.Fatalf("parameter file not in -dir target: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(runDir, "parmonc_genparam.dat")); !os.IsNotExist(err) {
+		t.Fatalf("parameter file leaked into the working directory (stat err %v)", err)
+	}
+	if !strings.Contains(out, paramDir) {
+		t.Fatalf("output does not name the target directory:\n%s", out)
+	}
+}
+
+// TestCLIManaverEmptyDirFails: without a simulation to average, manaver
+// must explain itself on stderr and exit nonzero rather than write
+// anything.
+func TestCLIManaverEmptyDirFails(t *testing.T) {
+	bin := buildCLI(t, "cmd/manaver")
+	dir := t.TempDir()
+	out, err := runCLI(t, dir, bin)
+	if err == nil {
+		t.Fatalf("manaver succeeded in an empty directory:\n%s", out)
+	}
+	if !strings.Contains(out, "manaver:") {
+		t.Fatalf("error output missing the manaver: prefix:\n%s", out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed manaver left files behind: %v", entries)
+	}
+}
+
+// TestCLIManaverDirFlag: manaver run from an unrelated directory finds
+// the simulation through -dir, and its recovered totals match what the
+// run reported.
+func TestCLIManaverDirFlag(t *testing.T) {
+	parmoncBin := buildCLI(t, "cmd/parmonc")
+	manaverBin := buildCLI(t, "cmd/manaver")
+	simDir, elsewhere := t.TempDir(), t.TempDir()
+
+	if out, err := runCLI(t, simDir, parmoncBin, "run", "-workload", "pi", "-maxsv", "20000",
+		"-perpass", "5ms", "-peraver", "10ms"); err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	out, err := runCLI(t, elsewhere, manaverBin, "-dir", simDir)
+	if err != nil {
+		t.Fatalf("manaver -dir: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "averaged results rewritten") ||
+		!strings.Contains(out, "total sample volume") {
+		t.Fatalf("manaver output:\n%s", out)
+	}
+	if !regexp.MustCompile(`total sample volume:?\s+2\d{4}`).MatchString(out) {
+		t.Fatalf("recovered sample volume not ≈20000:\n%s", out)
+	}
+}

@@ -243,6 +243,8 @@ func cmdCoord(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	peraver := fs.Duration("peraver", 2*time.Minute, "period of saving results")
 	passEvery := fs.Int64("pass-every", 100, "worker pushes after this many realizations")
+	quota := fs.Int64("worker-quota", 0, "realizations per worker before it detaches (0 = until target)")
+	drain := fs.Duration("drain-timeout", 2*time.Second, "grace for in-flight worker RPCs on shutdown")
 	snapshots := fs.Bool("worker-snapshots", true, "write per-worker snapshots for manaver")
 	stats := fs.Bool("stats", false, "print collector engine statistics after the job finishes")
 	fs.Parse(args)
@@ -256,20 +258,22 @@ func cmdCoord(args []string) error {
 		return err
 	}
 	spec := cluster.JobSpec{
-		SeqNum:     *seqnum,
-		Nrow:       w.nrow,
-		Ncol:       w.ncol,
-		MaxSamples: *maxsv,
-		Params:     params,
-		Gamma:      3,
-		PassEvery:  *passEvery,
-		Workload:   w.name,
+		SeqNum:      *seqnum,
+		Nrow:        w.nrow,
+		Ncol:        w.ncol,
+		MaxSamples:  *maxsv,
+		Params:      params,
+		Gamma:       3,
+		PassEvery:   *passEvery,
+		Workload:    w.name,
+		WorkerQuota: *quota,
 	}
 	coord, err := cluster.NewCoordinator(spec, cluster.CoordinatorConfig{
 		WorkDir:             *dir,
 		AverPeriod:          *peraver,
 		Resume:              *res,
 		SaveWorkerSnapshots: *snapshots,
+		DrainTimeout:        *drain,
 	}, *addr)
 	if err != nil {
 		return err
@@ -341,6 +345,12 @@ func cmdWorker(args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
 	name := fs.String("workload", "pi", "built-in workload name (must match the coordinator)")
 	addr := fs.String("addr", "127.0.0.1:7070", "coordinator address")
+	defaults := cluster.DefaultRetryPolicy()
+	attempts := fs.Int("retry-attempts", defaults.MaxAttempts, "RPC attempts before the worker gives up")
+	base := fs.Duration("retry-base", defaults.BaseDelay, "first retry backoff delay")
+	max := fs.Duration("retry-max", defaults.MaxDelay, "backoff delay cap")
+	callTimeout := fs.Duration("call-timeout", defaults.CallTimeout, "per-RPC timeout before reconnecting")
+	dialTimeout := fs.Duration("dial-timeout", defaults.DialTimeout, "per-dial timeout")
 	fs.Parse(args)
 
 	w, err := lookupWorkload(*name)
@@ -350,5 +360,20 @@ func cmdWorker(args []string) error {
 	ctx, cancel := signalContext()
 	defer cancel()
 	fmt.Printf("worker joining %s (workload %s)\n", *addr, w.name)
-	return cluster.RunNamedWorker(ctx, *addr, w.name, w.factory)
+	rep, err := cluster.RunResilientWorker(ctx, *addr, cluster.WorkerConfig{
+		Workload: w.name,
+		Retry: cluster.RetryPolicy{
+			MaxAttempts: *attempts,
+			BaseDelay:   *base,
+			MaxDelay:    *max,
+			CallTimeout: *callTimeout,
+			DialTimeout: *dialTimeout,
+		},
+	}, w.factory)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %d done: %d realizations, %d pushes (%d retries, %d reconnects)\n",
+		rep.Worker, rep.Realizations, rep.Pushes, rep.Retries, rep.Reconnects)
+	return nil
 }

@@ -24,7 +24,6 @@ package cluster
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -32,7 +31,6 @@ import (
 	"time"
 
 	"parmonc/internal/collect"
-	"parmonc/internal/core"
 	"parmonc/internal/rng"
 	"parmonc/internal/stat"
 	"parmonc/internal/store"
@@ -49,6 +47,14 @@ type JobSpec struct {
 	Gamma      float64    // confidence coefficient
 	PassEvery  int64      // worker pushes after this many realizations (>= 1)
 	Workload   string     // optional workload identity, checked at registration
+
+	// WorkerQuota, when positive, bounds every worker to exactly this
+	// many realizations before it flushes and detaches — a fixed
+	// per-processor realization budget. Combined with MaxSamples =
+	// workers × WorkerQuota it makes a distributed run's per-worker
+	// workload deterministic, which the chaos conformance suite relies
+	// on. Zero means workers run until told to stop.
+	WorkerQuota int64
 }
 
 // Validate checks the spec invariants.
@@ -62,6 +68,9 @@ func (s JobSpec) Validate() error {
 	if s.Gamma <= 0 {
 		return fmt.Errorf("cluster: confidence coefficient %g must be positive", s.Gamma)
 	}
+	if s.WorkerQuota < 0 {
+		return fmt.Errorf("cluster: WorkerQuota %d must not be negative", s.WorkerQuota)
+	}
 	return s.Params.Validate()
 }
 
@@ -73,6 +82,13 @@ type RegisterArgs struct {
 	// registration — catching the operator error of joining a worker
 	// built for a different job before any wrong moments are merged.
 	Workload string
+	// ClientID is an opaque identity chosen by the worker process,
+	// making registration idempotent: if the coordinator applied a
+	// Register but the reply was lost in the network, the retried call
+	// returns the same processor index instead of burning a fresh
+	// subsequence and orphaning the old index. Empty means
+	// non-idempotent registration (every call assigns a new index).
+	ClientID string
 }
 
 // RegisterReply assigns the worker its processor subsequence and job.
@@ -86,6 +102,12 @@ type RegisterReply struct {
 type PushArgs struct {
 	Worker int
 	Snap   stat.Snapshot
+	// Seq is the worker's monotonic push sequence number (starting at
+	// 1), the idempotency key: the coordinator acknowledges but does
+	// not re-merge a sequence number it has already applied, so a push
+	// whose reply was lost can be retried without double-counting
+	// moments. Zero means unsequenced (legacy workers; always merged).
+	Seq uint64
 }
 
 // PushReply tells the worker whether to continue.
@@ -96,6 +118,11 @@ type PushReply struct {
 // DoneArgs signals that a worker has stopped (voluntarily or on Stop).
 type DoneArgs struct {
 	Worker int
+	// Retries and Reconnects report the transport-level resilience
+	// work this worker performed, folded into the coordinator's
+	// collector metrics for the job-wide delivery story.
+	Retries    int64
+	Reconnects int64
 }
 
 // DoneReply is empty.
@@ -113,15 +140,22 @@ type Coordinator struct {
 	eng  *collect.Collector
 
 	mu        sync.Mutex
-	next      int // next processor index to hand out
+	next      int            // next processor index to hand out
+	byClient  map[string]int // ClientID → assigned index (idempotent Register)
 	stopped   bool
 	completed chan struct{} // closed when target reached and all workers done
 
 	timeout    time.Duration
+	drain      time.Duration
 	reaperStop chan struct{}
 
 	ln     net.Listener
 	server *rpc.Server
+
+	connMu  sync.Mutex
+	conns   map[net.Conn]struct{}
+	closing bool           // Close has begun; reject late-accepted conns
+	serving sync.WaitGroup // one per in-flight ServeConn goroutine
 }
 
 // CoordinatorConfig bundles the optional knobs of NewCoordinator.
@@ -143,11 +177,35 @@ type CoordinatorConfig struct {
 	// rebuild results if the coordinator dies before its final save —
 	// the paper's post-mortem averaging workflow (Sec. 3.4).
 	SaveWorkerSnapshots bool
+
+	// DrainTimeout bounds how long Close waits for in-flight worker
+	// connections to finish their RPCs before force-closing them, so a
+	// final subtotal flush racing shutdown is merged instead of failing
+	// with a spurious connection error. Default 2 s; negative disables
+	// draining (immediate force-close).
+	DrainTimeout time.Duration
 }
 
 // NewCoordinator creates a coordinator listening on addr (e.g.
 // "127.0.0.1:0"); the chosen address is available via Addr.
 func NewCoordinator(spec JobSpec, cfg CoordinatorConfig, addr string) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewCoordinatorOn(spec, cfg, ln)
+	if err != nil {
+		ln.Close()
+	}
+	return c, err
+}
+
+// NewCoordinatorOn is NewCoordinator serving on a caller-supplied
+// listener. This is how the chaos suite interposes a fault-injecting
+// faultnet.Listener between the coordinator and its workers; it also
+// lets deployments bring their own (e.g. TLS) listeners. The
+// coordinator takes ownership of ln and closes it in Close.
+func NewCoordinatorOn(spec JobSpec, cfg CoordinatorConfig, ln net.Listener) (*Coordinator, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -156,6 +214,9 @@ func NewCoordinator(spec JobSpec, cfg CoordinatorConfig, addr string) (*Coordina
 	}
 	if cfg.AverPeriod == 0 {
 		cfg.AverPeriod = 2 * time.Minute
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 2 * time.Second
 	}
 	dir, err := store.Open(cfg.WorkDir)
 	if err != nil {
@@ -181,19 +242,19 @@ func NewCoordinator(spec JobSpec, cfg CoordinatorConfig, addr string) (*Coordina
 	c := &Coordinator{
 		spec:       spec,
 		eng:        eng,
+		byClient:   map[string]int{},
 		completed:  make(chan struct{}),
 		timeout:    cfg.WorkerTimeout,
+		drain:      cfg.DrainTimeout,
 		reaperStop: make(chan struct{}),
+		conns:      map[net.Conn]struct{}{},
 	}
 
 	c.server = rpc.NewServer()
 	if err := c.server.RegisterName(ServiceName, &service{c}); err != nil {
 		return nil, err
 	}
-	c.ln, err = net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+	c.ln = ln
 	go c.acceptLoop()
 	if c.timeout > 0 {
 		go c.reapLoop()
@@ -234,7 +295,22 @@ func (c *Coordinator) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		go c.server.ServeConn(conn)
+		c.connMu.Lock()
+		if c.closing {
+			c.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conns[conn] = struct{}{}
+		c.serving.Add(1)
+		c.connMu.Unlock()
+		go func() {
+			defer c.serving.Done()
+			c.server.ServeConn(conn)
+			c.connMu.Lock()
+			delete(c.conns, conn)
+			c.connMu.Unlock()
+		}()
 	}
 }
 
@@ -242,13 +318,32 @@ func (c *Coordinator) acceptLoop() {
 // the wire.
 type service struct{ c *Coordinator }
 
-// Register assigns the calling worker a processor index.
+// Register assigns the calling worker a processor index. With a
+// non-empty ClientID the call is idempotent: a retry after a lost reply
+// returns the already-assigned index instead of a fresh one.
 func (s *service) Register(args RegisterArgs, reply *RegisterReply) error {
 	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.spec.Workload != "" && args.Workload != "" && args.Workload != c.spec.Workload {
 		return fmt.Errorf("cluster: worker runs workload %q but the job is %q", args.Workload, c.spec.Workload)
+	}
+	if args.ClientID != "" {
+		if w, ok := c.byClient[args.ClientID]; ok {
+			reply.Worker = w
+			reply.Spec = c.spec
+			reply.Stop = c.stopped || c.eng.TargetReached()
+			if reply.Stop {
+				// The worker will exit on Stop without calling Done;
+				// release the index its first (reply-lost) Register
+				// activated so it cannot stall completion.
+				_ = c.eng.Deregister(w)
+				c.maybeCompleteLocked()
+			} else {
+				c.eng.Register(w) // refresh liveness (no-op if still active)
+			}
+			return nil
+		}
 	}
 	if c.stopped || c.eng.TargetReached() {
 		reply.Stop = true
@@ -261,6 +356,9 @@ func (s *service) Register(args RegisterArgs, reply *RegisterReply) error {
 		return fmt.Errorf("cluster: out of processor subsequences: %w", err)
 	}
 	c.eng.Register(w)
+	if args.ClientID != "" {
+		c.byClient[args.ClientID] = w
+	}
 	reply.Worker = w
 	reply.Spec = c.spec
 	return nil
@@ -269,10 +367,12 @@ func (s *service) Register(args RegisterArgs, reply *RegisterReply) error {
 // Push merges a worker's subtotal moments through the collector engine,
 // which validates the snapshot before merging: a malformed or
 // wrong-dimension push is rejected with an error and cannot corrupt the
-// totals.
+// totals. A sequence number the engine has already applied for this
+// worker is acknowledged without re-merging, so retried deliveries are
+// idempotent.
 func (s *service) Push(args PushArgs, reply *PushReply) error {
 	c := s.c
-	if err := c.eng.Push(args.Worker, args.Snap); err != nil {
+	if err := c.eng.PushSeq(args.Worker, args.Seq, args.Snap); err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -281,12 +381,21 @@ func (s *service) Push(args PushArgs, reply *PushReply) error {
 	return nil
 }
 
-// Done releases a worker.
+// Done releases a worker. A retried Done for a worker index that was
+// assigned but is no longer active (the first delivery was applied but
+// its reply lost, or the worker was pruned) succeeds idempotently.
 func (s *service) Done(args DoneArgs, reply *DoneReply) error {
 	c := s.c
 	if err := c.eng.Deregister(args.Worker); err != nil {
-		return fmt.Errorf("cluster: done from unknown worker %d", args.Worker)
+		c.mu.Lock()
+		assigned := args.Worker >= 1 && args.Worker <= c.next
+		c.mu.Unlock()
+		if !assigned {
+			return fmt.Errorf("cluster: done from unknown worker %d", args.Worker)
+		}
+		return nil // duplicate Done: already detached
 	}
+	c.eng.NoteTransport(args.Retries, args.Reconnects)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.maybeCompleteLocked()
@@ -358,149 +467,46 @@ func (c *Coordinator) Status() Status {
 	}
 }
 
-// Close shuts down the listener and the worker reaper. Workers'
-// in-flight calls fail afterwards.
+// Close shuts down the coordinator: it stops accepting new workers,
+// waits up to the configured DrainTimeout for in-flight worker
+// connections to finish their RPCs (so a final subtotal flush racing
+// shutdown is merged, not dropped with a spurious error), then
+// force-closes whatever remains, and stops the reaper.
 func (c *Coordinator) Close() error {
 	select {
 	case <-c.reaperStop:
 	default:
 		close(c.reaperStop)
 	}
-	return c.ln.Close()
-}
+	err := c.ln.Close()
 
-// RunWorker connects to the coordinator at addr, registers, and
-// simulates realizations with the given factory-produced routine until
-// the coordinator says stop or ctx is cancelled. It implements the
-// worker half of the protocol; the paper's analogue is an MPI rank
-// executing the user program.
-func RunWorker(ctx context.Context, addr string, factory core.Factory) error {
-	return RunNamedWorker(ctx, addr, "", factory)
-}
+	c.connMu.Lock()
+	c.closing = true
+	c.connMu.Unlock()
 
-// RunNamedWorker is RunWorker carrying a workload identity that the
-// coordinator verifies at registration (when its JobSpec names one).
-func RunNamedWorker(ctx context.Context, addr, workloadName string, factory core.Factory) error {
-	if factory == nil {
-		return errors.New("cluster: nil realization factory")
-	}
-	client, err := rpc.Dial("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("cluster: dialing coordinator: %w", err)
-	}
-	defer client.Close()
-
-	var reg RegisterReply
-	if err := client.Call(ServiceName+".Register", RegisterArgs{Hostname: "worker", Workload: workloadName}, &reg); err != nil {
-		return fmt.Errorf("cluster: register: %w", err)
-	}
-	if reg.Stop {
-		return nil
-	}
-	spec := reg.Spec
-	w := reg.Worker
-
-	realize, err := factory(w)
-	if err != nil {
-		return fmt.Errorf("cluster: building realization: %w", err)
-	}
-	stream, err := rng.NewStream(spec.Params, rng.Coord{Experiment: spec.SeqNum, Processor: uint64(w)})
-	if err != nil {
-		return err
-	}
-
-	local := stat.New(spec.Nrow, spec.Ncol)
-	out := make([]float64, spec.Nrow*spec.Ncol)
-	defer func() {
-		// Flush any unsent subtotals, then detach. Errors here are
-		// best-effort: the coordinator tolerates vanished workers.
-		if local.N() > 0 {
-			var pr PushReply
-			_ = client.Call(ServiceName+".Push", PushArgs{Worker: w, Snap: local.Snapshot()}, &pr)
-		}
-		var dr DoneReply
-		_ = client.Call(ServiceName+".Done", DoneArgs{Worker: w}, &dr)
-	}()
-
-	for k := int64(0); ; k++ {
-		if ctx.Err() != nil {
-			return nil
-		}
-		if k > 0 {
-			if err := stream.NextRealization(); err != nil {
-				return err
-			}
-		}
-		for i := range out {
-			out[i] = 0
-		}
-		t0 := time.Now()
-		if err := realize(stream, out); err != nil {
-			return fmt.Errorf("cluster: realization %d: %w", k, err)
-		}
-		if err := local.AddTimed(out, time.Since(t0)); err != nil {
-			return err
-		}
-		if local.N() >= spec.PassEvery {
-			var pr PushReply
-			if err := client.Call(ServiceName+".Push", PushArgs{Worker: w, Snap: local.Snapshot()}, &pr); err != nil {
-				return fmt.Errorf("cluster: push: %w", err)
-			}
-			local.Reset()
-			if pr.Stop {
-				return nil
-			}
-		}
-	}
-}
-
-// WorkerOptions tunes RunWorkerOpts. The zero value dials once with the
-// net package's default timeout.
-type WorkerOptions struct {
-	// DialAttempts is the number of connection attempts before giving
-	// up (default 1). On a real cluster workers often start before the
-	// coordinator's listener is up; retrying makes job submission
-	// order-independent.
-	DialAttempts int
-	// RetryDelay is the pause between attempts (default 500 ms).
-	RetryDelay time.Duration
-	// DialTimeout bounds each attempt (default 5 s).
-	DialTimeout time.Duration
-}
-
-// RunWorkerOpts is RunWorker with explicit connection options.
-func RunWorkerOpts(ctx context.Context, addr string, factory core.Factory, opts WorkerOptions) error {
-	if factory == nil {
-		return errors.New("cluster: nil realization factory")
-	}
-	attempts := opts.DialAttempts
-	if attempts < 1 {
-		attempts = 1
-	}
-	delay := opts.RetryDelay
-	if delay == 0 {
-		delay = 500 * time.Millisecond
-	}
-	timeout := opts.DialTimeout
-	if timeout == 0 {
-		timeout = 5 * time.Second
-	}
-	var lastErr error
-	for i := 0; i < attempts; i++ {
-		if ctx.Err() != nil {
-			return ctx.Err()
-		}
-		conn, err := net.DialTimeout("tcp", addr, timeout)
-		if err == nil {
-			conn.Close()
-			return RunWorker(ctx, addr, factory)
-		}
-		lastErr = err
+	if c.drain > 0 {
+		drained := make(chan struct{})
+		go func() {
+			c.serving.Wait()
+			close(drained)
+		}()
 		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(delay):
+		case <-drained:
+		case <-time.After(c.drain):
 		}
 	}
-	return fmt.Errorf("cluster: coordinator unreachable after %d attempts: %w", attempts, lastErr)
+
+	// Force-close stragglers (wedged or still-connected workers) so
+	// their ServeConn goroutines terminate.
+	c.connMu.Lock()
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.connMu.Unlock()
+	c.serving.Wait()
+	return err
 }
+
+// The worker half of the protocol lives in worker.go: RunWorker,
+// RunNamedWorker, RunWorkerOpts and RunResilientWorker, all built on
+// the retrying, reconnecting ResilientClient in retry.go.

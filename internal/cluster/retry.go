@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy governs how a worker survives transport failures: every
+// RPC (Register, Push, Done) is retried with exponential backoff and
+// jitter, reconnecting after connection loss, until it succeeds, the
+// attempt budget is exhausted, or the context is cancelled. A server
+// reply carrying an application error (rpc.ServerError — e.g. a
+// rejected snapshot or a workload mismatch) is definitive and is never
+// retried; only transport faults (dial failures, dropped connections,
+// call timeouts) are.
+//
+// The zero value is usable: every field falls back to its default.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per RPC, including the
+	// first (default 5). Values < 1 mean the default.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 20 ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 1 s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between consecutive retries
+	// (default 2; 1 gives constant-delay retries).
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized,
+	// in [0, 1] (default 0.2): delay · (1 − J/2 + J·u), u ∈ [0, 1).
+	// Jitter decorrelates a fleet of workers reconnecting after the
+	// same network event.
+	Jitter float64
+	// CallTimeout bounds one RPC attempt; when it expires the
+	// connection is declared dead, closed, and redialed (default 30 s).
+	// This is what recovers a worker from a one-way network partition,
+	// where the TCP connection looks healthy but replies never arrive.
+	CallTimeout time.Duration
+	// DialTimeout bounds one connection attempt (default 5 s).
+	DialTimeout time.Duration
+	// Seed seeds the jitter generator; 0 means a fixed default, which
+	// keeps single-worker tests deterministic.
+	Seed int64
+}
+
+// DefaultRetryPolicy returns the policy RunWorker uses.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{}.withDefaults()
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 20 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.2
+	}
+	if p.CallTimeout <= 0 {
+		p.CallTimeout = 30 * time.Second
+	}
+	if p.DialTimeout <= 0 {
+		p.DialTimeout = 5 * time.Second
+	}
+	return p
+}
+
+// delay computes the backoff before retry number retry (0-based),
+// exponentially grown, capped, and jittered.
+func (p RetryPolicy) delay(retry int, rnd *rand.Rand) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 0; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 && rnd != nil {
+		d *= 1 - p.Jitter/2 + p.Jitter*rnd.Float64()
+	}
+	return time.Duration(d)
+}
+
+// ClientStats counts the resilience work a ResilientClient performed.
+type ClientStats struct {
+	Retries    int64 // RPC attempts beyond the first
+	Reconnects int64 // dials beyond the first successful one
+}
+
+// ResilientClient is an rpc.Client wrapper implementing the worker side
+// of at-least-once delivery: calls are retried per the RetryPolicy,
+// reconnecting when the connection is lost or a call times out. It
+// makes no idempotency promises itself — the protocol's sequence
+// numbers (PushArgs.Seq) and identity keys (RegisterArgs.ClientID) turn
+// its redeliveries into exactly-once effects on the coordinator.
+//
+// A ResilientClient is safe for use by one goroutine at a time (the
+// worker loop is sequential); Stats may be read concurrently.
+type ResilientClient struct {
+	addr   string
+	policy RetryPolicy
+	rnd    *rand.Rand
+
+	mu      sync.Mutex
+	client  *rpc.Client
+	dialed  bool // a dial has succeeded at least once
+	retries atomic.Int64
+	redials atomic.Int64
+}
+
+// NewResilientClient returns a client for the coordinator at addr.
+// Nothing is dialed until the first call.
+func NewResilientClient(addr string, policy RetryPolicy) *ResilientClient {
+	p := policy.withDefaults()
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &ResilientClient{
+		addr:   addr,
+		policy: p,
+		rnd:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Stats returns the retry/reconnect counters so far.
+func (rc *ResilientClient) Stats() ClientStats {
+	return ClientStats{Retries: rc.retries.Load(), Reconnects: rc.redials.Load()}
+}
+
+// Close tears down the current connection, if any.
+func (rc *ResilientClient) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.client == nil {
+		return nil
+	}
+	err := rc.client.Close()
+	rc.client = nil
+	return err
+}
+
+// connect ensures a live connection, dialing if necessary.
+func (rc *ResilientClient) connect() (*rpc.Client, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.client != nil {
+		return rc.client, nil
+	}
+	conn, err := net.DialTimeout("tcp", rc.addr, rc.policy.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dialing coordinator: %w", err)
+	}
+	if rc.dialed {
+		rc.redials.Add(1)
+	}
+	rc.dialed = true
+	rc.client = rpc.NewClient(conn)
+	return rc.client, nil
+}
+
+// drop discards the current connection so the next attempt redials.
+func (rc *ResilientClient) drop(client *rpc.Client) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	client.Close()
+	if rc.client == client {
+		rc.client = nil
+	}
+}
+
+// Call invokes method with retry, reconnect and backoff per the policy.
+// The reply each attempt decodes into is a fresh value, copied to reply
+// only on success, so a late response from a timed-out attempt can
+// never corrupt the caller's memory.
+func (rc *ResilientClient) Call(ctx context.Context, method string, args, reply interface{}) error {
+	var lastErr error
+	for attempt := 0; attempt < rc.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rc.retries.Add(1)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(rc.policy.delay(attempt-1, rc.rnd)):
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		client, err := rc.connect()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		attemptReply := reflect.New(reflect.TypeOf(reply).Elem()).Interface()
+		call := client.Go(method, args, attemptReply, make(chan *rpc.Call, 1))
+		timer := time.NewTimer(rc.policy.CallTimeout)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			rc.drop(client)
+			return ctx.Err()
+		case <-timer.C:
+			rc.drop(client)
+			lastErr = fmt.Errorf("cluster: %s timed out after %v", method, rc.policy.CallTimeout)
+		case done := <-call.Done:
+			timer.Stop()
+			if done.Error == nil {
+				reflect.ValueOf(reply).Elem().Set(reflect.ValueOf(attemptReply).Elem())
+				return nil
+			}
+			if _, ok := done.Error.(rpc.ServerError); ok {
+				// The server answered: the call was delivered and
+				// rejected. Retrying cannot change the outcome.
+				return done.Error
+			}
+			rc.drop(client)
+			lastErr = done.Error
+		}
+	}
+	return fmt.Errorf("cluster: %s failed after %d attempts: %w", method, rc.policy.MaxAttempts, lastErr)
+}

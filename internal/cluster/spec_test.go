@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpecValidateMessages is the table-driven contract for JobSpec
+// validation: each broken invariant is rejected with a message naming
+// the offending field and value, because this text is what an operator
+// sees when a job refuses to start.
+func TestSpecValidateMessages(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*JobSpec)
+		want   string // substring of the error text
+	}{
+		{"zero rows", func(s *JobSpec) { s.Nrow = 0 }, "invalid dimensions 0×1"},
+		{"negative cols", func(s *JobSpec) { s.Ncol = -1 }, "invalid dimensions"},
+		{"zero pass-every", func(s *JobSpec) { s.PassEvery = 0 }, "PassEvery 0 must be >= 1"},
+		{"negative pass-every", func(s *JobSpec) { s.PassEvery = -5 }, "PassEvery -5 must be >= 1"},
+		{"zero gamma", func(s *JobSpec) { s.Gamma = 0 }, "confidence coefficient 0 must be positive"},
+		{"negative gamma", func(s *JobSpec) { s.Gamma = -1 }, "confidence coefficient -1 must be positive"},
+		{"negative quota", func(s *JobSpec) { s.WorkerQuota = -1 }, "WorkerQuota -1 must not be negative"},
+		{"bad rng nesting", func(s *JobSpec) { s.Params.ProcessorLeapLog2 = 126 }, "rng:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := testSpec(100)
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// Valid specs, including the boundary values, pass.
+	ok := testSpec(100)
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ok.WorkerQuota = 0 // zero = no fixed budget
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ok.WorkerQuota = 1
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkloadMismatchErrorText pins the exact registration error a
+// misconfigured worker reports: it must name both workloads so the
+// operator can tell which side is wrong — and it must not be retried,
+// since a coordinator-side rejection is definitive, not a transport
+// fault.
+func TestWorkloadMismatchErrorText(t *testing.T) {
+	spec := testSpec(1000)
+	spec.Workload = "pi"
+	coord, err := NewCoordinator(spec, CoordinatorConfig{WorkDir: t.TempDir()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	policy := DefaultRetryPolicy()
+	policy.BaseDelay = time.Millisecond
+	rc := NewResilientClient(coord.Addr(), policy)
+	defer rc.Close()
+
+	var reply RegisterReply
+	err = rc.Call(context.Background(), ServiceName+".Register",
+		RegisterArgs{Workload: "diffusion", ClientID: "mismatched"}, &reply)
+	if err == nil {
+		t.Fatal("mismatched workload accepted")
+	}
+	want := `cluster: worker runs workload "diffusion" but the job is "pi"`
+	if got := err.Error(); got != want {
+		t.Fatalf("worker sees %q, want %q", got, want)
+	}
+	if st := rc.Stats(); st.Retries != 0 {
+		t.Fatalf("definitive rejection was retried %d times", st.Retries)
+	}
+
+	// The same text reaches RunNamedWorker callers (wrapped with the
+	// call site).
+	if err := RunNamedWorker(context.Background(), coord.Addr(), "diffusion", uniformRealization); err == nil ||
+		!strings.Contains(err.Error(), want) {
+		t.Fatalf("RunNamedWorker error %v does not carry %q", err, want)
+	}
+}

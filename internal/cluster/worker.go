@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+	"parmonc/internal/stat"
+)
+
+// WorkerConfig tunes RunResilientWorker beyond the address.
+type WorkerConfig struct {
+	// Workload names the realization routine; the coordinator rejects
+	// mismatches at registration when its JobSpec also names one.
+	Workload string
+	// Hostname is informational (default: os.Hostname).
+	Hostname string
+	// Retry governs reconnect/retry behavior; the zero value uses
+	// DefaultRetryPolicy.
+	Retry RetryPolicy
+}
+
+// WorkerReport summarizes one worker session: how much it simulated
+// and how much resilience work the transport needed. The same counters
+// reach the coordinator's collector metrics via Done.
+type WorkerReport struct {
+	Worker       int   // assigned processor index (0 if never registered)
+	Realizations int64 // realizations simulated
+	Pushes       int64 // subtotal snapshots acknowledged by the coordinator
+	Retries      int64 // RPC attempts beyond the first
+	Reconnects   int64 // dials beyond the first successful one
+}
+
+// newClientID returns a random identity for idempotent registration.
+func newClientID() string {
+	var b [12]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Fall back to a time-derived identity; uniqueness, not
+		// secrecy, is all registration needs.
+		return fmt.Sprintf("t%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RunWorker connects to the coordinator at addr, registers, and
+// simulates realizations with the given factory-produced routine until
+// the coordinator says stop or ctx is cancelled. It implements the
+// worker half of the protocol; the paper's analogue is an MPI rank
+// executing the user program. Transport faults are survived per
+// DefaultRetryPolicy: calls are retried with exponential backoff and
+// the connection is re-established after a loss, while sequence
+// numbers keep redelivered pushes from double-counting moments.
+func RunWorker(ctx context.Context, addr string, factory core.Factory) error {
+	return RunNamedWorker(ctx, addr, "", factory)
+}
+
+// RunNamedWorker is RunWorker carrying a workload identity that the
+// coordinator verifies at registration (when its JobSpec names one).
+func RunNamedWorker(ctx context.Context, addr, workloadName string, factory core.Factory) error {
+	_, err := RunResilientWorker(ctx, addr, WorkerConfig{Workload: workloadName}, factory)
+	return err
+}
+
+// WorkerOptions tunes RunWorkerOpts. The zero value retries per
+// DefaultRetryPolicy. Deprecated in favor of WorkerConfig/RetryPolicy;
+// kept for the constant-delay startup-race semantics it always had.
+type WorkerOptions struct {
+	// DialAttempts is the number of connection attempts before giving
+	// up (default 1). On a real cluster workers often start before the
+	// coordinator's listener is up; retrying makes job submission
+	// order-independent.
+	DialAttempts int
+	// RetryDelay is the pause between attempts (default 500 ms).
+	RetryDelay time.Duration
+	// DialTimeout bounds each attempt (default 5 s).
+	DialTimeout time.Duration
+}
+
+// RunWorkerOpts is RunWorker with explicit connection options.
+func RunWorkerOpts(ctx context.Context, addr string, factory core.Factory, opts WorkerOptions) error {
+	policy := RetryPolicy{
+		MaxAttempts: opts.DialAttempts,
+		BaseDelay:   opts.RetryDelay,
+		MaxDelay:    opts.RetryDelay,
+		Multiplier:  1, // legacy semantics: constant-delay dial retries
+		DialTimeout: opts.DialTimeout,
+	}
+	if policy.MaxAttempts < 1 {
+		policy.MaxAttempts = 1
+	}
+	if policy.BaseDelay <= 0 {
+		policy.BaseDelay = 500 * time.Millisecond
+		policy.MaxDelay = 500 * time.Millisecond
+	}
+	_, err := RunResilientWorker(ctx, addr, WorkerConfig{Retry: policy}, factory)
+	return err
+}
+
+// RunResilientWorker is the full-featured worker: it registers
+// idempotently (a retried Register after a lost reply reclaims the same
+// processor index), simulates realizations, and pushes subtotal
+// snapshots carrying monotonic sequence numbers so the coordinator can
+// deduplicate redeliveries — at-least-once delivery, exactly-once
+// merge. The snapshot of a push is captured once and the identical
+// payload is re-sent on every retry.
+func RunResilientWorker(ctx context.Context, addr string, cfg WorkerConfig, factory core.Factory) (rep WorkerReport, err error) {
+	if factory == nil {
+		return rep, errors.New("cluster: nil realization factory")
+	}
+	if cfg.Hostname == "" {
+		cfg.Hostname, _ = os.Hostname()
+		if cfg.Hostname == "" {
+			cfg.Hostname = "worker"
+		}
+	}
+	rc := NewResilientClient(addr, cfg.Retry)
+	defer rc.Close()
+	defer func() {
+		st := rc.Stats()
+		rep.Retries, rep.Reconnects = st.Retries, st.Reconnects
+	}()
+
+	var reg RegisterReply
+	regArgs := RegisterArgs{Hostname: cfg.Hostname, Workload: cfg.Workload, ClientID: newClientID()}
+	if err := rc.Call(ctx, ServiceName+".Register", regArgs, &reg); err != nil {
+		if ctx.Err() != nil {
+			return rep, ctx.Err()
+		}
+		return rep, fmt.Errorf("cluster: register: %w", err)
+	}
+	if reg.Stop {
+		return rep, nil
+	}
+	spec := reg.Spec
+	w := reg.Worker
+	rep.Worker = w
+
+	realize, err := factory(w)
+	if err != nil {
+		return rep, fmt.Errorf("cluster: building realization: %w", err)
+	}
+	stream, err := rng.NewStream(spec.Params, rng.Coord{Experiment: spec.SeqNum, Processor: uint64(w)})
+	if err != nil {
+		return rep, err
+	}
+
+	local := stat.New(spec.Nrow, spec.Ncol)
+	out := make([]float64, spec.Nrow*spec.Ncol)
+	var seq uint64
+
+	// push sends the current subtotal under the next sequence number.
+	// The snapshot is captured once; retries inside Call redeliver the
+	// identical payload, which the coordinator deduplicates by seq.
+	push := func(ctx context.Context) (stop bool, err error) {
+		seq++
+		args := PushArgs{Worker: w, Seq: seq, Snap: local.Snapshot()}
+		var pr PushReply
+		if err := rc.Call(ctx, ServiceName+".Push", args, &pr); err != nil {
+			return false, err
+		}
+		rep.Pushes++
+		local.Reset()
+		return pr.Stop, nil
+	}
+
+	defer func() {
+		// Flush any unsent subtotals, then detach, on a context of
+		// their own: the run context may already be cancelled, and the
+		// coordinator tolerates vanished workers, so this is bounded
+		// best-effort.
+		fctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if local.N() > 0 {
+			_, _ = push(fctx)
+		}
+		st := rc.Stats()
+		var dr DoneReply
+		_ = rc.Call(fctx, ServiceName+".Done",
+			DoneArgs{Worker: w, Retries: st.Retries, Reconnects: st.Reconnects}, &dr)
+	}()
+
+	for k := int64(0); ; k++ {
+		if ctx.Err() != nil {
+			return rep, nil
+		}
+		if spec.WorkerQuota > 0 && k >= spec.WorkerQuota {
+			return rep, nil // fixed realization budget exhausted
+		}
+		if k > 0 {
+			if err := stream.NextRealization(); err != nil {
+				return rep, err
+			}
+		}
+		for i := range out {
+			out[i] = 0
+		}
+		t0 := time.Now()
+		if err := realize(stream, out); err != nil {
+			return rep, fmt.Errorf("cluster: realization %d: %w", k, err)
+		}
+		if err := local.AddTimed(out, time.Since(t0)); err != nil {
+			return rep, err
+		}
+		rep.Realizations++
+		if local.N() >= spec.PassEvery {
+			stop, err := push(ctx)
+			if err != nil {
+				return rep, fmt.Errorf("cluster: push: %w", err)
+			}
+			if stop {
+				return rep, nil
+			}
+		}
+	}
+}

@@ -103,7 +103,8 @@ type Collector struct {
 	perWorker  map[int]*stat.Accumulator // nil unless SaveWorkerSnapshots
 	active     map[int]bool
 	lastSeen   map[int]time.Time
-	registered int // workers ever registered (stamped into saved metadata)
+	lastSeq    map[int]uint64 // highest applied push sequence per worker
+	registered int            // workers ever registered (stamped into saved metadata)
 	lastSave   time.Time
 	start      time.Time
 	saveErr    error // first save failure, sticky
@@ -139,6 +140,7 @@ func New(dir *store.Dir, meta store.RunMeta, cfg Config) (*Collector, error) {
 		now:      now,
 		active:   map[int]bool{},
 		lastSeen: map[int]time.Time{},
+		lastSeq:  map[int]uint64{},
 	}
 	c.start = now()
 	c.lastSave = c.start
@@ -223,7 +225,29 @@ func (c *Collector) Deregister(w int) error {
 	}
 	delete(c.active, w)
 	delete(c.lastSeen, w)
+	delete(c.lastSeq, w)
 	return nil
+}
+
+// LastSeq returns the highest push sequence number applied for worker
+// w (0 if the worker has only sent unsequenced pushes, or none).
+func (c *Collector) LastSeq(w int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastSeq[w]
+}
+
+// NoteTransport folds transport-level resilience counters reported by a
+// detaching worker (RPC retries and reconnects it performed) into the
+// collector metrics, so a job's full delivery story — including what
+// happened on the worker side of the wire — is visible in one place.
+func (c *Collector) NoteTransport(retries, reconnects int64) {
+	if retries > 0 {
+		c.metrics.workerRetries.Add(retries)
+	}
+	if reconnects > 0 {
+		c.metrics.workerReconnects.Add(reconnects)
+	}
 }
 
 // IsActive reports whether worker w is currently registered.
@@ -254,6 +278,7 @@ func (c *Collector) PruneStale(timeout time.Duration) int {
 		if c.active[w] && now.Sub(seen) > timeout {
 			delete(c.active, w)
 			delete(c.lastSeen, w)
+			delete(c.lastSeq, w)
 			pruned++
 			c.metrics.pruned.Add(1)
 			c.event(Event{Kind: EventPrune, Worker: w})
@@ -269,6 +294,18 @@ func (c *Collector) PruneStale(timeout time.Duration) int {
 // periodic averaging + save; a save failure is returned (and remembered
 // for Finalize).
 func (c *Collector) Push(w int, snap stat.Snapshot) error {
+	return c.PushSeq(w, 0, snap)
+}
+
+// PushSeq is Push carrying a per-worker delivery sequence number, the
+// idempotency key of an at-least-once transport. Sequence numbers start
+// at 1 and increase monotonically per worker; a snapshot whose sequence
+// number has already been applied is acknowledged without merging
+// (counted as a redelivery), so a transport may retry a push whose
+// reply was lost without double-counting moments — at-least-once
+// delivery, exactly-once merge. Seq 0 means "unsequenced": always
+// merged (the in-process transport needs no idempotency).
+func (c *Collector) PushSeq(w int, seq uint64, snap stat.Snapshot) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.metrics.pushes.Add(1)
@@ -279,6 +316,11 @@ func (c *Collector) Push(w int, snap stat.Snapshot) error {
 		return fmt.Errorf("collect: push from unknown worker %d", w)
 	}
 	c.lastSeen[w] = c.now()
+	if seq != 0 && seq <= c.lastSeq[w] {
+		c.metrics.redelivered.Add(1)
+		c.event(Event{Kind: EventDuplicate, Worker: w, Samples: snap.N})
+		return nil
+	}
 	if err := c.validateSnap(snap); err != nil {
 		c.metrics.rejected.Add(1)
 		c.event(Event{Kind: EventReject, Worker: w, Samples: snap.N})
@@ -291,6 +333,9 @@ func (c *Collector) Push(w int, snap stat.Snapshot) error {
 	}
 	c.metrics.merges.Add(1)
 	c.event(Event{Kind: EventMerge, Worker: w, Samples: snap.N})
+	if seq != 0 {
+		c.lastSeq[w] = seq
+	}
 
 	if c.perWorker != nil {
 		acc, ok := c.perWorker[w]

@@ -3,6 +3,7 @@ package collect
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"parmonc/internal/stat"
 	"parmonc/internal/store"
@@ -19,6 +20,11 @@ import (
 // 0-th processor's formula (5) — replayed from disk instead of from a
 // transport.
 func Manaver(workdir string) (stat.Report, error) {
+	// Refuse before store.Open scaffolds an empty parmonc_data tree in
+	// a directory that plainly holds no simulation to average.
+	if _, err := os.Stat(filepath.Join(workdir, store.DataDir)); os.IsNotExist(err) {
+		return stat.Report{}, fmt.Errorf("collect: manaver: no simulation has run in %s", workdir)
+	}
 	dir, err := store.Open(workdir)
 	if err != nil {
 		return stat.Report{}, err

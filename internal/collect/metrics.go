@@ -21,6 +21,10 @@ type Metrics struct {
 	registered      atomic.Int64 // workers ever registered
 	pruned          atomic.Int64 // workers dropped for silence
 	resumedSamples  atomic.Int64 // sample volume inherited from resume
+
+	redelivered      atomic.Int64 // duplicate pushes deduplicated by sequence number
+	workerRetries    atomic.Int64 // RPC retries reported by detaching workers
+	workerReconnects atomic.Int64 // reconnects reported by detaching workers
 }
 
 func (m *Metrics) snapshot() MetricsSnapshot {
@@ -34,6 +38,9 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 		RegisteredWorkers: m.registered.Load(),
 		PrunedWorkers:     m.pruned.Load(),
 		ResumedSamples:    m.resumedSamples.Load(),
+		Redeliveries:      m.redelivered.Load(),
+		WorkerRetries:     m.workerRetries.Load(),
+		WorkerReconnects:  m.workerReconnects.Load(),
 	}
 }
 
@@ -50,6 +57,9 @@ type MetricsSnapshot struct {
 	RegisteredWorkers int64         // workers ever registered
 	PrunedWorkers     int64         // workers dropped for silence
 	ResumedSamples    int64         // sample volume inherited from a resumed run
+	Redeliveries      int64         // duplicate pushes acknowledged without merging
+	WorkerRetries     int64         // RPC retries reported by detaching workers
+	WorkerReconnects  int64         // reconnects reported by detaching workers
 }
 
 // MeanSaveLatency returns the average duration of one save cycle.
@@ -78,6 +88,9 @@ func (s MetricsSnapshot) WriteTo(w io.Writer) (int64, error) {
 		{"registered_workers", s.RegisteredWorkers},
 		{"pruned_workers", s.PrunedWorkers},
 		{"resumed_samples", s.ResumedSamples},
+		{"redeliveries", s.Redeliveries},
+		{"worker_retries", s.WorkerRetries},
+		{"worker_reconnects", s.WorkerReconnects},
 	} {
 		n, err := fmt.Fprintf(w, "%-24s %v\n", row.key, row.val)
 		total += int64(n)
@@ -92,11 +105,12 @@ func (s MetricsSnapshot) WriteTo(w io.Writer) (int64, error) {
 type EventKind int
 
 const (
-	EventPush   EventKind = iota // a subtotal push arrived
-	EventReject                  // the push was rejected before merging
-	EventMerge                   // the push was merged into the total
-	EventSave                    // an averaging + save cycle completed
-	EventPrune                   // a silent worker was dropped
+	EventPush      EventKind = iota // a subtotal push arrived
+	EventReject                     // the push was rejected before merging
+	EventMerge                      // the push was merged into the total
+	EventSave                       // an averaging + save cycle completed
+	EventPrune                      // a silent worker was dropped
+	EventDuplicate                  // a redelivered push was deduplicated
 )
 
 // String returns the event kind's wire-stable name.
@@ -112,6 +126,8 @@ func (k EventKind) String() string {
 		return "save"
 	case EventPrune:
 		return "prune"
+	case EventDuplicate:
+		return "duplicate"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

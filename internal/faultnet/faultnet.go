@@ -1,0 +1,262 @@
+// Package faultnet wraps net.Listener/net.Conn with scriptable fault
+// injection for chaos-testing network transports: refused connections,
+// added latency, connections dropped after a byte budget, and one-way
+// partitions (bytes silently vanish in one direction while the other
+// keeps flowing).
+//
+// The package exists to exercise the PARMONC cluster transport's
+// at-least-once/exactly-once delivery machinery under the failures a
+// real cluster interconnect produces — the subtleties Lubachevsky
+// ("Why The Results of Parallel and Serial Monte Carlo Simulations May
+// Differ") shows can corrupt Monte Carlo estimates undetectably. It is
+// deliberately transport-agnostic: anything serving on a net.Listener
+// can be wrapped.
+//
+// Faults are assigned per accepted connection by a Planner, which maps
+// the connection's accept index to a ConnPlan. Plans are scripted
+// (deterministic given the Planner), so chaos schedules are exactly
+// reproducible from a seed.
+package faultnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ConnPlan scripts the faults of one accepted connection. The zero
+// value is a fault-free passthrough. Byte thresholds count bytes seen
+// by this wrapper: "read" is traffic from the remote peer (e.g. a
+// worker's requests arriving at the coordinator), "write" is traffic to
+// the peer (the coordinator's replies).
+type ConnPlan struct {
+	// Refuse closes the connection immediately after accept, before
+	// any bytes flow — the peer sees a reset/EOF on first use.
+	Refuse bool
+
+	// Latency is added to every Read and Write call.
+	Latency time.Duration
+
+	// CloseAfterRead hard-closes the connection once this many bytes
+	// have been read from the peer (0 = never). Requests already read
+	// may have been applied while their replies can no longer be
+	// delivered — the classic lost-ack window.
+	CloseAfterRead int64
+
+	// CloseAfterWrite hard-closes the connection once this many bytes
+	// have been written to the peer (0 = never). A reply can be cut
+	// mid-stream, corrupting the peer's decode state.
+	CloseAfterWrite int64
+
+	// BlackholeAfterWrite starts a one-way partition once this many
+	// bytes have been written (0 = never): writes keep "succeeding"
+	// locally but the bytes are discarded, so the peer waits forever
+	// for replies that never arrive. Only a peer-side timeout escapes.
+	BlackholeAfterWrite int64
+
+	// BlackholeAfterRead starts the opposite one-way partition once
+	// this many bytes have been read (0 = never): reads block until
+	// the connection is closed, as if the peer's packets vanished.
+	BlackholeAfterRead int64
+}
+
+// Planner assigns a fault plan to the i-th accepted connection
+// (0-based). It must be safe for concurrent use if the listener is
+// shared; the listener calls it from its accept loop only.
+type Planner func(i int) ConnPlan
+
+// None is a Planner injecting no faults.
+func None(int) ConnPlan { return ConnPlan{} }
+
+// Listener wraps an inner net.Listener, applying the Planner's fault
+// plan to every accepted connection.
+type Listener struct {
+	inner net.Listener
+	plan  Planner
+	n     atomic.Int64 // connections accepted so far
+
+	abortOnce sync.Once
+	aborted   chan struct{}
+}
+
+// Wrap returns a fault-injecting listener around ln. The returned
+// listener owns ln and closes it on Close.
+func Wrap(ln net.Listener, plan Planner) *Listener {
+	if plan == nil {
+		plan = None
+	}
+	return &Listener{inner: ln, plan: plan, aborted: make(chan struct{})}
+}
+
+// Listen is net.Listen followed by Wrap.
+func Listen(network, addr string, plan Planner) (*Listener, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(ln, plan), nil
+}
+
+// Accept waits for the next connection, applies its plan, and returns
+// it. Refused connections are closed immediately and never surface:
+// the peer observes a connection that dies at birth, while the server
+// keeps accepting.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.inner.Accept()
+		if err != nil {
+			return nil, err
+		}
+		p := l.plan(int(l.n.Add(1) - 1))
+		if p.Refuse {
+			c.Close()
+			continue
+		}
+		return &Conn{Conn: c, plan: p, closed: make(chan struct{}), abort: l.aborted}, nil
+	}
+}
+
+// Close closes the inner listener and releases any reader blocked in a
+// black-holed Read (the read returns net.ErrClosed). Live connections
+// are otherwise left to their owners, matching net.Listener semantics —
+// a server's graceful-drain logic keeps working under fault injection.
+func (l *Listener) Close() error {
+	l.abortOnce.Do(func() { close(l.aborted) })
+	return l.inner.Close()
+}
+
+// Addr returns the inner listener's address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Accepted returns how many connections have been accepted (including
+// refused ones) — the next connection gets plan index Accepted().
+func (l *Listener) Accepted() int { return int(l.n.Load()) }
+
+// Conn is one fault-injected connection.
+type Conn struct {
+	net.Conn
+	plan ConnPlan
+
+	read    atomic.Int64
+	written atomic.Int64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	abort     <-chan struct{} // listener closed: release black holes
+}
+
+// Close closes the underlying connection and releases any reader
+// blocked in a black-holed Read.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// sleep applies the plan's latency, cut short if the conn closes.
+func (c *Conn) sleep() {
+	if c.plan.Latency <= 0 {
+		return
+	}
+	t := time.NewTimer(c.plan.Latency)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.closed:
+	case <-c.abort:
+	}
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	c.sleep()
+	if th := c.plan.BlackholeAfterRead; th > 0 && c.read.Load() >= th {
+		// One-way partition: incoming bytes vanish. Block until the
+		// connection (or the listener) is torn down, like a peer whose
+		// packets are being dropped.
+		select {
+		case <-c.closed:
+		case <-c.abort:
+		}
+		return 0, net.ErrClosed
+	}
+	if th := c.plan.CloseAfterRead; th > 0 && c.read.Load() >= th {
+		c.Close()
+		return 0, net.ErrClosed
+	}
+	n, err := c.Conn.Read(b)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	c.sleep()
+	if th := c.plan.BlackholeAfterWrite; th > 0 && c.written.Load() >= th {
+		// One-way partition: pretend the write succeeded. The peer
+		// never sees these bytes.
+		c.written.Add(int64(len(b)))
+		return len(b), nil
+	}
+	if th := c.plan.CloseAfterWrite; th > 0 && c.written.Load() >= th {
+		c.Close()
+		return 0, net.ErrClosed
+	}
+	n, err := c.Conn.Write(b)
+	c.written.Add(int64(n))
+	return n, err
+}
+
+// Plan returns the connection's fault script (for assertions in tests).
+func (c *Conn) Plan() ConnPlan { return c.plan }
+
+// RandomPlanner builds a reproducible chaos schedule: each accepted
+// connection independently draws a fault plan from the seeded
+// generator. severity in [0, 1] is the probability that a connection is
+// faulty at all; a faulty connection gets one of the fault shapes
+// (refusal, latency, byte-budget close, one-way partition) with byte
+// thresholds in [lo, hi). Identical seeds yield identical schedules, so
+// a failing chaos run is replayable from its logged seed.
+func RandomPlanner(seed int64, severity float64, lo, hi int64) Planner {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	var mu sync.Mutex
+	rnd := rand.New(rand.NewSource(seed))
+	return func(int) ConnPlan {
+		mu.Lock()
+		defer mu.Unlock()
+		if rnd.Float64() >= severity {
+			return ConnPlan{}
+		}
+		budget := func() int64 { return lo + rnd.Int63n(hi-lo) }
+		switch rnd.Intn(6) {
+		case 0:
+			return ConnPlan{Refuse: true}
+		case 1:
+			return ConnPlan{Latency: time.Duration(1+rnd.Intn(5)) * time.Millisecond}
+		case 2:
+			return ConnPlan{CloseAfterRead: budget()}
+		case 3:
+			return ConnPlan{CloseAfterWrite: budget()}
+		case 4:
+			return ConnPlan{BlackholeAfterWrite: budget()}
+		default:
+			return ConnPlan{BlackholeAfterRead: budget()}
+		}
+	}
+}
+
+// FaultFirst returns a Planner that applies plans[i] to the i-th
+// accepted connection and no faults from len(plans) onward — a
+// deterministic schedule with guaranteed eventual progress.
+func FaultFirst(plans ...ConnPlan) Planner {
+	return func(i int) ConnPlan {
+		if i < len(plans) {
+			return plans[i]
+		}
+		return ConnPlan{}
+	}
+}

@@ -1,0 +1,207 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections from ln and echoes bytes back until
+// the listener closes.
+func echoServer(t *testing.T, ln net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+}
+
+func newEcho(t *testing.T, plan Planner) *Listener {
+	t.Helper()
+	ln, err := Listen("tcp", "127.0.0.1:0", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	echoServer(t, ln)
+	return ln
+}
+
+func dial(t *testing.T, ln *Listener) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPassthrough(t *testing.T) {
+	ln := newEcho(t, None)
+	c := dial(t, ln)
+	msg := []byte("hello, faultnet")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q", got)
+	}
+}
+
+func TestRefusedConnectionDiesAtBirth(t *testing.T) {
+	ln := newEcho(t, FaultFirst(ConnPlan{Refuse: true}))
+	c := dial(t, ln)
+	// The first connection is refused: either the write fails or the
+	// subsequent read sees EOF/reset. Crucially the server survives.
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	_, werr := c.Write([]byte("x"))
+	var rerr error
+	if werr == nil {
+		_, rerr = c.Read(make([]byte, 1))
+	}
+	if werr == nil && rerr == nil {
+		t.Fatal("refused connection carried traffic")
+	}
+	// The second connection is clean.
+	c2 := dial(t, ln)
+	if _, err := c2.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	if _, err := io.ReadFull(c2, got); err != nil || got[0] != 'y' {
+		t.Fatalf("clean follow-up connection broken: %v %q", err, got)
+	}
+}
+
+func TestCloseAfterReadBudget(t *testing.T) {
+	ln := newEcho(t, FaultFirst(ConnPlan{CloseAfterRead: 4}))
+	c := dial(t, ln)
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	// First 4 bytes pass and echo back.
+	if _, err := c.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	// The budget is spent: the next exchange must fail.
+	c.Write([]byte("efgh"))
+	if _, err := io.ReadFull(c, got); err == nil {
+		t.Fatal("connection survived past its read budget")
+	}
+}
+
+func TestLatencyInjected(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	ln := newEcho(t, FaultFirst(ConnPlan{Latency: lat}))
+	c := dial(t, ln)
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := c.Write([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// One echo crosses the wrapper at least twice (read + write).
+	if d := time.Since(start); d < 2*lat {
+		t.Fatalf("round trip took %v, want >= %v", d, 2*lat)
+	}
+}
+
+func TestBlackholeWriteIsOneWay(t *testing.T) {
+	// Server replies vanish after 2 bytes, but the server keeps
+	// reading: client→server stays up, server→client is partitioned.
+	ln := newEcho(t, FaultFirst(ConnPlan{BlackholeAfterWrite: 2}))
+	c := dial(t, ln)
+	if _, err := c.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	// Writes still succeed (one-way), but no more echoes arrive.
+	if _, err := c.Write([]byte("cd")); err != nil {
+		t.Fatalf("client→server direction broken: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := c.Read(got); err == nil {
+		t.Fatal("bytes crossed a write black hole")
+	}
+}
+
+func TestBlackholeReadBlocksUntilClose(t *testing.T) {
+	ln := newEcho(t, FaultFirst(ConnPlan{BlackholeAfterRead: 1}))
+	c := dial(t, ln)
+	if _, err := c.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	// Further client→server bytes vanish; the echo never comes.
+	c.Write([]byte("b"))
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := c.Read(got); err == nil {
+		t.Fatal("bytes crossed a read black hole")
+	}
+	// Closing the listener releases the server goroutine blocked in
+	// the black-holed read (would leak otherwise — verified by the
+	// test finishing at all under -race with goroutine checks).
+	ln.Close()
+}
+
+func TestRandomPlannerReproducible(t *testing.T) {
+	a, b := RandomPlanner(42, 0.7, 10, 1000), RandomPlanner(42, 0.7, 10, 1000)
+	for i := 0; i < 100; i++ {
+		if pa, pb := a(i), b(i); pa != pb {
+			t.Fatalf("conn %d: schedules diverge: %+v vs %+v", i, pa, pb)
+		}
+	}
+	// A different seed yields a different schedule somewhere.
+	cdiff := RandomPlanner(43, 0.7, 10, 1000)
+	same := true
+	a2 := RandomPlanner(42, 0.7, 10, 1000)
+	for i := 0; i < 100; i++ {
+		if a2(i) != cdiff(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+func TestAcceptedCounts(t *testing.T) {
+	ln := newEcho(t, None)
+	if ln.Accepted() != 0 {
+		t.Fatalf("fresh listener accepted %d", ln.Accepted())
+	}
+	c := dial(t, ln)
+	c.Write([]byte("x"))
+	io.ReadFull(c, make([]byte, 1))
+	if ln.Accepted() != 1 {
+		t.Fatalf("accepted %d, want 1", ln.Accepted())
+	}
+}

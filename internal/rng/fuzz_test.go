@@ -1,0 +1,91 @@
+package rng
+
+import (
+	"fmt"
+	"testing"
+
+	"parmonc/internal/u128"
+)
+
+// FuzzDiscardMatchesSequential pins the leap-frog skip against the
+// ground truth: advancing a stream with Discard(n) must land on exactly
+// the state that n sequential draws reach, for any coordinate in the
+// hierarchy. This is the property that makes checkpoint/restore and
+// draw-layout alignment trustworthy — an off-by-one in the O(log n)
+// skip would silently correlate "independent" substreams.
+func FuzzDiscardMatchesSequential(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint16(0))
+	f.Add(uint64(0), uint64(0), uint64(0), uint16(1))
+	f.Add(uint64(1), uint64(7), uint64(3), uint16(1000))
+	f.Add(uint64(42), uint64(1023), uint64(999), uint16(4096))
+	f.Add(uint64(999), uint64(1), uint64(0), uint16(65535))
+	f.Fuzz(func(t *testing.T, e, p, r uint64, n16 uint16) {
+		c := Coord{
+			Experiment:  e % 1024,
+			Processor:   p % 65536,
+			Realization: r % 65536,
+		}
+		n := uint64(n16)
+		skip, err := NewStream(DefaultParams(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := NewStream(DefaultParams(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		skip.Discard(n)
+		for i := uint64(0); i < n; i++ {
+			seq.Float64()
+		}
+		if !skip.State().Eq(seq.State()) {
+			t.Fatalf("coord %+v: Discard(%d) state %v, sequential state %v",
+				c, n, skip.State(), seq.State())
+		}
+		if skip.Drawn() != seq.Drawn() {
+			t.Fatalf("coord %+v: Discard(%d) drawn %d, sequential drawn %d",
+				c, n, skip.Drawn(), seq.Drawn())
+		}
+		// One more sequential draw must agree too: equal state must mean
+		// equal future, not just an equal snapshot.
+		if skip.Float64() != seq.Float64() {
+			t.Fatalf("coord %+v: streams diverge after Discard(%d)", c, n)
+		}
+	})
+}
+
+// FuzzSubstreamWindowsDisjoint samples a window of draws from several
+// neighboring (processor, realization) substreams and requires every
+// visited generator state to be globally unique. Overlapping substreams
+// would revisit a state (an LCG's future is a function of its state),
+// so a collision here is exactly the correlated-streams disaster the
+// leap-frog hierarchy exists to prevent.
+func FuzzSubstreamWindowsDisjoint(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint16(64))
+	f.Add(uint64(3), uint64(100), uint16(128))
+	f.Add(uint64(7777), uint64(12345), uint16(256))
+	f.Fuzz(func(t *testing.T, pBase, rBase uint64, w16 uint16) {
+		pBase %= 1 << 20
+		rBase %= 1 << 20
+		window := uint64(w16)%512 + 1
+		seen := make(map[u128.Uint128]string, 6*window)
+		for dp := uint64(0); dp < 2; dp++ {
+			for dr := uint64(0); dr < 3; dr++ {
+				c := Coord{Processor: pBase + dp, Realization: rBase + dr}
+				s, err := NewStream(DefaultParams(), c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := uint64(0); i < window; i++ {
+					st := s.State()
+					if prev, dup := seen[st]; dup {
+						t.Fatalf("substream (p=%d,r=%d) draw %d revisits state of %s",
+							c.Processor, c.Realization, i, prev)
+					}
+					seen[st] = fmt.Sprintf("(p=%d,r=%d) draw %d", c.Processor, c.Realization, i)
+					s.Float64()
+				}
+			}
+		}
+	})
+}
