@@ -20,14 +20,17 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"parmonc/internal/cluster"
 	"parmonc/internal/collect"
 	"parmonc/internal/core"
+	"parmonc/internal/obs"
 	"parmonc/internal/report"
 	"parmonc/internal/rng"
+	"parmonc/internal/store"
 )
 
 func main() {
@@ -113,6 +116,8 @@ func cmdRun(args []string) error {
 	snapshots := fs.Bool("worker-snapshots", true, "write per-worker snapshots for manaver")
 	jsonOut := fs.Bool("json", false, "emit the result as JSON on stdout")
 	stats := fs.Bool("stats", false, "print collector engine statistics (pushes, merges, saves, ...)")
+	httpAddr := fs.String("http", "", "serve /metrics, /healthz, /statusz and /debug/pprof on this address")
+	journal := fs.Bool("journal", true, "append the run-event journal to parmonc_data/events.jsonl")
 	fs.Parse(args)
 
 	w, err := lookupWorkload(*name)
@@ -135,6 +140,39 @@ func cmdRun(args []string) error {
 		WorkDir:             *dir,
 		SaveWorkerSnapshots: *snapshots,
 	}
+
+	if *journal {
+		j, err := openJournal(*dir)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		cfg.Journal = j
+	}
+	var latest atomic.Pointer[core.Progress]
+	if *httpAddr != "" {
+		cfg.Registry = obs.NewRegistry()
+		cfg.OnSave = func(p core.Progress) { latest.Store(&p) }
+		srv, err := obs.Serve(*httpAddr, obs.ServerConfig{
+			Registry: cfg.Registry,
+			Journal:  cfg.Journal,
+			Status: func() any {
+				return map[string]any{
+					"mode":     "run",
+					"workload": w.name,
+					"progress": latest.Load(),
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		if !*jsonOut {
+			fmt.Printf("ops server on http://%s (metrics, healthz, statusz, pprof)\n", srv.Addr())
+		}
+	}
+
 	result, err := core.RunFactory(ctx, cfg, w.factory)
 	if err != nil {
 		return err
@@ -147,6 +185,16 @@ func cmdRun(args []string) error {
 		printStats(result.Metrics)
 	}
 	return nil
+}
+
+// openJournal creates the parmonc_data layout under dir (if needed)
+// and opens the run-event journal for appending.
+func openJournal(dir string) (*obs.Journal, error) {
+	d, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return obs.OpenJournal(d.JournalPath())
 }
 
 func printStats(m collect.MetricsSnapshot) {
@@ -247,6 +295,8 @@ func cmdCoord(args []string) error {
 	drain := fs.Duration("drain-timeout", 2*time.Second, "grace for in-flight worker RPCs on shutdown")
 	snapshots := fs.Bool("worker-snapshots", true, "write per-worker snapshots for manaver")
 	stats := fs.Bool("stats", false, "print collector engine statistics after the job finishes")
+	httpAddr := fs.String("http", "", "serve /metrics, /healthz, /statusz and /debug/pprof on this address")
+	journal := fs.Bool("journal", true, "append the run-event journal to parmonc_data/events.jsonl")
 	fs.Parse(args)
 
 	w, err := lookupWorkload(*name)
@@ -268,17 +318,41 @@ func cmdCoord(args []string) error {
 		Workload:    w.name,
 		WorkerQuota: *quota,
 	}
-	coord, err := cluster.NewCoordinator(spec, cluster.CoordinatorConfig{
+	ccfg := cluster.CoordinatorConfig{
 		WorkDir:             *dir,
 		AverPeriod:          *peraver,
 		Resume:              *res,
 		SaveWorkerSnapshots: *snapshots,
 		DrainTimeout:        *drain,
-	}, *addr)
+	}
+	if *journal {
+		j, err := openJournal(*dir)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		ccfg.Journal = j
+	}
+	if *httpAddr != "" {
+		ccfg.Registry = obs.NewRegistry()
+	}
+	coord, err := cluster.NewCoordinator(spec, ccfg, *addr)
 	if err != nil {
 		return err
 	}
 	defer coord.Close()
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, obs.ServerConfig{
+			Registry: ccfg.Registry,
+			Journal:  ccfg.Journal,
+			Status:   func() any { return coord.Status() },
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("ops server on http://%s (metrics, healthz, statusz, pprof)\n", srv.Addr())
+	}
 	fmt.Printf("coordinator listening on %s (workload %s, target %d)\n", coord.Addr(), w.name, *maxsv)
 
 	ctx, cancel := signalContext()
@@ -351,6 +425,8 @@ func cmdWorker(args []string) error {
 	max := fs.Duration("retry-max", defaults.MaxDelay, "backoff delay cap")
 	callTimeout := fs.Duration("call-timeout", defaults.CallTimeout, "per-RPC timeout before reconnecting")
 	dialTimeout := fs.Duration("dial-timeout", defaults.DialTimeout, "per-dial timeout")
+	httpAddr := fs.String("http", "", "serve /metrics, /healthz, /statusz and /debug/pprof on this address")
+	journalPath := fs.String("journal", "", "append worker run events to this JSONL file")
 	fs.Parse(args)
 
 	w, err := lookupWorkload(*name)
@@ -359,8 +435,7 @@ func cmdWorker(args []string) error {
 	}
 	ctx, cancel := signalContext()
 	defer cancel()
-	fmt.Printf("worker joining %s (workload %s)\n", *addr, w.name)
-	rep, err := cluster.RunResilientWorker(ctx, *addr, cluster.WorkerConfig{
+	wcfg := cluster.WorkerConfig{
 		Workload: w.name,
 		Retry: cluster.RetryPolicy{
 			MaxAttempts: *attempts,
@@ -369,7 +444,36 @@ func cmdWorker(args []string) error {
 			CallTimeout: *callTimeout,
 			DialTimeout: *dialTimeout,
 		},
-	}, w.factory)
+	}
+	if *journalPath != "" {
+		j, err := obs.OpenJournal(*journalPath)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		wcfg.Journal = j
+	}
+	if *httpAddr != "" {
+		wcfg.Registry = obs.NewRegistry()
+		srv, err := obs.Serve(*httpAddr, obs.ServerConfig{
+			Registry: wcfg.Registry,
+			Journal:  wcfg.Journal,
+			Status: func() any {
+				return map[string]any{
+					"mode":        "worker",
+					"coordinator": *addr,
+					"metrics":     wcfg.Registry.Snapshot(),
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("ops server on http://%s (metrics, healthz, statusz, pprof)\n", srv.Addr())
+	}
+	fmt.Printf("worker joining %s (workload %s)\n", *addr, w.name)
+	rep, err := cluster.RunResilientWorker(ctx, *addr, wcfg, w.factory)
 	if err != nil {
 		return err
 	}

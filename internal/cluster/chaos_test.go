@@ -18,6 +18,7 @@ package cluster
 import (
 	"context"
 	"net"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"parmonc/internal/collect"
 	"parmonc/internal/core"
 	"parmonc/internal/faultnet"
+	"parmonc/internal/obs"
 	"parmonc/internal/rng"
 	"parmonc/internal/stat"
 	"parmonc/internal/store"
@@ -145,6 +147,9 @@ func chaosPolicy(seed int64) RetryPolicy {
 
 // chaosTCPRun drives the full TCP transport through plan-injected
 // faults and returns the final report plus the coordinator metrics.
+// Observability is deliberately switched on (registry + journal): the
+// bit-identity assertions double as proof that instrumentation never
+// perturbs the statistics.
 func chaosTCPRun(t *testing.T, plan faultnet.Planner) (stat.Report, collect.MetricsSnapshot) {
 	t.Helper()
 	spec := chaosSpec()
@@ -152,10 +157,18 @@ func chaosTCPRun(t *testing.T, plan faultnet.Planner) (stat.Report, collect.Metr
 	if err != nil {
 		t.Fatal(err)
 	}
+	workDir := t.TempDir()
+	journal, err := obs.OpenJournal(filepath.Join(workDir, "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer journal.Close()
 	coord, err := NewCoordinatorOn(spec, CoordinatorConfig{
-		WorkDir:      t.TempDir(),
+		WorkDir:      workDir,
 		AverPeriod:   time.Hour, // only the final save matters here
 		DrainTimeout: 200 * time.Millisecond,
+		Registry:     obs.NewRegistry(),
+		Journal:      journal,
 	}, faultnet.Wrap(raw, plan))
 	if err != nil {
 		t.Fatal(err)

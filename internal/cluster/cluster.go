@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"parmonc/internal/collect"
+	"parmonc/internal/obs"
 	"parmonc/internal/rng"
 	"parmonc/internal/stat"
 	"parmonc/internal/store"
@@ -136,8 +137,9 @@ const ServiceName = "Parmonc"
 // checkpointing and results files. The coordinator itself is only the
 // net/rpc transport.
 type Coordinator struct {
-	spec JobSpec
-	eng  *collect.Collector
+	spec    JobSpec
+	eng     *collect.Collector
+	journal *obs.Journal // nil: no journaling
 
 	mu        sync.Mutex
 	next      int            // next processor index to hand out
@@ -184,6 +186,18 @@ type CoordinatorConfig struct {
 	// with a spurious connection error. Default 2 s; negative disables
 	// draining (immediate force-close).
 	DrainTimeout time.Duration
+
+	// Registry, if non-nil, receives the collector engine's metrics
+	// plus coordinator-level gauges (active workers, sample volume,
+	// target state). Serve it with obs.Serve (the parmonc coord --http
+	// flag) to scrape a running job.
+	Registry *obs.Registry
+
+	// Journal, if non-nil, receives the run-event journal: every
+	// collector event plus worker register/deregister records with
+	// per-worker attribution. The caller owns the journal and closes
+	// it after the job.
+	Journal *obs.Journal
 }
 
 // NewCoordinator creates a coordinator listening on addr (e.g.
@@ -235,6 +249,8 @@ func NewCoordinatorOn(spec JobSpec, cfg CoordinatorConfig, ln net.Listener) (*Co
 		Resume:              cfg.Resume,
 		AverPeriod:          cfg.AverPeriod,
 		SaveWorkerSnapshots: cfg.SaveWorkerSnapshots,
+		Registry:            cfg.Registry,
+		Hook:                collect.JournalHook(cfg.Journal),
 	})
 	if err != nil {
 		return nil, err
@@ -242,12 +258,26 @@ func NewCoordinatorOn(spec JobSpec, cfg CoordinatorConfig, ln net.Listener) (*Co
 	c := &Coordinator{
 		spec:       spec,
 		eng:        eng,
+		journal:    cfg.Journal,
 		byClient:   map[string]int{},
 		completed:  make(chan struct{}),
 		timeout:    cfg.WorkerTimeout,
 		drain:      cfg.DrainTimeout,
 		reaperStop: make(chan struct{}),
 		conns:      map[net.Conn]struct{}{},
+	}
+	if cfg.Registry != nil {
+		cfg.Registry.GaugeFunc("parmonc_coordinator_active_workers", "Workers currently attached to the coordinator.",
+			func() float64 { return float64(eng.Active()) })
+		cfg.Registry.GaugeFunc("parmonc_coordinator_samples_total", "Total sample volume merged so far (incl. resumed base).",
+			func() float64 { return float64(eng.N()) })
+		cfg.Registry.GaugeFunc("parmonc_coordinator_target_reached", "1 once the sample target has been met.",
+			func() float64 {
+				if eng.TargetReached() {
+					return 1
+				}
+				return 0
+			})
 	}
 
 	c.server = rpc.NewServer()
@@ -359,6 +389,11 @@ func (s *service) Register(args RegisterArgs, reply *RegisterReply) error {
 	if args.ClientID != "" {
 		c.byClient[args.ClientID] = w
 	}
+	if c.journal != nil {
+		c.journal.Record(obs.Event{Kind: "register", Worker: w, Fields: map[string]any{
+			"hostname": args.Hostname, "client_id": args.ClientID,
+		}})
+	}
 	reply.Worker = w
 	reply.Spec = c.spec
 	return nil
@@ -396,6 +431,11 @@ func (s *service) Done(args DoneArgs, reply *DoneReply) error {
 		return nil // duplicate Done: already detached
 	}
 	c.eng.NoteTransport(args.Retries, args.Reconnects)
+	if c.journal != nil {
+		c.journal.Record(obs.Event{Kind: "deregister", Worker: args.Worker, Fields: map[string]any{
+			"retries": args.Retries, "reconnects": args.Reconnects,
+		}})
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.maybeCompleteLocked()
@@ -444,13 +484,14 @@ func (c *Coordinator) Wait(ctx context.Context) (stat.Report, error) {
 func (c *Coordinator) N() int64 { return c.eng.N() }
 
 // Status is a point-in-time view of the coordinator, including the
-// collector engine's metrics.
+// collector engine's metrics. The JSON tags are the /statusz wire
+// format of the ops HTTP server.
 type Status struct {
-	N             int64                   // total sample volume (incl. resumed base)
-	ActiveWorkers int                     // workers currently attached
-	Stopped       bool                    // Stop was called
-	TargetReached bool                    // the sample target has been met
-	Metrics       collect.MetricsSnapshot // engine counters
+	N             int64                   `json:"n"`              // total sample volume (incl. resumed base)
+	ActiveWorkers int                     `json:"active_workers"` // workers currently attached
+	Stopped       bool                    `json:"stopped"`        // Stop was called
+	TargetReached bool                    `json:"target_reached"` // the sample target has been met
+	Metrics       collect.MetricsSnapshot `json:"metrics"`        // engine counters
 }
 
 // Status reports the coordinator's current state and metrics.

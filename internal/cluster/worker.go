@@ -7,9 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"parmonc/internal/core"
+	"parmonc/internal/obs"
 	"parmonc/internal/rng"
 	"parmonc/internal/stat"
 )
@@ -24,6 +26,49 @@ type WorkerConfig struct {
 	// Retry governs reconnect/retry behavior; the zero value uses
 	// DefaultRetryPolicy.
 	Retry RetryPolicy
+
+	// Registry, if non-nil, receives the worker-side series: retries,
+	// reconnects, realization and push-round-trip timing, labeled with
+	// the assigned processor index. Serve it with obs.Serve (the
+	// parmonc worker --http flag) to watch a worker live.
+	Registry *obs.Registry
+
+	// Journal, if non-nil, receives worker-side run events (register,
+	// push, done) with sequence numbers and retry attribution. The
+	// caller owns the journal and closes it after the session.
+	Journal *obs.Journal
+}
+
+// workerObs bundles the worker-side instrumentation; nil disables it.
+type workerObs struct {
+	realizations *obs.Counter
+	pushes       *obs.Counter
+	realizeSec   *obs.Histogram
+	pushSec      *obs.Histogram
+}
+
+// newWorkerObs registers the worker series once the processor index is
+// known (it is the label distinguishing co-hosted workers). Retries
+// and reconnects are read straight off the resilient client at scrape
+// time, so the series stay current mid-backoff without touching the
+// worker loop.
+func newWorkerObs(reg *obs.Registry, w int, rc *ResilientClient) *workerObs {
+	if reg == nil {
+		return nil
+	}
+	label := obs.L("worker", strconv.Itoa(w))
+	reg.GaugeFunc("parmonc_worker_retries", "RPC attempts beyond the first.",
+		func() float64 { return float64(rc.Stats().Retries) }, label)
+	reg.GaugeFunc("parmonc_worker_reconnects", "Dials beyond the first successful one.",
+		func() float64 { return float64(rc.Stats().Reconnects) }, label)
+	return &workerObs{
+		realizations: reg.Counter("parmonc_worker_realizations_total", "Realizations simulated by this worker.", label),
+		pushes:       reg.Counter("parmonc_worker_pushes_total", "Subtotal pushes acknowledged by the coordinator.", label),
+		realizeSec: reg.Histogram("parmonc_worker_realization_seconds", "Wall time of one realization.",
+			obs.ExpBuckets(1e-6, 4, 16), label),
+		pushSec: reg.Histogram("parmonc_worker_push_seconds", "Round-trip time of one push RPC, retries and backoff included.",
+			obs.ExpBuckets(1e-4, 4, 12), label),
+	}
 }
 
 // WorkerReport summarizes one worker session: how much it simulated
@@ -140,6 +185,17 @@ func RunResilientWorker(ctx context.Context, addr string, cfg WorkerConfig, fact
 	spec := reg.Spec
 	w := reg.Worker
 	rep.Worker = w
+	wo := newWorkerObs(cfg.Registry, w, rc)
+	if cfg.Journal != nil {
+		cfg.Journal.Record(obs.Event{Kind: "register", Worker: w, Fields: map[string]any{
+			"addr": addr, "workload": cfg.Workload,
+		}})
+		defer func() {
+			st := rc.Stats()
+			cfg.Journal.Record(obs.Event{Kind: "done", Worker: w, Samples: rep.Realizations,
+				Fields: map[string]any{"pushes": rep.Pushes, "retries": st.Retries, "reconnects": st.Reconnects}})
+		}()
+	}
 
 	realize, err := factory(w)
 	if err != nil {
@@ -161,10 +217,19 @@ func RunResilientWorker(ctx context.Context, addr string, cfg WorkerConfig, fact
 		seq++
 		args := PushArgs{Worker: w, Seq: seq, Snap: local.Snapshot()}
 		var pr PushReply
+		t0 := time.Now()
 		if err := rc.Call(ctx, ServiceName+".Push", args, &pr); err != nil {
 			return false, err
 		}
 		rep.Pushes++
+		if wo != nil {
+			wo.pushes.Inc()
+			wo.pushSec.Observe(time.Since(t0).Seconds())
+		}
+		if cfg.Journal != nil {
+			cfg.Journal.Record(obs.Event{Kind: "push", Worker: w, Seq: seq,
+				Samples: args.Snap.N, Elapsed: time.Since(t0)})
+		}
 		local.Reset()
 		return pr.Stop, nil
 	}
@@ -204,10 +269,15 @@ func RunResilientWorker(ctx context.Context, addr string, cfg WorkerConfig, fact
 		if err := realize(stream, out); err != nil {
 			return rep, fmt.Errorf("cluster: realization %d: %w", k, err)
 		}
-		if err := local.AddTimed(out, time.Since(t0)); err != nil {
+		elapsed := time.Since(t0)
+		if err := local.AddTimed(out, elapsed); err != nil {
 			return rep, err
 		}
 		rep.Realizations++
+		if wo != nil {
+			wo.realizations.Inc()
+			wo.realizeSec.Observe(elapsed.Seconds())
+		}
 		if local.N() >= spec.PassEvery {
 			stop, err := push(ctx)
 			if err != nil {

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"parmonc/internal/obs"
 	"parmonc/internal/stat"
 	"parmonc/internal/store"
 )
@@ -44,11 +45,11 @@ import (
 // to Config.OnSave after every save — the paper's "control the absolute
 // and relative stochastic errors during the simulation".
 type Progress struct {
-	N         int64         // total sample volume so far (incl. resumed)
-	MaxAbsErr float64       // ε_max over the matrix
-	MaxRelErr float64       // ρ_max over the matrix, percent
-	MaxVar    float64       // σ̄²_max
-	Elapsed   time.Duration // time since the collector was created
+	N         int64         `json:"n"`               // total sample volume so far (incl. resumed)
+	MaxAbsErr float64       `json:"max_abs_err"`     // ε_max over the matrix
+	MaxRelErr float64       `json:"max_rel_err_pct"` // ρ_max over the matrix, percent
+	MaxVar    float64       `json:"max_var"`         // σ̄²_max
+	Elapsed   time.Duration `json:"elapsed_ns"`      // time since the collector was created
 }
 
 // Config tunes a Collector beyond what the run metadata carries.
@@ -84,6 +85,13 @@ type Config struct {
 	// counters. Same locking caveats as OnSave.
 	Hook Hook
 
+	// Registry, if non-nil, is the obs registry the collector's
+	// counters and save-latency histogram are registered in — this is
+	// how a coordinator's /metrics endpoint sees the engine. Nil means
+	// a private registry (metrics still work via Collector.Metrics,
+	// they are just not exported anywhere).
+	Registry *obs.Registry
+
 	// Now supplies the clock; nil means time.Now. The cluster
 	// simulator injects simulated time here.
 	Now func() time.Time
@@ -109,7 +117,7 @@ type Collector struct {
 	start      time.Time
 	saveErr    error // first save failure, sticky
 
-	metrics Metrics
+	metrics *Metrics
 }
 
 // New creates a collector for the run described by meta, persisting
@@ -133,6 +141,10 @@ func New(dir *store.Dir, meta store.RunMeta, cfg Config) (*Collector, error) {
 	if now == nil {
 		now = time.Now
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	c := &Collector{
 		dir:      dir,
 		meta:     meta,
@@ -141,6 +153,7 @@ func New(dir *store.Dir, meta store.RunMeta, cfg Config) (*Collector, error) {
 		active:   map[int]bool{},
 		lastSeen: map[int]time.Time{},
 		lastSeq:  map[int]uint64{},
+		metrics:  newMetrics(reg),
 	}
 	c.start = now()
 	c.lastSave = c.start
@@ -179,7 +192,7 @@ func New(dir *store.Dir, meta store.RunMeta, cfg Config) (*Collector, error) {
 		}
 	}
 	c.baseN = base.N()
-	c.metrics.resumedSamples.Store(c.baseN)
+	c.metrics.resumedSamples.Set(float64(c.baseN))
 
 	if cfg.StableMoments {
 		sc := stat.NewStable(meta.Nrow, meta.Ncol)
@@ -413,6 +426,7 @@ func (c *Collector) saveLocked() error {
 	}
 	c.metrics.saves.Add(1)
 	c.metrics.saveNanos.Add(int64(elapsed))
+	c.metrics.saveSeconds.Observe(elapsed.Seconds())
 	c.event(Event{Kind: EventSave, Samples: c.total.N(), Elapsed: elapsed})
 	if c.cfg.OnSave != nil {
 		c.cfg.OnSave(c.progressLocked())

@@ -3,63 +3,92 @@ package collect
 import (
 	"fmt"
 	"io"
-	"sync/atomic"
 	"time"
+
+	"parmonc/internal/obs"
 )
 
-// Metrics is the collector's built-in instrumentation: lock-free atomic
-// counters updated on the hot merge path, cheap enough to stay on even
-// under the paper's "strictest conditions" (a push per realization).
-// Read a consistent view with Collector.Metrics.
+// Metrics is the collector's built-in instrumentation. Since the obs
+// subsystem exists the counters live in an obs.Registry — so a running
+// coordinator exposes them on /metrics in Prometheus format — but the
+// hot merge path still pays exactly one atomic add per counter, cheap
+// enough to stay on even under the paper's "strictest conditions" (a
+// push per realization). Read a consistent view with Collector.Metrics.
 type Metrics struct {
-	pushes          atomic.Int64 // Push calls received (incl. rejected)
-	rejected        atomic.Int64 // snapshots rejected before merging
-	merges          atomic.Int64 // snapshots merged into the total
-	saves           atomic.Int64 // averaging + save cycles completed
-	saveNanos       atomic.Int64 // cumulative save latency
-	workerSnapshots atomic.Int64 // per-worker snapshot files written
-	registered      atomic.Int64 // workers ever registered
-	pruned          atomic.Int64 // workers dropped for silence
-	resumedSamples  atomic.Int64 // sample volume inherited from resume
+	pushes          *obs.Counter // Push calls received (incl. rejected)
+	rejected        *obs.Counter // snapshots rejected before merging
+	merges          *obs.Counter // snapshots merged into the total
+	saves           *obs.Counter // averaging + save cycles completed
+	saveNanos       *obs.Counter // cumulative save latency
+	workerSnapshots *obs.Counter // per-worker snapshot files written
+	registered      *obs.Counter // workers ever registered
+	pruned          *obs.Counter // workers dropped for silence
+	resumedSamples  *obs.Gauge   // sample volume inherited from resume
 
-	redelivered      atomic.Int64 // duplicate pushes deduplicated by sequence number
-	workerRetries    atomic.Int64 // RPC retries reported by detaching workers
-	workerReconnects atomic.Int64 // reconnects reported by detaching workers
+	redelivered      *obs.Counter // duplicate pushes deduplicated by sequence number
+	workerRetries    *obs.Counter // RPC retries reported by detaching workers
+	workerReconnects *obs.Counter // reconnects reported by detaching workers
+
+	saveSeconds *obs.Histogram // save latency distribution
+}
+
+// newMetrics registers the collector series in reg. Registration is
+// idempotent per (name, labels), so two collectors sharing a registry
+// share counters — which is why production processes run one collector
+// per registry.
+func newMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		pushes:          reg.Counter("parmonc_collector_pushes_total", "Subtotal pushes received, including rejected ones."),
+		rejected:        reg.Counter("parmonc_collector_rejected_snapshots_total", "Pushes rejected before merging (unknown worker or invalid snapshot)."),
+		merges:          reg.Counter("parmonc_collector_merges_total", "Snapshots merged into the running total (formula (5))."),
+		saves:           reg.Counter("parmonc_collector_saves_total", "Averaging and save cycles completed."),
+		saveNanos:       reg.Counter("parmonc_collector_save_nanoseconds_total", "Cumulative time spent in save cycles."),
+		workerSnapshots: reg.Counter("parmonc_collector_worker_snapshots_total", "Per-worker snapshot files written for manaver."),
+		registered:      reg.Counter("parmonc_collector_registered_workers_total", "Workers ever registered."),
+		pruned:          reg.Counter("parmonc_collector_pruned_workers_total", "Workers dropped for silence."),
+		resumedSamples:  reg.Gauge("parmonc_collector_resumed_samples", "Sample volume inherited from a resumed run."),
+		redelivered:     reg.Counter("parmonc_collector_redeliveries_total", "Duplicate pushes acknowledged without merging (sequence-number dedup)."),
+		workerRetries:   reg.Counter("parmonc_collector_worker_retries_total", "RPC retries reported by detaching workers."),
+		workerReconnects: reg.Counter("parmonc_collector_worker_reconnects_total",
+			"Reconnects reported by detaching workers."),
+		saveSeconds: reg.Histogram("parmonc_collector_save_seconds", "Save cycle latency in seconds.", obs.DefDurationBuckets()),
+	}
 }
 
 func (m *Metrics) snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		Pushes:            m.pushes.Load(),
-		RejectedSnapshots: m.rejected.Load(),
-		Merges:            m.merges.Load(),
-		Saves:             m.saves.Load(),
-		SaveLatency:       time.Duration(m.saveNanos.Load()),
-		WorkerSnapshots:   m.workerSnapshots.Load(),
-		RegisteredWorkers: m.registered.Load(),
-		PrunedWorkers:     m.pruned.Load(),
-		ResumedSamples:    m.resumedSamples.Load(),
-		Redeliveries:      m.redelivered.Load(),
-		WorkerRetries:     m.workerRetries.Load(),
-		WorkerReconnects:  m.workerReconnects.Load(),
+		Pushes:            m.pushes.Value(),
+		RejectedSnapshots: m.rejected.Value(),
+		Merges:            m.merges.Value(),
+		Saves:             m.saves.Value(),
+		SaveLatency:       time.Duration(m.saveNanos.Value()),
+		WorkerSnapshots:   m.workerSnapshots.Value(),
+		RegisteredWorkers: m.registered.Value(),
+		PrunedWorkers:     m.pruned.Value(),
+		ResumedSamples:    int64(m.resumedSamples.Value()),
+		Redeliveries:      m.redelivered.Value(),
+		WorkerRetries:     m.workerRetries.Value(),
+		WorkerReconnects:  m.workerReconnects.Value(),
 	}
 }
 
 // MetricsSnapshot is a point-in-time copy of the collector counters,
-// surfaced through core.Result, the cluster.Coordinator status API and
-// the parmonc --stats flag.
+// surfaced through core.Result, the cluster.Coordinator status API,
+// the parmonc --stats flag, and the ops server's /statusz endpoint
+// (whence the JSON tags).
 type MetricsSnapshot struct {
-	Pushes            int64         // subtotal pushes received
-	RejectedSnapshots int64         // pushes rejected (unknown worker or invalid snapshot)
-	Merges            int64         // snapshots merged into the running total
-	Saves             int64         // averaging + save cycles
-	SaveLatency       time.Duration // cumulative time spent saving
-	WorkerSnapshots   int64         // per-worker snapshot files written
-	RegisteredWorkers int64         // workers ever registered
-	PrunedWorkers     int64         // workers dropped for silence
-	ResumedSamples    int64         // sample volume inherited from a resumed run
-	Redeliveries      int64         // duplicate pushes acknowledged without merging
-	WorkerRetries     int64         // RPC retries reported by detaching workers
-	WorkerReconnects  int64         // reconnects reported by detaching workers
+	Pushes            int64         `json:"pushes"`             // subtotal pushes received
+	RejectedSnapshots int64         `json:"rejected_snapshots"` // pushes rejected (unknown worker or invalid snapshot)
+	Merges            int64         `json:"merges"`             // snapshots merged into the running total
+	Saves             int64         `json:"saves"`              // averaging + save cycles
+	SaveLatency       time.Duration `json:"save_latency_ns"`    // cumulative time spent saving
+	WorkerSnapshots   int64         `json:"worker_snapshots"`   // per-worker snapshot files written
+	RegisteredWorkers int64         `json:"registered_workers"` // workers ever registered
+	PrunedWorkers     int64         `json:"pruned_workers"`     // workers dropped for silence
+	ResumedSamples    int64         `json:"resumed_samples"`    // sample volume inherited from a resumed run
+	Redeliveries      int64         `json:"redeliveries"`       // duplicate pushes acknowledged without merging
+	WorkerRetries     int64         `json:"worker_retries"`     // RPC retries reported by detaching workers
+	WorkerReconnects  int64         `json:"worker_reconnects"`  // reconnects reported by detaching workers
 }
 
 // MeanSaveLatency returns the average duration of one save cycle.
@@ -146,3 +175,43 @@ type Event struct {
 // Hook observes collector events. It is called with the collector lock
 // held: keep it fast and do not call back into the Collector.
 type Hook func(Event)
+
+// MultiHook fans one event out to several hooks (nils are skipped), so
+// a caller can journal events and still observe them itself.
+func MultiHook(hooks ...Hook) Hook {
+	live := hooks[:0]
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	fixed := append([]Hook(nil), live...)
+	return func(e Event) {
+		for _, h := range fixed {
+			h(e)
+		}
+	}
+}
+
+// JournalHook adapts collector events into run-journal records. The
+// journal's Record never blocks (events are buffered to a background
+// writer), so this hook is safe under the collector lock.
+func JournalHook(j *obs.Journal) Hook {
+	if j == nil {
+		return nil
+	}
+	return func(e Event) {
+		j.Record(obs.Event{
+			Kind:    e.Kind.String(),
+			Worker:  e.Worker,
+			Samples: e.Samples,
+			Elapsed: e.Elapsed,
+		})
+	}
+}

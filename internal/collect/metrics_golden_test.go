@@ -1,0 +1,147 @@
+package collect
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"parmonc/internal/obs"
+	"parmonc/internal/rng"
+	"parmonc/internal/stat"
+	"parmonc/internal/store"
+)
+
+// goldenMeta is a minimal valid run description for the in-memory
+// engine used by these tests.
+func goldenMeta() store.RunMeta {
+	return store.RunMeta{
+		SeqNum: 1, Nrow: 1, Ncol: 2, MaxSV: 100, Workers: 3,
+		Params: rng.DefaultParams(), Gamma: stat.DefaultConfidenceCoefficient,
+		StartedAt: time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// goldenSnap builds a one-realization subtotal snapshot.
+func goldenSnap(t *testing.T) stat.Snapshot {
+	t.Helper()
+	a := stat.New(1, 2)
+	if err := a.Add([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	return a.Snapshot()
+}
+
+// TestMetricsWriteToGolden pins the --stats block to the exact bytes
+// the pre-obs atomic-counter implementation produced, so migrating the
+// counters onto the obs registry cannot drift the operator-facing
+// format.
+func TestMetricsWriteToGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newMetrics(reg)
+	m.pushes.Add(10)
+	m.merges.Add(7)
+	m.rejected.Add(1)
+	m.saves.Add(2)
+	m.saveNanos.Add(int64(3500 * time.Millisecond))
+	m.workerSnapshots.Add(4)
+	m.registered.Add(3)
+	m.pruned.Add(1)
+	m.resumedSamples.Set(5)
+	m.redelivered.Add(2)
+	m.workerRetries.Add(6)
+	m.workerReconnects.Add(1)
+
+	const golden = `pushes                   10
+merges                   7
+rejected_snapshots       1
+saves                    2
+save_latency_total       3.5s
+save_latency_mean        1.75s
+worker_snapshots         4
+registered_workers       3
+pruned_workers           1
+resumed_samples          5
+redeliveries             2
+worker_retries           6
+worker_reconnects        1
+`
+	var b strings.Builder
+	n, err := m.snapshot().WriteTo(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != golden {
+		t.Fatalf("WriteTo drifted:\n got:\n%s\nwant:\n%s", b.String(), golden)
+	}
+	if n != int64(len(golden)) {
+		t.Fatalf("WriteTo returned %d, wrote %d bytes", n, len(golden))
+	}
+}
+
+// TestMetricsSnapshotJSONGolden pins the JSON field names of
+// MetricsSnapshot (the /statusz wire format).
+func TestMetricsSnapshotJSONGolden(t *testing.T) {
+	snap := MetricsSnapshot{
+		Pushes: 10, RejectedSnapshots: 1, Merges: 7, Saves: 2,
+		SaveLatency: 3500 * time.Millisecond, WorkerSnapshots: 4,
+		RegisteredWorkers: 3, PrunedWorkers: 1, ResumedSamples: 5,
+		Redeliveries: 2, WorkerRetries: 6, WorkerReconnects: 1,
+	}
+	got, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"pushes":10,"rejected_snapshots":1,"merges":7,"saves":2,` +
+		`"save_latency_ns":3500000000,"worker_snapshots":4,"registered_workers":3,` +
+		`"pruned_workers":1,"resumed_samples":5,"redeliveries":2,` +
+		`"worker_retries":6,"worker_reconnects":1}`
+	if string(got) != golden {
+		t.Fatalf("snapshot JSON drifted:\n got %s\nwant %s", got, golden)
+	}
+}
+
+// TestMetricsOnRegistry: the collector's counters are visible through
+// the registry's Prometheus exposition, and both views agree.
+func TestMetricsOnRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng, err := New(nil, goldenMeta(), Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 3; w++ {
+		eng.Register(w)
+	}
+	for w := 0; w < 3; w++ { // 3 workers × 4 pushes
+		for k := 0; k < 4; k++ {
+			if err := eng.Push(w, goldenSnap(t)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := eng.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := eng.Metrics()
+	if snap.Pushes != 12 || snap.Merges != 12 || snap.Saves != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"parmonc_collector_pushes_total 12",
+		"parmonc_collector_merges_total 12",
+		"parmonc_collector_saves_total 1",
+		"parmonc_collector_registered_workers_total 3",
+		`parmonc_collector_save_seconds_bucket{le="+Inf"} 1`,
+		"parmonc_collector_save_seconds_count 1",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"parmonc/internal/collect"
+	"parmonc/internal/obs"
 	"parmonc/internal/rng"
 	"parmonc/internal/stat"
 	"parmonc/internal/store"
@@ -114,6 +115,18 @@ type Config struct {
 	// Hook, if non-nil, receives the collector engine's events (pushes,
 	// merges, saves, rejections); see collect.Hook for the contract.
 	Hook collect.Hook
+
+	// Registry, if non-nil, receives the run's metrics: the collector
+	// engine's counters plus the driver's realization-timing and
+	// collector-push-latency series. Serve it over HTTP with obs.Serve
+	// (the parmonc CLI's --http flag) to watch a run live.
+	Registry *obs.Registry
+
+	// Journal, if non-nil, receives the run-event journal: run
+	// start/stop plus every collector event (push, merge, save, ...),
+	// buffered off the hot path. The caller owns the journal and closes
+	// it after the run.
+	Journal *obs.Journal
 }
 
 // Progress is the point-in-time view of a running simulation handed to
@@ -189,6 +202,37 @@ type snapMsg struct {
 	snap   stat.Snapshot
 }
 
+// runObs bundles the driver's own instrumentation — realization
+// timing/throughput and collector-push latency, the series the paper's
+// Fig. 2 evaluation (T_comp(L), push traffic) is derived from. A nil
+// *runObs disables instrumentation with a single pointer check, so
+// uninstrumented runs pay nothing on the realization hot path.
+type runObs struct {
+	realizations *obs.Counter   // realizations completed across all workers
+	realizeSec   *obs.Histogram // per-realization wall time
+	pushSec      *obs.Histogram // collector-side merge latency per push
+}
+
+// newRunObs registers the driver series plus live gauges over the
+// engine. Realization times span sub-µs (the pi workload) to seconds
+// (the paper's SDE at fine meshes); push merges are µs-scale.
+func newRunObs(reg *obs.Registry, eng *collect.Collector) *runObs {
+	if reg == nil {
+		return nil
+	}
+	reg.GaugeFunc("parmonc_samples_total", "Total sample volume merged so far (incl. resumed base).",
+		func() float64 { return float64(eng.N()) })
+	reg.GaugeFunc("parmonc_active_workers", "Workers currently registered with the collector.",
+		func() float64 { return float64(eng.Active()) })
+	return &runObs{
+		realizations: reg.Counter("parmonc_realizations_total", "Realizations simulated by this process."),
+		realizeSec: reg.Histogram("parmonc_realization_seconds", "Wall time of one realization.",
+			obs.ExpBuckets(1e-6, 4, 16)),
+		pushSec: reg.Histogram("parmonc_collector_push_seconds", "Collector-side latency of one subtotal push (validate + merge + bookkeeping).",
+			obs.ExpBuckets(1e-6, 4, 16)),
+	}
+}
+
 // Factory produces a fresh Realization for worker m. Use RunFactory
 // when the realization routine carries per-call state (integrators,
 // scratch buffers, samplers with caches): each worker then gets its own
@@ -259,10 +303,21 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 		SaveWorkerSnapshots: cfg.SaveWorkerSnapshots,
 		StableMoments:       cfg.StableMoments,
 		OnSave:              cfg.OnSave,
-		Hook:                cfg.Hook,
+		Hook:                collect.MultiHook(cfg.Hook, collect.JournalHook(cfg.Journal)),
+		Registry:            cfg.Registry,
 	})
 	if err != nil {
 		return Result{}, err
+	}
+	ro := newRunObs(cfg.Registry, eng)
+	if cfg.Journal != nil {
+		cfg.Journal.Record(obs.Event{Kind: "run_start", Fields: map[string]any{
+			"workers": cfg.Workers, "seqnum": cfg.SeqNum, "maxsv": cfg.MaxSamples,
+			"nrow": cfg.Nrow, "ncol": cfg.Ncol, "resume": cfg.Resume,
+		}})
+		defer func() {
+			cfg.Journal.Record(obs.Event{Kind: "run_stop", Samples: eng.N()})
+		}()
 	}
 	resumedN := eng.BaseN()
 	for m := 0; m < cfg.Workers; m++ {
@@ -308,7 +363,7 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 		wg.Add(1)
 		go func(m int) {
 			defer wg.Done()
-			if err := runWorker(ctx, cfg, params, m, quota(m), routines[m], msgs); err != nil {
+			if err := runWorker(ctx, cfg, params, m, quota(m), routines[m], msgs, ro); err != nil {
 				errs <- fmt.Errorf("core: worker %d: %w", m, err)
 			}
 		}(m)
@@ -322,7 +377,7 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 
 	// The merge loop runs in this goroutine — the engine is the paper's
 	// 0-th processor, this loop its in-process channel transport.
-	collectErr := drain(eng, msgs)
+	collectErr := drain(eng, msgs, ro)
 	if collectErr != nil {
 		errs <- collectErr
 	}
@@ -361,7 +416,7 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 // runWorker simulates realizations on processor m until its quota is
 // exhausted or the context is cancelled, pushing subtotal snapshots every
 // PassPeriod (or after every realization under StrictExchange).
-func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, quota int64, r Realization, msgs chan<- snapMsg) error {
+func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, quota int64, r Realization, msgs chan<- snapMsg, ro *runObs) error {
 	stream, err := rng.NewStream(params, rng.Coord{Experiment: cfg.SeqNum, Processor: uint64(m)})
 	if err != nil {
 		return err
@@ -396,8 +451,13 @@ func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, quota 
 		if err := callRealization(r, stream, out); err != nil {
 			return fmt.Errorf("realization %d: %w", k, err)
 		}
-		if err := local.AddTimed(out, time.Since(t0)); err != nil {
+		elapsed := time.Since(t0)
+		if err := local.AddTimed(out, elapsed); err != nil {
 			return err
+		}
+		if ro != nil {
+			ro.realizations.Inc()
+			ro.realizeSec.Observe(elapsed.Seconds())
 		}
 		if cfg.StrictExchange || time.Since(lastPass) >= cfg.PassPeriod {
 			push()
@@ -410,9 +470,17 @@ func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, quota 
 // channel closes. On an engine failure the workers must not be left
 // blocked on the channel, so the remaining messages are discarded
 // before the error is returned.
-func drain(eng *collect.Collector, msgs <-chan snapMsg) error {
+func drain(eng *collect.Collector, msgs <-chan snapMsg, ro *runObs) error {
 	for msg := range msgs {
-		if err := eng.Push(msg.worker, msg.snap); err != nil {
+		var t0 time.Time
+		if ro != nil {
+			t0 = time.Now()
+		}
+		err := eng.Push(msg.worker, msg.snap)
+		if ro != nil {
+			ro.pushSec.Observe(time.Since(t0).Seconds())
+		}
+		if err != nil {
 			for range msgs {
 			}
 			return err

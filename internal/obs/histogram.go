@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets, Prometheus-style:
+// bucket i counts observations ≤ bounds[i], plus an implicit +Inf
+// bucket. Observe is lock-free (one atomic add per observation plus an
+// atomic CAS loop for the sum), so it is safe on the collector's push
+// hot path and under concurrent workers.
+//
+// A snapshot taken concurrently with writers is mildly inconsistent
+// (counts and sum race independently) but every individual value is
+// well-formed — the usual Prometheus scrape contract.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, excluding +Inf
+	counts  []atomic.Int64
+	inf     atomic.Int64
+	sumBits atomic.Uint64
+	total   atomic.Int64
+}
+
+// DefDurationBuckets are the default latency buckets in seconds,
+// exponential from 100 µs to ~26 s — wide enough for both a
+// sub-millisecond in-memory save and a multi-second cluster save.
+func DefDurationBuckets() []float64 {
+	return ExpBuckets(1e-4, 2, 18)
+}
+
+// ExpBuckets returns n bucket bounds growing exponentially from start
+// by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bucket bounds from start in steps of width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n <= 0 {
+		panic("obs: LinearBuckets needs n > 0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// NewHistogram creates a histogram with the given upper bounds; they
+// are sorted and deduplicated. Nil or empty buckets mean
+// DefDurationBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefDurationBuckets()
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	dedup := bs[:0]
+	for i, b := range bs {
+		if math.IsInf(b, 1) {
+			continue // +Inf bucket is implicit
+		}
+		if i > 0 && len(dedup) > 0 && b == dedup[len(dedup)-1] {
+			continue
+		}
+		dedup = append(dedup, b)
+	}
+	return &Histogram{bounds: dedup, counts: make([]atomic.Int64, len(dedup))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(h.bounds) {
+		h.counts[lo].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds, excluding +Inf
+	Counts []int64   // per-bucket counts (same length as Bounds)
+	Inf    int64     // observations above the last bound
+	Count  int64     // total observations
+	Sum    float64   // sum of observed values
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.bounds)),
+		Inf:    h.inf.Load(),
+		Count:  h.total.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation inside the bucket containing the target rank, the
+// standard Prometheus histogram_quantile estimator: the first bucket
+// interpolates from 0, and a rank falling in the +Inf bucket returns
+// the highest finite bound. With no observations it returns NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile is the estimator on a snapshot, so a consistent set of
+// quantiles can be derived from one copy.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		prev := float64(cum)
+		cum += c
+		if float64(cum) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			upper := s.Bounds[i]
+			if c == 0 {
+				return upper
+			}
+			return lower + (upper-lower)*(rank-prev)/float64(c)
+		}
+	}
+	// Rank lands in the +Inf bucket: the best defined answer is the
+	// largest finite bound (matching histogram_quantile).
+	if len(s.Bounds) > 0 {
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	return math.NaN()
+}
+
+// writePrometheus renders the histogram series for one family row.
+func (h *Histogram) writePrometheus(w io.Writer, name string, labels []Label) error {
+	s := h.Snapshot()
+	var cum int64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		le := formatValue(b)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, formatLabels(labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Inf
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, formatLabels(labels, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, formatLabels(labels, "", ""), formatValue(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, formatLabels(labels, "", ""), s.Count)
+	return err
+}

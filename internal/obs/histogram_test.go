@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileExact pins the quantile estimator to hand-computed
+// values on a known bucket layout: bounds {1, 2, 4, 8}, one hundred
+// observations spread 10/20/30/40 across the buckets.
+func TestQuantileExact(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	fill := func(v float64, n int) {
+		for i := 0; i < n; i++ {
+			h.Observe(v)
+		}
+	}
+	fill(0.5, 10) // bucket (0, 1]
+	fill(1.5, 20) // bucket (1, 2]
+	fill(3.0, 30) // bucket (2, 4]
+	fill(5.0, 40) // bucket (4, 8]
+
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		// rank = q·100. Linear interpolation inside the covering bucket:
+		// q=0.05 → rank 5, first bucket [0,1], 5/10 through → 0.5
+		{0.05, 0.5},
+		// q=0.10 → rank 10, exactly exhausts bucket 1 → 1.0
+		{0.10, 1.0},
+		// q=0.20 → rank 20, 10 into bucket (1,2] of 20 → 1.5
+		{0.20, 1.5},
+		// q=0.30 → rank 30, exhausts bucket 2 → 2.0
+		{0.30, 2.0},
+		// q=0.50 → rank 50, 20 into bucket (2,4] of 30 → 2 + 2·(20/30)
+		{0.50, 2 + 2*20.0/30.0},
+		// q=0.60 → rank 60, exhausts bucket 3 → 4.0
+		{0.60, 4.0},
+		// q=0.90 → rank 90, 30 into bucket (4,8] of 40 → 4 + 4·(30/40)
+		{0.90, 7.0},
+		// q=1 → rank 100, exhausts the last finite bucket → 8.0
+		{1.0, 8.0},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+// TestQuantileInfBucket: ranks falling above the last finite bound
+// clamp to that bound, matching Prometheus histogram_quantile.
+func TestQuantileInfBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(100) // +Inf bucket
+	if got := h.Quantile(1.0); got != 10 {
+		t.Fatalf("q=1 with +Inf mass = %g, want 10", got)
+	}
+	if got := h.Quantile(0.25); got != 0.5 {
+		t.Fatalf("q=0.25 = %g, want 0.5", got)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram quantile = %g, want NaN", got)
+	}
+}
+
+// TestQuantileSkipsEmptyBuckets: a rank landing exactly on a bucket
+// boundary whose bucket is empty resolves to that bucket's upper
+// bound rather than dividing by zero.
+func TestQuantileEmptyBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(0.5) // bucket 1
+	h.Observe(3.0) // bucket 3; bucket 2 stays empty
+	// q=0.5 → rank 1, exactly exhausted by bucket 1 → 1.0
+	if got := h.Quantile(0.5); got != 1.0 {
+		t.Fatalf("q=0.5 = %g, want 1", got)
+	}
+	// q=0.75 → rank 1.5 → inside bucket (2,4]: 2 + 2·(0.5/1) = 3
+	if got := h.Quantile(0.75); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("q=0.75 = %g, want 3", got)
+	}
+}
+
+func TestHistogramSumCount(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	for _, v := range []float64{0.25, 0.5, 3} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-3.75) > 1e-12 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	s := h.Snapshot()
+	if s.Counts[0] != 2 || s.Inf != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	for i, want := range []float64{1, 2, 4, 8} {
+		if exp[i] != want {
+			t.Fatalf("ExpBuckets = %v", exp)
+		}
+	}
+	lin := LinearBuckets(0, 0.5, 3)
+	for i, want := range []float64{0, 0.5, 1} {
+		if lin[i] != want {
+			t.Fatalf("LinearBuckets = %v", lin)
+		}
+	}
+	// Unsorted, duplicated, +Inf-containing bounds normalize.
+	h := NewHistogram([]float64{4, 1, math.Inf(1), 2, 2})
+	if len(h.bounds) != 3 || h.bounds[0] != 1 || h.bounds[2] != 4 {
+		t.Fatalf("bounds = %v", h.bounds)
+	}
+}

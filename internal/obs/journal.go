@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one record of the run-event journal. Timestamps pair a wall
+// clock anchor with a monotonic offset: Mono is nanoseconds since the
+// journal was opened, measured on Go's monotonic clock, so event
+// ordering and spacing survive wall-clock adjustments; Time is the
+// derived wall time for human consumption.
+//
+// The set of Kind values written by the library (run_start, run_stop,
+// push, merge, reject, duplicate, save, prune, register, deregister,
+// retry, reconnect) is open-ended — consumers must ignore kinds they
+// do not know.
+type Event struct {
+	Time    time.Time      `json:"ts"`
+	Mono    int64          `json:"mono_ns"`
+	Kind    string         `json:"event"`
+	Worker  int            `json:"worker,omitempty"`
+	Samples int64          `json:"samples,omitempty"`
+	Seq     uint64         `json:"seq,omitempty"`
+	Elapsed time.Duration  `json:"elapsed_ns,omitempty"`
+	Err     string         `json:"err,omitempty"`
+	Fields  map[string]any `json:"fields,omitempty"`
+}
+
+// Journal is an append-only JSONL event log. Record is non-blocking:
+// events go into a bounded channel and a background goroutine encodes
+// and writes them through a bufio.Writer, flushed periodically and on
+// Close — buffered appends off the push hot path. When the channel is
+// full the event is dropped and counted (a slow disk must degrade the
+// audit trail, never the simulation).
+type Journal struct {
+	f     *os.File
+	start time.Time
+
+	ch      chan Event
+	done    chan struct{}
+	dropped atomic.Int64
+	written atomic.Int64
+
+	closeMu   sync.RWMutex // guards closed vs in-flight Record sends
+	closed    bool
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// journalDepth bounds the in-flight event queue. At the chaos suite's
+// push rates a queue this deep absorbs multi-millisecond write stalls
+// without drops.
+const journalDepth = 4096
+
+// journalFlushPeriod is how often the background writer flushes even
+// when events keep arriving.
+const journalFlushPeriod = 250 * time.Millisecond
+
+// OpenJournal opens (appending) or creates the JSONL journal at path
+// and starts its background writer.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening journal: %w", err)
+	}
+	j := &Journal{
+		f:     f,
+		start: time.Now(),
+		ch:    make(chan Event, journalDepth),
+		done:  make(chan struct{}),
+	}
+	go j.writeLoop()
+	return j, nil
+}
+
+// Record enqueues one event, stamping its timestamps. It never blocks:
+// if the writer has fallen behind the event is dropped and counted.
+func (j *Journal) Record(e Event) {
+	mono := time.Since(j.start)
+	e.Mono = mono.Nanoseconds()
+	e.Time = j.start.Add(mono)
+	j.closeMu.RLock()
+	defer j.closeMu.RUnlock()
+	if j.closed {
+		j.dropped.Add(1)
+		return
+	}
+	select {
+	case j.ch <- e:
+	default:
+		j.dropped.Add(1)
+	}
+}
+
+// Emit is Record for the common case: a kind, a worker, and optional
+// extra fields.
+func (j *Journal) Emit(kind string, worker int, fields map[string]any) {
+	j.Record(Event{Kind: kind, Worker: worker, Fields: fields})
+}
+
+// Dropped reports how many events were discarded because the writer
+// could not keep up.
+func (j *Journal) Dropped() int64 { return j.dropped.Load() }
+
+// Written reports how many events reached the file buffer.
+func (j *Journal) Written() int64 { return j.written.Load() }
+
+func (j *Journal) writeLoop() {
+	w := bufio.NewWriterSize(j.f, 64<<10)
+	enc := json.NewEncoder(w)
+	tick := time.NewTicker(journalFlushPeriod)
+	defer tick.Stop()
+	for {
+		select {
+		case e, ok := <-j.ch:
+			if !ok {
+				w.Flush()
+				close(j.done)
+				return
+			}
+			if err := enc.Encode(e); err == nil {
+				j.written.Add(1)
+			}
+		case <-tick.C:
+			w.Flush()
+		}
+	}
+}
+
+// Close drains pending events, flushes, and closes the file. Safe to
+// call more than once; Record after Close is a silent drop.
+func (j *Journal) Close() error {
+	j.closeOnce.Do(func() {
+		j.closeMu.Lock()
+		j.closed = true
+		close(j.ch)
+		j.closeMu.Unlock()
+		<-j.done
+		j.closeErr = j.f.Close()
+	})
+	return j.closeErr
+}
+
+// ReadJournal decodes every event in the JSONL file at path — the
+// replay half of the audit story. Unknown fields are ignored; a
+// trailing partial line (a crash mid-append) terminates the read
+// without error.
+func ReadJournal(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Event
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			// io.EOF is a clean end; anything else is a torn final
+			// record (a crash mid-append) — stop without error either
+			// way, keeping what decoded.
+			return out, nil
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(Event{Kind: "run_start", Fields: map[string]any{"workers": 4}})
+	j.Record(Event{Kind: "push", Worker: 3, Samples: 100, Seq: 7})
+	j.Record(Event{Kind: "save", Elapsed: 5 * time.Millisecond})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Written() != 3 || j.Dropped() != 0 {
+		t.Fatalf("written %d dropped %d", j.Written(), j.Dropped())
+	}
+
+	events, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("read %d events", len(events))
+	}
+	if events[0].Kind != "run_start" || events[0].Fields["workers"] != float64(4) {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[1].Worker != 3 || events[1].Samples != 100 || events[1].Seq != 7 {
+		t.Fatalf("event 1 = %+v", events[1])
+	}
+	if events[2].Elapsed != 5*time.Millisecond {
+		t.Fatalf("event 2 = %+v", events[2])
+	}
+	// Monotonic timestamps never regress.
+	for i := 1; i < len(events); i++ {
+		if events[i].Mono < events[i-1].Mono {
+			t.Fatalf("mono regressed: %d then %d", events[i-1].Mono, events[i].Mono)
+		}
+	}
+}
+
+// TestJournalAppend: reopening appends rather than truncating — a
+// resumed run extends the same audit trail.
+func TestJournalAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	for i := 0; i < 2; i++ {
+		j, err := OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Record(Event{Kind: "run_start"})
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("read %d events after two runs", len(events))
+	}
+}
+
+// TestJournalTornTail: a torn final line (crash mid-append) must not
+// poison the replay of the intact prefix.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(Event{Kind: "push", Worker: 1})
+	j.Record(Event{Kind: "push", Worker: 2})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"ts":"2026-01-01T00:00:00Z","event":"pu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	events, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("read %d events from torn journal", len(events))
+	}
+}
+
+// TestJournalRecordAfterClose: a late Record is a counted drop, not a
+// panic.
+func TestJournalRecordAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j.Record(Event{Kind: "late"})
+	if j.Dropped() != 1 {
+		t.Fatalf("dropped = %d", j.Dropped())
+	}
+	if err := j.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}

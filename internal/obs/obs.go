@@ -1,0 +1,342 @@
+// Package obs is the observability subsystem: a concurrency-safe
+// metrics registry with Prometheus text-format exposition, an ops HTTP
+// server (metrics, health, status, pprof) and a structured run-event
+// journal.
+//
+// PARMONC's operational story is a long-running master/worker
+// simulation that, in the original library, users could monitor only
+// through periodic checkpoint files. The paper's own evaluation
+// (Fig. 2) depends on measuring T_comp(L), push traffic and collector
+// overhead, and Lubachevsky ("Why The Results of Parallel and Serial
+// Monte Carlo Simulations May Differ") shows that silent runtime
+// anomalies in parallel MC are exactly the failures caught only by
+// watching the run live. This package gives every layer one way to be
+// watched:
+//
+//   - Registry: counters, gauges and histograms, lock-free on the hot
+//     path (atomic operations only), with labels for worker identity
+//     and transport, exposed in Prometheus text format.
+//   - Server (server.go): /metrics, /healthz, /statusz and
+//     /debug/pprof/ on an operator-chosen address.
+//   - Journal (journal.go): an append-only JSONL span/event log written
+//     alongside parmonc_data, so a run can be replayed and audited
+//     post-hoc.
+//
+// obs is a leaf package: it imports nothing from the rest of the
+// library, so every layer (collect, cluster, core, cmd) may depend on
+// it without cycles.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric backed by a single
+// atomic integer — the same cost as the raw atomic.Int64 counters it
+// replaces in the collector, cheap enough for a push-per-realization
+// hot path.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must not be negative for Prometheus semantics; this is
+// not checked on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up, down, or be set outright.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metricKind discriminates the series types a family may hold.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// series is one (name, labels) time series inside a family.
+type series struct {
+	labels []Label
+	ctr    *Counter
+	gauge  *Gauge
+	fn     func() float64
+	hist   *Histogram
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name string
+	help string
+	kind metricKind
+	rows []*series
+}
+
+// Registry holds metric families and renders them. Registration takes
+// a mutex; updates to registered metrics are atomic operations with no
+// registry involvement, so the hot path never contends on the registry
+// lock. The same (name, labels) pair always returns the same metric,
+// making registration idempotent — two subsystems may ask for the same
+// counter and share it.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration order, for stable exposition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// labelsKey serializes labels into a canonical map key.
+func labelsKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// lookup finds or creates the family and series for (name, labels),
+// enforcing that a name keeps one kind. init populates the metric of a
+// freshly created series before it becomes visible to scrapers — all
+// under one lock acquisition, so a concurrent WritePrometheus can
+// never observe a series without its metric.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label, init func(*series)) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as two different kinds", name))
+	}
+	if help != "" && f.help == "" {
+		f.help = help
+	}
+	key := labelsKey(labels)
+	for _, s := range f.rows {
+		if labelsKey(s.labels) == key {
+			return s
+		}
+	}
+	s := &series{labels: append([]Label(nil), labels...)}
+	init(s)
+	f.rows = append(f.rows, s)
+	return s
+}
+
+// Counter returns the counter registered under name+labels, creating
+// it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(name, help, kindCounter, labels, func(s *series) { s.ctr = &Counter{} })
+	return s.ctr
+}
+
+// Gauge returns the gauge registered under name+labels, creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(name, help, kindGauge, labels, func(s *series) { s.gauge = &Gauge{} })
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — for values some other layer already owns (active workers,
+// total sample volume) that would otherwise need shadow bookkeeping.
+// fn must be safe for concurrent use. Re-registering the same
+// name+labels replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.lookup(name, help, kindGaugeFunc, labels, func(s *series) { s.fn = fn })
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.fn = fn
+}
+
+// Histogram returns the histogram registered under name+labels,
+// creating it with the given bucket upper bounds on first use (later
+// calls ignore buckets and return the existing histogram).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	s := r.lookup(name, help, kindHistogram, labels, func(s *series) { s.hist = NewHistogram(buckets) })
+	return s.hist
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// formatLabels renders {k="v",...} with an optional extra le pair,
+// preserving registration order of the labels.
+func formatLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraKey, escapeLabel(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		cp := &family{name: f.name, help: f.help, kind: f.kind, rows: append([]*series(nil), f.rows...)}
+		fams = append(fams, cp)
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		typ := "counter"
+		switch f.kind {
+		case kindGauge, kindGaugeFunc:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, typ); err != nil {
+			return err
+		}
+		for _, s := range f.rows {
+			var err error
+			switch f.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, formatLabels(s.labels, "", ""), s.ctr.Value())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, formatLabels(s.labels, "", ""), formatValue(s.gauge.Value()))
+			case kindGaugeFunc:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, formatLabels(s.labels, "", ""), formatValue(s.fn()))
+			case kindHistogram:
+				err = s.hist.writePrometheus(w, f.name, s.labels)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot returns every series as a flat name{labels} → value map:
+// counters and gauges by value, histograms as _count and _sum. It is
+// the JSON-friendly view the /statusz handler and tests consume.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		fams = append(fams, &family{name: f.name, kind: f.kind, rows: append([]*series(nil), f.rows...)})
+	}
+	r.mu.Unlock()
+	out := make(map[string]float64)
+	for _, f := range fams {
+		for _, s := range f.rows {
+			key := f.name + formatLabels(s.labels, "", "")
+			switch f.kind {
+			case kindCounter:
+				out[key] = float64(s.ctr.Value())
+			case kindGauge:
+				out[key] = s.gauge.Value()
+			case kindGaugeFunc:
+				out[key] = s.fn()
+			case kindHistogram:
+				snap := s.hist.Snapshot()
+				out[key+"_count"] = float64(snap.Count)
+				out[key+"_sum"] = snap.Sum
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("parmonc_pushes_total", "Pushes received.").Add(42)
+	r.Counter("parmonc_worker_retries_total", "", L("worker", "3")).Add(2)
+	r.Counter("parmonc_worker_retries_total", "", L("worker", "7")).Inc()
+	r.Gauge("parmonc_active_workers", "Attached workers.").Set(4)
+	r.GaugeFunc("parmonc_samples_total", "Total sample volume.", func() float64 { return 1e6 })
+	h := r.Histogram("parmonc_save_seconds", "Save latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := []string{
+		"# HELP parmonc_pushes_total Pushes received.",
+		"# TYPE parmonc_pushes_total counter",
+		"parmonc_pushes_total 42",
+		`parmonc_worker_retries_total{worker="3"} 2`,
+		`parmonc_worker_retries_total{worker="7"} 1`,
+		"# TYPE parmonc_active_workers gauge",
+		"parmonc_active_workers 4",
+		"parmonc_samples_total 1000000",
+		"# TYPE parmonc_save_seconds histogram",
+		`parmonc_save_seconds_bucket{le="0.1"} 1`,
+		`parmonc_save_seconds_bucket{le="1"} 2`,
+		`parmonc_save_seconds_bucket{le="+Inf"} 3`,
+		"parmonc_save_seconds_sum 5.55",
+		"parmonc_save_seconds_count 3",
+	}
+	for _, line := range want {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+// TestRegistrationIdempotent: the same (name, labels) returns the same
+// metric, so two subsystems share one series.
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("shared counter not shared")
+	}
+	l1 := r.Counter("y_total", "", L("w", "1"))
+	l2 := r.Counter("y_total", "", L("w", "2"))
+	if l1 == l2 {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	// Label order must not create a new series.
+	m1 := r.Counter("z_total", "", L("a", "1"), L("b", "2"))
+	m2 := r.Counter("z_total", "", L("b", "2"), L("a", "1"))
+	if m1 != m2 {
+		t.Fatal("label order created a second series")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(5)
+	r.Gauge("g", "", L("w", "1")).Set(2.5)
+	r.Histogram("h_seconds", "", []float64{1}).Observe(0.5)
+	s := r.Snapshot()
+	if s["c_total"] != 5 {
+		t.Fatalf("c_total = %v", s["c_total"])
+	}
+	if s[`g{w="1"}`] != 2.5 {
+		t.Fatalf("gauge = %v", s)
+	}
+	if s["h_seconds_count"] != 1 || s["h_seconds_sum"] != 0.5 {
+		t.Fatalf("histogram = %v", s)
+	}
+}
+
+// TestConcurrentWritersAndScraper is the -race stress test: many
+// goroutines hammer counters, gauges and histograms (some registering
+// on the fly) while a reader scrapes the Prometheus exposition and
+// snapshots concurrently.
+func TestConcurrentWritersAndScraper(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 2000
+	stop := make(chan struct{})
+
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() { // scraping reader
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = r.Snapshot()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := L("worker", string(rune('a'+w)))
+			for i := 0; i < perWriter; i++ {
+				r.Counter("stress_pushes_total", "").Inc()
+				r.Counter("stress_per_worker_total", "", label).Inc()
+				r.Gauge("stress_gauge", "").Set(float64(i))
+				r.Histogram("stress_seconds", "", []float64{0.001, 0.01, 0.1}).Observe(float64(i) / perWriter)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+
+	if got := r.Counter("stress_pushes_total", "").Value(); got != writers*perWriter {
+		t.Fatalf("pushes = %d, want %d", got, writers*perWriter)
+	}
+	if got := r.Histogram("stress_seconds", "", nil).Count(); got != writers*perWriter {
+		t.Fatalf("histogram count = %d", got)
+	}
+}

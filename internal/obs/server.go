@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServerConfig describes what the ops HTTP server exposes.
+type ServerConfig struct {
+	// Registry backs /metrics. Nil serves an empty exposition.
+	Registry *Registry
+
+	// Health backs /healthz: nil means always healthy; a non-nil error
+	// turns the endpoint into 503 with the error text.
+	Health func() error
+
+	// Status backs /statusz: the returned value is rendered as
+	// indented JSON. Nil disables the endpoint (404).
+	Status func() any
+
+	// Journal, when set, adds its write/drop counters to /statusz
+	// under "journal".
+	Journal *Journal
+}
+
+// NewHandler builds the ops mux: /metrics (Prometheus text format),
+// /healthz, /statusz (JSON), and net/http/pprof under /debug/pprof/
+// for live CPU and heap profiling of a running coordinator or worker.
+func NewHandler(cfg ServerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if cfg.Registry != nil {
+			_ = cfg.Registry.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Health != nil {
+			if err := cfg.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Status == nil {
+			http.NotFound(w, r)
+			return
+		}
+		body := map[string]any{"status": cfg.Status()}
+		if cfg.Journal != nil {
+			body["journal"] = map[string]int64{
+				"written": cfg.Journal.Written(),
+				"dropped": cfg.Journal.Dropped(),
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(body)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running ops HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the ops server on addr (e.g. ":9090" or
+// "127.0.0.1:0"). It returns once the listener is bound; requests are
+// served in the background.
+func Serve(addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: ops server listen: %w", err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           NewHandler(cfg),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its listener.
+func (s *Server) Close() error { return s.srv.Close() }

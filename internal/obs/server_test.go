@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("parmonc_test_total", "A test counter.").Add(9)
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.Record(Event{Kind: "run_start"})
+
+	healthy := true
+	srv, err := Serve("127.0.0.1:0", ServerConfig{
+		Registry: reg,
+		Health: func() error {
+			if !healthy {
+				return errors.New("collector wedged")
+			}
+			return nil
+		},
+		Status:  func() any { return map[string]int{"n": 42} },
+		Journal: j,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{
+		"# HELP parmonc_test_total A test counter.",
+		"# TYPE parmonc_test_total counter",
+		"parmonc_test_total 9",
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	healthy = false
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "collector wedged") {
+		t.Fatalf("unhealthy /healthz: %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz: %d", code)
+	}
+	var st struct {
+		Status struct {
+			N int `json:"n"`
+		} `json:"status"`
+		Journal struct {
+			Written int64 `json:"written"`
+			Dropped int64 `json:"dropped"`
+		} `json:"journal"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("statusz JSON: %v\n%s", err, body)
+	}
+	if st.Status.N != 42 {
+		t.Fatalf("statusz = %s", body)
+	}
+
+	// pprof index answers; the cheap cmdline endpoint proves the
+	// profile family is wired without paying for a CPU profile here.
+	if code, _ := get(t, base+"/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+	if code, _ := get(t, fmt.Sprintf("%s/debug/pprof/heap?debug=1", base)); code != 200 {
+		t.Fatal("heap profile unavailable")
+	}
+}
+
+func TestServerNoStatus(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", ServerConfig{Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, "http://"+srv.Addr()+"/statusz"); code != 404 {
+		t.Fatalf("statusz without Status func: %d", code)
+	}
+	if code, _ := get(t, "http://"+srv.Addr()+"/healthz"); code != 200 {
+		t.Fatal("nil Health should be healthy")
+	}
+}

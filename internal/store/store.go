@@ -47,6 +47,7 @@ const (
 	FuncLogFile    = "func_log.dat"
 	ExpFile        = "parmonc_exp.dat"
 	CheckpointFile = "checkpoint.dat"
+	JournalFile    = "events.jsonl"
 )
 
 // RunMeta describes one simulation run; it is stamped into checkpoints
@@ -105,6 +106,12 @@ func (d *Dir) workersPath() string { return filepath.Join(d.dataPath(), WorkersD
 
 // CheckpointPath returns the path of the collector checkpoint file.
 func (d *Dir) CheckpointPath() string { return filepath.Join(d.dataPath(), CheckpointFile) }
+
+// JournalPath returns the path of the run-event journal (a JSONL file
+// the obs subsystem appends to). It lives inside parmonc_data so the
+// audit trail travels with the results it explains; unlike the other
+// files here it is append-only rather than atomically replaced.
+func (d *Dir) JournalPath() string { return filepath.Join(d.dataPath(), JournalFile) }
 
 // atomicWrite writes content produced by fill to path via a temp file,
 // fsync and rename. Every failure path removes the temp file, so a
