@@ -291,7 +291,9 @@ func cmdCoord(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	peraver := fs.Duration("peraver", 2*time.Minute, "period of saving results")
 	passEvery := fs.Int64("pass-every", 100, "worker pushes after this many realizations")
-	quota := fs.Int64("worker-quota", 0, "realizations per worker before it detaches (0 = until target)")
+	leaseSize := fs.Int64("lease-size", 0, "realizations per substream lease (0 = automatic)")
+	heartbeat := fs.Duration("heartbeat", 10*time.Second, "worker liveness interval (0 disables supervision)")
+	missBudget := fs.Int("miss-budget", 3, "heartbeat intervals a worker may miss before its leases are reissued")
 	drain := fs.Duration("drain-timeout", 2*time.Second, "grace for in-flight worker RPCs on shutdown")
 	snapshots := fs.Bool("worker-snapshots", true, "write per-worker snapshots for manaver")
 	stats := fs.Bool("stats", false, "print collector engine statistics after the job finishes")
@@ -308,20 +310,22 @@ func cmdCoord(args []string) error {
 		return err
 	}
 	spec := cluster.JobSpec{
-		SeqNum:      *seqnum,
-		Nrow:        w.nrow,
-		Ncol:        w.ncol,
-		MaxSamples:  *maxsv,
-		Params:      params,
-		Gamma:       3,
-		PassEvery:   *passEvery,
-		Workload:    w.name,
-		WorkerQuota: *quota,
+		SeqNum:     *seqnum,
+		Nrow:       w.nrow,
+		Ncol:       w.ncol,
+		MaxSamples: *maxsv,
+		Params:     params,
+		Gamma:      3,
+		PassEvery:  *passEvery,
+		Workload:   w.name,
+		LeaseSize:  *leaseSize,
+		Heartbeat:  *heartbeat,
 	}
 	ccfg := cluster.CoordinatorConfig{
 		WorkDir:             *dir,
 		AverPeriod:          *peraver,
 		Resume:              *res,
+		MissBudget:          *missBudget,
 		SaveWorkerSnapshots: *snapshots,
 		DrainTimeout:        *drain,
 	}

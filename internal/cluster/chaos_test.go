@@ -19,7 +19,6 @@ import (
 	"context"
 	"net"
 	"path/filepath"
-	"sync"
 	"testing"
 	"time"
 
@@ -34,38 +33,43 @@ import (
 
 const (
 	chaosWorkers = 4
-	chaosQuota   = 100 // realizations per worker (fixed budget)
-	chaosPass    = 25  // PassEvery → 4 pushes per worker
+	chaosQuota   = 100 // realizations per lease (one lease per worker when all live)
+	chaosPass    = 25  // PassEvery → 4 pushes per lease
 )
 
-// chaosFactory yields integer-valued deterministic realizations: the
-// value depends only on (worker index, call count, matrix cell), never
-// on scheduling, and sums of these stay exactly representable.
-func chaosFactory(w int) (core.Realization, error) {
-	var k int
-	return func(_ *rng.Stream, out []float64) error {
-		for i := range out {
-			out[i] = float64((w*31 + k*7 + i*13) % 64)
-		}
-		k++
-		return nil
-	}, nil
+// chaosRealize yields integer-valued deterministic realizations: the
+// value depends only on the substream coordinates (processor,
+// realization, matrix cell), never on which worker executes the lease
+// or on scheduling, and sums of these stay exactly representable.
+func chaosRealize(src *rng.Stream, out []float64) error {
+	c := src.Coord()
+	for i := range out {
+		out[i] = float64((int(c.Processor)*31 + int(c.Realization)*7 + i*13) % 64)
+	}
+	return nil
+}
+
+func chaosFactory(int) (core.Realization, error) {
+	return chaosRealize, nil
 }
 
 func chaosSpec() JobSpec {
 	return JobSpec{
-		Nrow:        2,
-		Ncol:        2,
-		MaxSamples:  chaosWorkers * chaosQuota,
-		Params:      rng.DefaultParams(),
-		Gamma:       3,
-		PassEvery:   chaosPass,
-		WorkerQuota: chaosQuota,
+		Nrow:       2,
+		Ncol:       2,
+		MaxSamples: chaosWorkers * chaosQuota,
+		Params:     rng.DefaultParams(),
+		Gamma:      3,
+		PassEvery:  chaosPass,
+		LeaseSize:  chaosQuota,
 	}
 }
 
-// chaosReference runs the workload through the in-process goroutine
-// transport: direct engine calls, no network, no faults.
+// chaosReference runs the workload fault-free and in process: it
+// enumerates the same lease partition the coordinator hands out and
+// simulates every substream window directly against the engine. Since
+// realizations are addressed by substream coordinates, this is the
+// ground truth any crash/fault schedule must reproduce bit for bit.
 func chaosReference(t *testing.T) stat.Report {
 	t.Helper()
 	spec := chaosSpec()
@@ -81,50 +85,43 @@ func chaosReference(t *testing.T) stat.Report {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var wg sync.WaitGroup
-	for w := 1; w <= chaosWorkers; w++ {
-		eng.Register(w)
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			realize, err := chaosFactory(w)
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			local := stat.New(spec.Nrow, spec.Ncol)
-			out := make([]float64, spec.Nrow*spec.Ncol)
-			for k := int64(0); k < spec.WorkerQuota; k++ {
-				for i := range out {
-					out[i] = 0
-				}
-				if err := realize(nil, out); err != nil {
-					t.Error(err)
-					return
-				}
-				if err := local.Add(out); err != nil {
-					t.Error(err)
-					return
-				}
-				if local.N() >= spec.PassEvery {
-					if err := eng.Push(w, local.Snapshot()); err != nil {
-						t.Error(err)
-						return
-					}
-					local.Reset()
+	const w = 1
+	eng.Register(w)
+	local := stat.New(spec.Nrow, spec.Ncol)
+	out := make([]float64, spec.Nrow*spec.Ncol)
+	for _, l := range collect.PartitionLeases(spec.MaxSamples, spec.LeaseSize) {
+		stream, err := rng.NewStream(spec.Params, rng.Coord{
+			Experiment: spec.SeqNum, Processor: l.Proc, Realization: l.Start,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := int64(0); k < l.Count; k++ {
+			if k > 0 {
+				if err := stream.NextRealization(); err != nil {
+					t.Fatal(err)
 				}
 			}
-			if local.N() > 0 {
+			for i := range out {
+				out[i] = 0
+			}
+			if err := chaosRealize(stream, out); err != nil {
+				t.Fatal(err)
+			}
+			if err := local.Add(out); err != nil {
+				t.Fatal(err)
+			}
+			if local.N() >= spec.PassEvery || k == l.Count-1 {
 				if err := eng.Push(w, local.Snapshot()); err != nil {
-					t.Error(err)
+					t.Fatal(err)
 				}
+				local.Reset()
 			}
-			if err := eng.Deregister(w); err != nil {
-				t.Error(err)
-			}
-		}(w)
+		}
 	}
-	wg.Wait()
+	if err := eng.Deregister(w); err != nil {
+		t.Fatal(err)
+	}
 	rep, err := eng.Finalize()
 	if err != nil {
 		t.Fatal(err)

@@ -24,6 +24,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -49,13 +50,23 @@ type JobSpec struct {
 	PassEvery  int64      // worker pushes after this many realizations (>= 1)
 	Workload   string     // optional workload identity, checked at registration
 
-	// WorkerQuota, when positive, bounds every worker to exactly this
-	// many realizations before it flushes and detaches — a fixed
-	// per-processor realization budget. Combined with MaxSamples =
-	// workers × WorkerQuota it makes a distributed run's per-worker
-	// workload deterministic, which the chaos conformance suite relies
-	// on. Zero means workers run until told to stop.
-	WorkerQuota int64
+	// LeaseSize, when positive, fixes the realization-window size of
+	// the leases the coordinator hands out: lease i covers realizations
+	// [Start, Start+Count) of processor subsequence i+1, so the
+	// partition of the run into substreams is a pure function of
+	// (MaxSamples, LeaseSize) — independent of which workers show up or
+	// die, which is what makes the final report bit-identical under any
+	// failure schedule. Zero picks a PassEvery-aligned default.
+	LeaseSize int64
+
+	// Heartbeat is the liveness interval workers are told at
+	// registration: a worker proves it is alive at least this often,
+	// piggybacked on pushes when busy and via the explicit Heartbeat
+	// RPC between pushes. The coordinator declares a worker dead after
+	// CoordinatorConfig.MissBudget missed intervals, revokes its
+	// leases, and reissues the uncomputed remainders. Zero disables
+	// heartbeat supervision (a WorkerTimeout still maps onto it).
+	Heartbeat time.Duration
 }
 
 // Validate checks the spec invariants.
@@ -69,8 +80,11 @@ func (s JobSpec) Validate() error {
 	if s.Gamma <= 0 {
 		return fmt.Errorf("cluster: confidence coefficient %g must be positive", s.Gamma)
 	}
-	if s.WorkerQuota < 0 {
-		return fmt.Errorf("cluster: WorkerQuota %d must not be negative", s.WorkerQuota)
+	if s.LeaseSize < 0 {
+		return fmt.Errorf("cluster: LeaseSize %d must not be negative", s.LeaseSize)
+	}
+	if s.Heartbeat < 0 {
+		return fmt.Errorf("cluster: Heartbeat %s must not be negative", s.Heartbeat)
 	}
 	return s.Params.Validate()
 }
@@ -92,11 +106,33 @@ type RegisterArgs struct {
 	ClientID string
 }
 
-// RegisterReply assigns the worker its processor subsequence and job.
+// RegisterReply assigns the worker its index, epoch and job.
 type RegisterReply struct {
-	Worker int // processor index (>= 1; the coordinator itself is rank 0)
+	Worker int // worker index (>= 1; the coordinator itself is rank 0)
 	Spec   JobSpec
 	Stop   bool // true when the job is already complete
+	// Epoch is the registration generation of this worker index. It
+	// bumps every time a pruned index re-registers, fencing the dead
+	// session: pushes and heartbeats stamped with an older epoch are
+	// rejected, so a zombie cannot race the fresh session's sequence
+	// numbers. Workers echo it on every call.
+	Epoch uint64
+}
+
+// AcquireArgs asks the coordinator for the next lease.
+type AcquireArgs struct {
+	Worker int
+	Epoch  uint64
+}
+
+// AcquireReply carries the granted lease, or tells the worker to wait
+// (all leases granted, outstanding ones may yet be reissued), stop
+// (job complete), or re-register (stale epoch).
+type AcquireReply struct {
+	Lease   collect.Lease
+	Granted bool
+	Stop    bool
+	Fenced  bool
 }
 
 // PushArgs carries one subtotal snapshot from a worker.
@@ -109,11 +145,35 @@ type PushArgs struct {
 	// whose reply was lost can be retried without double-counting
 	// moments. Zero means unsequenced (legacy workers; always merged).
 	Seq uint64
+	// Epoch is the worker's registration epoch (0: legacy, unfenced).
+	Epoch uint64
+	// Lease is the grant the snapshot's realizations belong to, and
+	// Done the cumulative count of that lease's realizations completed
+	// once this snapshot merges — the collector's per-lease ledger, the
+	// exact prefix a reissue must skip. Lease 0 means an unleased push.
+	Lease uint64
+	Done  int64
 }
 
-// PushReply tells the worker whether to continue.
+// PushReply tells the worker whether to continue. Fenced means the
+// push was acknowledged but NOT merged: the sender's epoch is stale or
+// its lease revoked, and it must re-register before doing more work.
 type PushReply struct {
-	Stop bool
+	Stop   bool
+	Fenced bool
+}
+
+// HeartbeatArgs is the explicit proof-of-life call a worker makes
+// between pushes (busy workers piggyback liveness on Push itself).
+type HeartbeatArgs struct {
+	Worker int
+	Epoch  uint64
+}
+
+// HeartbeatReply mirrors PushReply for a payload-free call.
+type HeartbeatReply struct {
+	Stop   bool
+	Fenced bool
 }
 
 // DoneArgs signals that a worker has stopped (voluntarily or on Stop).
@@ -142,14 +202,19 @@ type Coordinator struct {
 	journal *obs.Journal // nil: no journaling
 
 	mu        sync.Mutex
-	next      int            // next processor index to hand out
+	next      int            // next worker index to hand out
 	byClient  map[string]int // ClientID → assigned index (idempotent Register)
+	epoch     map[int]uint64 // registration generation per worker index
+	lm        *leaseManager
 	stopped   bool
 	completed chan struct{} // closed when target reached and all workers done
 
-	timeout    time.Duration
+	heartbeat  time.Duration // worker liveness interval (0: supervision off)
+	missBudget int
 	drain      time.Duration
 	reaperStop chan struct{}
+
+	cm coordMetrics
 
 	ln     net.Listener
 	server *rpc.Server
@@ -167,12 +232,20 @@ type CoordinatorConfig struct {
 	Resume     bool          // merge the previous run's checkpoint
 
 	// WorkerTimeout prunes workers that have not been heard from for
-	// this long, so a crashed worker cannot stall job completion. Its
-	// already-pushed subtotals remain valid (they came from the
-	// worker's own disjoint substream); only unsent work is lost — the
-	// same failure semantics as an MPI rank dying in the original.
-	// Zero disables pruning.
+	// this long, so a crashed worker cannot stall job completion. It is
+	// a convenience mapping onto heartbeat supervision: when the spec
+	// sets no Heartbeat, the heartbeat interval becomes
+	// WorkerTimeout / MissBudget, so a worker is declared dead after
+	// roughly WorkerTimeout of silence. Unlike the pre-lease pruner,
+	// the dead worker's unfinished lease windows are reissued to
+	// surviving workers, so no requested realization is ever lost.
+	// Zero (with no spec Heartbeat) disables supervision.
 	WorkerTimeout time.Duration
+
+	// MissBudget is how many consecutive heartbeat intervals a worker
+	// may miss before it is declared dead, its leases revoked and
+	// their uncomputed remainders reissued. Default 3.
+	MissBudget int
 
 	// SaveWorkerSnapshots writes each worker's cumulative moments to
 	// parmonc_data/workers on every push, so the manaver command can
@@ -232,6 +305,19 @@ func NewCoordinatorOn(spec JobSpec, cfg CoordinatorConfig, ln net.Listener) (*Co
 	if cfg.DrainTimeout == 0 {
 		cfg.DrainTimeout = 2 * time.Second
 	}
+	if cfg.MissBudget <= 0 {
+		cfg.MissBudget = 3
+	}
+	if spec.Heartbeat <= 0 && cfg.WorkerTimeout > 0 {
+		spec.Heartbeat = cfg.WorkerTimeout / time.Duration(cfg.MissBudget)
+		if spec.Heartbeat <= 0 {
+			spec.Heartbeat = time.Millisecond
+		}
+	}
+	lm, err := newLeaseManager(spec)
+	if err != nil {
+		return nil, err
+	}
 	dir, err := store.Open(cfg.WorkDir)
 	if err != nil {
 		return nil, err
@@ -260,12 +346,20 @@ func NewCoordinatorOn(spec JobSpec, cfg CoordinatorConfig, ln net.Listener) (*Co
 		eng:        eng,
 		journal:    cfg.Journal,
 		byClient:   map[string]int{},
+		epoch:      map[int]uint64{},
+		lm:         lm,
 		completed:  make(chan struct{}),
-		timeout:    cfg.WorkerTimeout,
+		heartbeat:  spec.Heartbeat,
+		missBudget: cfg.MissBudget,
 		drain:      cfg.DrainTimeout,
 		reaperStop: make(chan struct{}),
 		conns:      map[net.Conn]struct{}{},
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c.cm = newCoordMetrics(reg, c)
 	if cfg.Registry != nil {
 		cfg.Registry.GaugeFunc("parmonc_coordinator_active_workers", "Workers currently attached to the coordinator.",
 			func() float64 { return float64(eng.Active()) })
@@ -286,15 +380,46 @@ func NewCoordinatorOn(spec JobSpec, cfg CoordinatorConfig, ln net.Listener) (*Co
 	}
 	c.ln = ln
 	go c.acceptLoop()
-	if c.timeout > 0 {
-		go c.reapLoop()
+	if c.heartbeat > 0 {
+		go c.superviseLoop()
 	}
 	return c, nil
 }
 
-// reapLoop periodically prunes workers that have gone silent.
-func (c *Coordinator) reapLoop() {
-	tick := time.NewTicker(c.timeout / 4)
+// coordMetrics are the coordinator-level supervision counters. They
+// live in the caller's registry when one is configured (so /metrics
+// exposes them) and in a private one otherwise; Status reads them
+// either way.
+type coordMetrics struct {
+	heartbeats      *obs.Counter
+	heartbeatMisses *obs.Counter
+	leasesGranted   *obs.Counter
+	leasesReissued  *obs.Counter
+}
+
+func newCoordMetrics(reg *obs.Registry, c *Coordinator) coordMetrics {
+	reg.GaugeFunc("parmonc_coordinator_leases_pending", "Leases waiting to be granted (including reissued remainders).",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.lm.pendingCount())
+		})
+	return coordMetrics{
+		heartbeats:      reg.Counter("parmonc_coordinator_heartbeats_total", "Explicit heartbeat RPCs received."),
+		heartbeatMisses: reg.Counter("parmonc_coordinator_heartbeat_misses_total", "Supervision ticks that found a worker past its heartbeat interval."),
+		leasesGranted:   reg.Counter("parmonc_coordinator_leases_granted_total", "Leases granted to workers (including re-grants of reissued remainders)."),
+		leasesReissued:  reg.Counter("parmonc_coordinator_leases_reissued_total", "Lease remainders reissued after their holder died or detached mid-window."),
+	}
+}
+
+// superviseLoop is the coordinator's failure detector. Every heartbeat
+// interval it journals a heartbeat_miss for each worker past one
+// interval of silence, and declares workers past MissBudget intervals
+// dead: their leases are revoked and the uncomputed remainders requeued
+// at the front, so a surviving or newly joining worker recomputes
+// exactly the realizations the dead worker never delivered.
+func (c *Coordinator) superviseLoop() {
+	tick := time.NewTicker(c.heartbeat)
 	defer tick.Stop()
 	for {
 		select {
@@ -303,10 +428,38 @@ func (c *Coordinator) reapLoop() {
 		case <-c.completed:
 			return
 		case <-tick.C:
-			c.eng.PruneStale(c.timeout)
+			for _, w := range c.eng.Overdue(c.heartbeat) {
+				c.cm.heartbeatMisses.Inc()
+				if c.journal != nil {
+					c.journal.Record(obs.Event{Kind: "heartbeat_miss", Worker: w})
+				}
+			}
+			for _, w := range c.eng.Overdue(time.Duration(c.missBudget) * c.heartbeat) {
+				rem := c.eng.RevokeWorker(w)
+				c.mu.Lock()
+				c.reissueLocked(w, rem)
+				c.mu.Unlock()
+			}
 			c.mu.Lock()
 			c.maybeCompleteLocked()
 			c.mu.Unlock()
+		}
+	}
+}
+
+// reissueLocked requeues the uncomputed remainders of a dead or
+// detached worker's leases. Called with c.mu held.
+func (c *Coordinator) reissueLocked(w int, rem []collect.Lease) {
+	if len(rem) == 0 {
+		return
+	}
+	c.lm.requeueFront(rem)
+	for _, r := range rem {
+		c.cm.leasesReissued.Inc()
+		if c.journal != nil {
+			c.journal.Record(obs.Event{Kind: "lease_reissue", Worker: w, Samples: r.Count, Fields: map[string]any{
+				"proc": r.Proc, "start": r.Start, "count": r.Count,
+			}})
 		}
 	}
 }
@@ -369,9 +522,26 @@ func (s *service) Register(args RegisterArgs, reply *RegisterReply) error {
 				// activated so it cannot stall completion.
 				_ = c.eng.Deregister(w)
 				c.maybeCompleteLocked()
-			} else {
-				c.eng.Register(w) // refresh liveness (no-op if still active)
+				return nil
 			}
+			if !c.eng.IsActive(w) {
+				// A pruned session is coming back. Admit it under a new
+				// epoch: the engine resets its sequence space, and any
+				// in-flight pushes of the dead session — stamped with
+				// the old epoch — are fenced instead of racing the
+				// reset. This closes the reused-index dedup hole.
+				c.epoch[w]++
+				c.eng.RegisterEpoch(w, c.epoch[w])
+				if c.journal != nil {
+					c.journal.Record(obs.Event{Kind: "register", Worker: w, Fields: map[string]any{
+						"hostname": args.Hostname, "client_id": args.ClientID,
+						"epoch": c.epoch[w], "rejoin": true,
+					}})
+				}
+			} else {
+				c.eng.Register(w) // refresh liveness (retried Register)
+			}
+			reply.Epoch = c.epoch[w]
 			return nil
 		}
 	}
@@ -381,21 +551,77 @@ func (s *service) Register(args RegisterArgs, reply *RegisterReply) error {
 		return nil
 	}
 	c.next++
-	w := c.next // processor indices start at 1; the coordinator is rank 0
-	if err := c.spec.Params.CheckCoord(rng.Coord{Experiment: c.spec.SeqNum, Processor: uint64(w)}); err != nil {
-		return fmt.Errorf("cluster: out of processor subsequences: %w", err)
-	}
-	c.eng.Register(w)
+	w := c.next // worker indices start at 1; the coordinator is rank 0
+	c.epoch[w] = 1
+	c.eng.RegisterEpoch(w, 1)
 	if args.ClientID != "" {
 		c.byClient[args.ClientID] = w
 	}
 	if c.journal != nil {
 		c.journal.Record(obs.Event{Kind: "register", Worker: w, Fields: map[string]any{
-			"hostname": args.Hostname, "client_id": args.ClientID,
+			"hostname": args.Hostname, "client_id": args.ClientID, "epoch": uint64(1),
 		}})
 	}
 	reply.Worker = w
+	reply.Epoch = 1
 	reply.Spec = c.spec
+	return nil
+}
+
+// Acquire hands the calling worker the next lease: a window of
+// realization substreams it now owns. With nothing pending the worker
+// is told to wait (an outstanding lease may yet be revoked and
+// reissued); once the job is complete it is told to stop.
+func (s *service) Acquire(args AcquireArgs, reply *AcquireReply) error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped || c.eng.TargetReached() {
+		reply.Stop = true
+		return nil
+	}
+	if err := c.eng.Touch(args.Worker, args.Epoch); err != nil {
+		if errors.Is(err, collect.ErrFenced) {
+			reply.Fenced = true
+			return nil
+		}
+		return err
+	}
+	// A worker asking for work holds no lease it knows about; any lease
+	// the ledger still attributes to it is a grant whose reply was lost.
+	// Requeue the remainder so this very call re-grants the window.
+	c.lm.requeueFront(c.eng.ReclaimLeases(args.Worker))
+	l, ok := c.lm.next()
+	if !ok {
+		return nil // nothing to grant right now: wait and re-acquire
+	}
+	if err := c.eng.GrantLease(args.Worker, l); err != nil {
+		return err
+	}
+	c.cm.leasesGranted.Inc()
+	if c.journal != nil {
+		c.journal.Record(obs.Event{Kind: "lease_grant", Worker: args.Worker, Seq: l.ID, Samples: l.Count,
+			Fields: map[string]any{"proc": l.Proc, "start": l.Start, "count": l.Count}})
+	}
+	reply.Lease = l
+	reply.Granted = true
+	return nil
+}
+
+// Heartbeat is a worker's explicit proof of life between pushes.
+func (s *service) Heartbeat(args HeartbeatArgs, reply *HeartbeatReply) error {
+	c := s.c
+	c.cm.heartbeats.Inc()
+	if err := c.eng.Touch(args.Worker, args.Epoch); err != nil {
+		if errors.Is(err, collect.ErrFenced) {
+			reply.Fenced = true
+			return nil
+		}
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reply.Stop = c.stopped || c.eng.TargetReached()
 	return nil
 }
 
@@ -407,7 +633,20 @@ func (s *service) Register(args RegisterArgs, reply *RegisterReply) error {
 // idempotent.
 func (s *service) Push(args PushArgs, reply *PushReply) error {
 	c := s.c
-	if err := c.eng.PushSeq(args.Worker, args.Seq, args.Snap); err != nil {
+	err := c.eng.PushFrom(collect.PushOrigin{
+		Worker: args.Worker,
+		Epoch:  args.Epoch,
+		Seq:    args.Seq,
+		Lease:  args.Lease,
+		Done:   args.Done,
+	}, args.Snap)
+	if errors.Is(err, collect.ErrFenced) {
+		// Acknowledge without merging: the sender is a fenced zombie
+		// and must stop retrying this payload and re-register.
+		reply.Fenced = true
+		return nil
+	}
+	if err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -421,7 +660,8 @@ func (s *service) Push(args PushArgs, reply *PushReply) error {
 // its reply lost, or the worker was pruned) succeeds idempotently.
 func (s *service) Done(args DoneArgs, reply *DoneReply) error {
 	c := s.c
-	if err := c.eng.Deregister(args.Worker); err != nil {
+	rem, err := c.eng.ReleaseWorker(args.Worker)
+	if err != nil {
 		c.mu.Lock()
 		assigned := args.Worker >= 1 && args.Worker <= c.next
 		c.mu.Unlock()
@@ -438,6 +678,10 @@ func (s *service) Done(args DoneArgs, reply *DoneReply) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// A worker that detached mid-lease (context cancelled, Stop seen)
+	// flushed what it had; the rest of its window goes back in the
+	// queue for someone else.
+	c.reissueLocked(args.Worker, rem)
 	c.maybeCompleteLocked()
 	return nil
 }
@@ -487,24 +731,35 @@ func (c *Coordinator) N() int64 { return c.eng.N() }
 // collector engine's metrics. The JSON tags are the /statusz wire
 // format of the ops HTTP server.
 type Status struct {
-	N             int64                   `json:"n"`              // total sample volume (incl. resumed base)
-	ActiveWorkers int                     `json:"active_workers"` // workers currently attached
-	Stopped       bool                    `json:"stopped"`        // Stop was called
-	TargetReached bool                    `json:"target_reached"` // the sample target has been met
-	Metrics       collect.MetricsSnapshot `json:"metrics"`        // engine counters
+	N               int64                   `json:"n"`                // total sample volume (incl. resumed base)
+	ActiveWorkers   int                     `json:"active_workers"`   // workers currently attached
+	Stopped         bool                    `json:"stopped"`          // Stop was called
+	TargetReached   bool                    `json:"target_reached"`   // the sample target has been met
+	Metrics         collect.MetricsSnapshot `json:"metrics"`          // engine counters
+	LeasesGranted   int64                   `json:"leases_granted"`   // leases handed to workers
+	LeasesReissued  int64                   `json:"leases_reissued"`  // remainders reissued after a holder died
+	LeasesPending   int                     `json:"leases_pending"`   // leases waiting for a worker
+	Heartbeats      int64                   `json:"heartbeats"`       // explicit heartbeat RPCs received
+	HeartbeatMisses int64                   `json:"heartbeat_misses"` // supervision ticks that found an overdue worker
 }
 
 // Status reports the coordinator's current state and metrics.
 func (c *Coordinator) Status() Status {
 	c.mu.Lock()
 	stopped := c.stopped
+	pending := c.lm.pendingCount()
 	c.mu.Unlock()
 	return Status{
-		N:             c.eng.N(),
-		ActiveWorkers: c.eng.Active(),
-		Stopped:       stopped,
-		TargetReached: c.eng.TargetReached(),
-		Metrics:       c.eng.Metrics(),
+		N:               c.eng.N(),
+		ActiveWorkers:   c.eng.Active(),
+		Stopped:         stopped,
+		TargetReached:   c.eng.TargetReached(),
+		Metrics:         c.eng.Metrics(),
+		LeasesGranted:   c.cm.leasesGranted.Value(),
+		LeasesReissued:  c.cm.leasesReissued.Value(),
+		LeasesPending:   pending,
+		Heartbeats:      c.cm.heartbeats.Value(),
+		HeartbeatMisses: c.cm.heartbeatMisses.Value(),
 	}
 }
 

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+
+	"parmonc/internal/collect"
+	"parmonc/internal/rng"
+)
+
+// leaseManager is the coordinator's work ledger: the queue of
+// realization-substream windows not yet granted to any worker. Grants
+// come off the front; remainders of revoked leases go back on the
+// front (under fresh IDs) so lost work is recomputed before new work
+// is started. All methods are called with the coordinator lock held.
+type leaseManager struct {
+	pending   []collect.Lease
+	nextID    uint64
+	nextProc  uint64 // next processor subsequence for unbounded generation
+	leaseSize int64
+	unbounded bool
+	exhausted bool // ran out of processor subsequences (unbounded mode)
+	params    rng.Params
+	seqNum    uint64
+}
+
+// defaultLeaseSize picks a lease granularity when the spec does not fix
+// one: a multiple of PassEvery (so lease boundaries coincide with push
+// boundaries and merge counts stay the same as under static quotas),
+// sized so a bounded run splits into roughly 16 leases — enough
+// granularity that losing a worker loses little, few enough that
+// acquire traffic stays negligible next to pushes.
+func defaultLeaseSize(maxSamples, passEvery int64) int64 {
+	if maxSamples <= 0 {
+		return passEvery * 64
+	}
+	m := maxSamples / (16 * passEvery)
+	if m < 1 {
+		m = 1
+	}
+	return passEvery * m
+}
+
+func newLeaseManager(spec JobSpec) (*leaseManager, error) {
+	size := spec.LeaseSize
+	if size <= 0 {
+		size = defaultLeaseSize(spec.MaxSamples, spec.PassEvery)
+	}
+	lm := &leaseManager{
+		leaseSize: size,
+		params:    spec.Params,
+		seqNum:    spec.SeqNum,
+	}
+	if spec.MaxSamples > 0 {
+		lm.pending = collect.PartitionLeases(spec.MaxSamples, size)
+		last := lm.pending[len(lm.pending)-1]
+		var maxReal uint64
+		if size > 1 {
+			maxReal = uint64(size - 1)
+		}
+		if err := spec.Params.CheckCoord(rng.Coord{
+			Experiment:  spec.SeqNum,
+			Processor:   last.Proc,
+			Realization: maxReal,
+		}); err != nil {
+			return nil, fmt.Errorf("cluster: job does not fit the RNG hierarchy (%d leases of %d): %w",
+				len(lm.pending), size, err)
+		}
+		lm.nextProc = last.Proc + 1
+	} else {
+		lm.unbounded = true
+		lm.nextProc = 1
+	}
+	return lm, nil
+}
+
+// next hands out the frontmost pending lease under a fresh grant ID.
+// In unbounded mode an empty queue generates a new window on the next
+// processor subsequence; a bounded run returns false once everything
+// has been granted (outstanding grants may still be reissued later).
+func (lm *leaseManager) next() (collect.Lease, bool) {
+	if len(lm.pending) == 0 && lm.unbounded && !lm.exhausted {
+		l := collect.Lease{Proc: lm.nextProc, Start: 0, Count: lm.leaseSize}
+		if err := lm.params.CheckCoord(rng.Coord{Experiment: lm.seqNum, Processor: l.Proc}); err != nil {
+			lm.exhausted = true
+		} else {
+			lm.nextProc++
+			lm.pending = append(lm.pending, l)
+		}
+	}
+	if len(lm.pending) == 0 {
+		return collect.Lease{}, false
+	}
+	l := lm.pending[0]
+	lm.pending = lm.pending[1:]
+	lm.nextID++
+	l.ID = lm.nextID
+	return l, true
+}
+
+// requeueFront puts revoked-lease remainders at the front of the
+// queue, preserving their order, so the next Acquire recomputes the
+// lost window before starting new work. Grant IDs are stamped by next
+// when the window is actually re-granted.
+func (lm *leaseManager) requeueFront(rem []collect.Lease) {
+	if len(rem) == 0 {
+		return
+	}
+	queue := make([]collect.Lease, 0, len(rem)+len(lm.pending))
+	for _, r := range rem {
+		r.ID = 0
+		queue = append(queue, r)
+	}
+	lm.pending = append(queue, lm.pending...)
+}
+
+// pendingCount reports how many leases await a worker.
+func (lm *leaseManager) pendingCount() int { return len(lm.pending) }

@@ -69,16 +69,16 @@ func metricValue(t *testing.T, exposition, prefix string) float64 {
 func TestObsEndToEndLiveRun(t *testing.T) {
 	const (
 		workers = 4
-		quota   = 300 // realizations per worker
+		quota   = 300 // realizations per lease (one lease per worker when all live)
 		pass    = 20  // PassEvery → frequent merges to observe mid-run
 	)
 	spec := JobSpec{
 		Nrow: 2, Ncol: 2,
-		MaxSamples:  workers * quota,
-		Params:      rng.DefaultParams(),
-		Gamma:       3,
-		PassEvery:   pass,
-		WorkerQuota: quota,
+		MaxSamples: workers * quota,
+		Params:     rng.DefaultParams(),
+		Gamma:      3,
+		PassEvery:  pass,
+		LeaseSize:  quota,
 	}
 	// Each realization sleeps so the run stays alive long enough to be
 	// observed from outside (~quota ms per worker).

@@ -23,7 +23,8 @@ func TestSpecValidateMessages(t *testing.T) {
 		{"negative pass-every", func(s *JobSpec) { s.PassEvery = -5 }, "PassEvery -5 must be >= 1"},
 		{"zero gamma", func(s *JobSpec) { s.Gamma = 0 }, "confidence coefficient 0 must be positive"},
 		{"negative gamma", func(s *JobSpec) { s.Gamma = -1 }, "confidence coefficient -1 must be positive"},
-		{"negative quota", func(s *JobSpec) { s.WorkerQuota = -1 }, "WorkerQuota -1 must not be negative"},
+		{"negative lease size", func(s *JobSpec) { s.LeaseSize = -1 }, "LeaseSize -1 must not be negative"},
+		{"negative heartbeat", func(s *JobSpec) { s.Heartbeat = -time.Second }, "must not be negative"},
 		{"bad rng nesting", func(s *JobSpec) { s.Params.ProcessorLeapLog2 = 126 }, "rng:"},
 	}
 	for _, tc := range cases {
@@ -45,11 +46,12 @@ func TestSpecValidateMessages(t *testing.T) {
 	if err := ok.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	ok.WorkerQuota = 0 // zero = no fixed budget
+	ok.LeaseSize = 0 // zero = automatic lease granularity
 	if err := ok.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	ok.WorkerQuota = 1
+	ok.LeaseSize = 1
+	ok.Heartbeat = time.Millisecond
 	if err := ok.Validate(); err != nil {
 		t.Fatal(err)
 	}

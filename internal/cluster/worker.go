@@ -8,8 +8,11 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"parmonc/internal/collect"
 	"parmonc/internal/core"
 	"parmonc/internal/obs"
 	"parmonc/internal/rng"
@@ -75,9 +78,10 @@ func newWorkerObs(reg *obs.Registry, w int, rc *ResilientClient) *workerObs {
 // and how much resilience work the transport needed. The same counters
 // reach the coordinator's collector metrics via Done.
 type WorkerReport struct {
-	Worker       int   // assigned processor index (0 if never registered)
+	Worker       int   // assigned worker index (0 if never registered)
 	Realizations int64 // realizations simulated
 	Pushes       int64 // subtotal snapshots acknowledged by the coordinator
+	Leases       int64 // leases fully completed
 	Retries      int64 // RPC attempts beyond the first
 	Reconnects   int64 // dials beyond the first successful one
 }
@@ -147,13 +151,24 @@ func RunWorkerOpts(ctx context.Context, addr string, factory core.Factory, opts 
 	return err
 }
 
+// errWorkerStopped is the internal signal that the coordinator told
+// this session to stop during a re-register.
+var errWorkerStopped = errors.New("cluster: coordinator said stop")
+
 // RunResilientWorker is the full-featured worker: it registers
 // idempotently (a retried Register after a lost reply reclaims the same
-// processor index), simulates realizations, and pushes subtotal
-// snapshots carrying monotonic sequence numbers so the coordinator can
-// deduplicate redeliveries — at-least-once delivery, exactly-once
-// merge. The snapshot of a push is captured once and the identical
-// payload is re-sent on every retry.
+// worker index and epoch), then loops acquiring leases — contiguous
+// windows of realization substreams — and simulating them, pushing
+// subtotal snapshots every PassEvery realizations and at every lease
+// boundary. Pushes carry monotonic sequence numbers so the coordinator
+// can deduplicate redeliveries (at-least-once delivery, exactly-once
+// merge) plus the worker's registration epoch and lease progress, so a
+// session the coordinator has declared dead is fenced instead of
+// double-merged. A fenced worker abandons its local subtotals (the
+// lease remainder has been reissued elsewhere), re-registers into a
+// fresh epoch and keeps working. When the job defines a heartbeat
+// interval, a background loop proves liveness between pushes with the
+// explicit Heartbeat RPC — so a slow-but-alive worker is never pruned.
 func RunResilientWorker(ctx context.Context, addr string, cfg WorkerConfig, factory core.Factory) (rep WorkerReport, err error) {
 	if factory == nil {
 		return rep, errors.New("cluster: nil realization factory")
@@ -185,15 +200,37 @@ func RunResilientWorker(ctx context.Context, addr string, cfg WorkerConfig, fact
 	spec := reg.Spec
 	w := reg.Worker
 	rep.Worker = w
+
+	// The epoch is the only session state the heartbeat goroutine
+	// shares with the main loop; it changes on re-registration.
+	var sessMu sync.Mutex
+	epoch := reg.Epoch
+	getEpoch := func() uint64 {
+		sessMu.Lock()
+		defer sessMu.Unlock()
+		return epoch
+	}
+	setEpoch := func(e uint64) {
+		sessMu.Lock()
+		defer sessMu.Unlock()
+		epoch = e
+	}
+	// lastContact is when this session last completed any RPC, so the
+	// heartbeat loop only speaks up when the main loop has gone quiet.
+	var lastContact atomic.Int64
+	touch := func() { lastContact.Store(time.Now().UnixNano()) }
+	touch()
+
 	wo := newWorkerObs(cfg.Registry, w, rc)
 	if cfg.Journal != nil {
 		cfg.Journal.Record(obs.Event{Kind: "register", Worker: w, Fields: map[string]any{
-			"addr": addr, "workload": cfg.Workload,
+			"addr": addr, "workload": cfg.Workload, "epoch": reg.Epoch,
 		}})
 		defer func() {
 			st := rc.Stats()
 			cfg.Journal.Record(obs.Event{Kind: "done", Worker: w, Samples: rep.Realizations,
-				Fields: map[string]any{"pushes": rep.Pushes, "retries": st.Retries, "reconnects": st.Reconnects}})
+				Fields: map[string]any{"pushes": rep.Pushes, "leases": rep.Leases,
+					"retries": st.Retries, "reconnects": st.Reconnects}})
 		}()
 	}
 
@@ -201,25 +238,64 @@ func RunResilientWorker(ctx context.Context, addr string, cfg WorkerConfig, fact
 	if err != nil {
 		return rep, fmt.Errorf("cluster: building realization: %w", err)
 	}
-	stream, err := rng.NewStream(spec.Params, rng.Coord{Experiment: spec.SeqNum, Processor: uint64(w)})
-	if err != nil {
-		return rep, err
-	}
 
 	local := stat.New(spec.Nrow, spec.Ncol)
 	out := make([]float64, spec.Nrow*spec.Ncol)
 	var seq uint64
 
-	// push sends the current subtotal under the next sequence number.
-	// The snapshot is captured once; retries inside Call redeliver the
-	// identical payload, which the coordinator deduplicates by seq.
-	push := func(ctx context.Context) (stop bool, err error) {
+	// Heartbeats run on their own client and goroutine: the resilient
+	// client is single-caller, and a heartbeat must get through while
+	// the main loop is blocked inside a long realization or a retrying
+	// push.
+	if spec.Heartbeat > 0 {
+		hctx, hcancel := context.WithCancel(context.Background())
+		hbDone := make(chan struct{})
+		defer func() { hcancel(); <-hbDone }()
+		hb := NewResilientClient(addr, cfg.Retry)
+		period := spec.Heartbeat / 2
+		if period <= 0 {
+			period = spec.Heartbeat
+		}
+		go func() {
+			defer close(hbDone)
+			defer hb.Close()
+			tick := time.NewTicker(period)
+			defer tick.Stop()
+			for {
+				select {
+				case <-hctx.Done():
+					return
+				case <-tick.C:
+					if time.Duration(time.Now().UnixNano()-lastContact.Load()) < period {
+						continue // the main loop is talking; no need
+					}
+					var hr HeartbeatReply
+					if err := hb.Call(hctx, ServiceName+".Heartbeat",
+						HeartbeatArgs{Worker: w, Epoch: getEpoch()}, &hr); err == nil && !hr.Fenced {
+						touch()
+					}
+				}
+			}
+		}()
+	}
+
+	// push sends the current subtotal under the next sequence number,
+	// stamped with the session epoch and the lease progress it
+	// advances. The snapshot is captured once; retries inside Call
+	// redeliver the identical payload, which the coordinator
+	// deduplicates by seq.
+	push := func(ctx context.Context, leaseID uint64, done int64) (stop, fenced bool, err error) {
 		seq++
-		args := PushArgs{Worker: w, Seq: seq, Snap: local.Snapshot()}
+		args := PushArgs{Worker: w, Epoch: getEpoch(), Seq: seq, Lease: leaseID, Done: done, Snap: local.Snapshot()}
 		var pr PushReply
 		t0 := time.Now()
 		if err := rc.Call(ctx, ServiceName+".Push", args, &pr); err != nil {
-			return false, err
+			return false, false, err
+		}
+		touch()
+		local.Reset()
+		if pr.Fenced {
+			return false, true, nil
 		}
 		rep.Pushes++
 		if wo != nil {
@@ -230,61 +306,162 @@ func RunResilientWorker(ctx context.Context, addr string, cfg WorkerConfig, fact
 			cfg.Journal.Record(obs.Event{Kind: "push", Worker: w, Seq: seq,
 				Samples: args.Snap.N, Elapsed: time.Since(t0)})
 		}
+		return pr.Stop, false, nil
+	}
+
+	// rejoin re-registers after a fence: same ClientID, so the
+	// coordinator re-admits this process under the same index with a
+	// bumped epoch and a fresh sequence space. Local subtotals were
+	// already abandoned — the unmerged window is someone else's lease
+	// now.
+	rejoin := func(ctx context.Context) error {
+		var rr RegisterReply
+		if err := rc.Call(ctx, ServiceName+".Register", regArgs, &rr); err != nil {
+			return err
+		}
+		if rr.Stop {
+			return errWorkerStopped
+		}
+		setEpoch(rr.Epoch)
+		seq = 0
 		local.Reset()
-		return pr.Stop, nil
+		touch()
+		if cfg.Journal != nil {
+			cfg.Journal.Record(obs.Event{Kind: "register", Worker: w, Fields: map[string]any{
+				"addr": addr, "workload": cfg.Workload, "epoch": rr.Epoch, "rejoin": true,
+			}})
+		}
+		return nil
 	}
 
 	defer func() {
-		// Flush any unsent subtotals, then detach, on a context of
-		// their own: the run context may already be cancelled, and the
-		// coordinator tolerates vanished workers, so this is bounded
-		// best-effort.
+		// Detach on a context of its own: the run context may already
+		// be cancelled, and the coordinator tolerates vanished workers,
+		// so this is bounded best-effort. Done releases any lease this
+		// worker still holds; the coordinator reissues the remainder.
 		fctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		if local.N() > 0 {
-			_, _ = push(fctx)
-		}
 		st := rc.Stats()
 		var dr DoneReply
 		_ = rc.Call(fctx, ServiceName+".Done",
 			DoneArgs{Worker: w, Retries: st.Retries, Reconnects: st.Reconnects}, &dr)
 	}()
 
-	for k := int64(0); ; k++ {
+	// runLease simulates one lease window, pushing every PassEvery
+	// realizations and at the window boundary so the coordinator's
+	// ledger sees the lease complete.
+	runLease := func(l collect.Lease) (stop, fenced bool, err error) {
+		stream, err := rng.NewStream(spec.Params, rng.Coord{
+			Experiment: spec.SeqNum, Processor: l.Proc, Realization: l.Start,
+		})
+		if err != nil {
+			return false, false, err
+		}
+		local.Reset()
+		var done int64
+		for k := int64(0); k < l.Count; k++ {
+			if ctx.Err() != nil {
+				// Cancelled mid-window: flush the merged-prefix delta on
+				// a bounded context so the acked ledger matches what the
+				// coordinator reissues, then let the deferred Done
+				// release the rest.
+				if local.N() > 0 {
+					fctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					_, _, _ = push(fctx, l.ID, done)
+					cancel()
+				}
+				return true, false, nil
+			}
+			if k > 0 {
+				if err := stream.NextRealization(); err != nil {
+					return false, false, err
+				}
+			}
+			for i := range out {
+				out[i] = 0
+			}
+			t0 := time.Now()
+			if err := realize(stream, out); err != nil {
+				return false, false, fmt.Errorf("cluster: realization %d of %v: %w", k, l, err)
+			}
+			elapsed := time.Since(t0)
+			if err := local.AddTimed(out, elapsed); err != nil {
+				return false, false, err
+			}
+			done++
+			rep.Realizations++
+			if wo != nil {
+				wo.realizations.Inc()
+				wo.realizeSec.Observe(elapsed.Seconds())
+			}
+			if local.N() >= spec.PassEvery || k == l.Count-1 {
+				st, fenced, err := push(ctx, l.ID, done)
+				if err != nil {
+					return false, false, fmt.Errorf("cluster: push: %w", err)
+				}
+				if fenced {
+					return false, true, nil
+				}
+				if st && k < l.Count-1 {
+					return true, false, nil
+				}
+				if st {
+					stop = true
+				}
+			}
+		}
+		rep.Leases++
+		return stop, false, nil
+	}
+
+	pollDelay := spec.Heartbeat
+	if pollDelay <= 0 {
+		pollDelay = 200 * time.Millisecond
+	}
+	for {
 		if ctx.Err() != nil {
 			return rep, nil
 		}
-		if spec.WorkerQuota > 0 && k >= spec.WorkerQuota {
-			return rep, nil // fixed realization budget exhausted
-		}
-		if k > 0 {
-			if err := stream.NextRealization(); err != nil {
-				return rep, err
+		var aq AcquireReply
+		if err := rc.Call(ctx, ServiceName+".Acquire", AcquireArgs{Worker: w, Epoch: getEpoch()}, &aq); err != nil {
+			if ctx.Err() != nil {
+				return rep, nil
 			}
+			return rep, fmt.Errorf("cluster: acquire: %w", err)
 		}
-		for i := range out {
-			out[i] = 0
+		touch()
+		switch {
+		case aq.Stop:
+			return rep, nil
+		case aq.Fenced:
+			if err := rejoin(ctx); err != nil {
+				if errors.Is(err, errWorkerStopped) || ctx.Err() != nil {
+					return rep, nil
+				}
+				return rep, fmt.Errorf("cluster: re-register: %w", err)
+			}
+			continue
+		case !aq.Granted:
+			select {
+			case <-ctx.Done():
+				return rep, nil
+			case <-time.After(pollDelay):
+			}
+			continue
 		}
-		t0 := time.Now()
-		if err := realize(stream, out); err != nil {
-			return rep, fmt.Errorf("cluster: realization %d: %w", k, err)
-		}
-		elapsed := time.Since(t0)
-		if err := local.AddTimed(out, elapsed); err != nil {
+		stop, fenced, err := runLease(aq.Lease)
+		if err != nil {
 			return rep, err
 		}
-		rep.Realizations++
-		if wo != nil {
-			wo.realizations.Inc()
-			wo.realizeSec.Observe(elapsed.Seconds())
+		if stop {
+			return rep, nil
 		}
-		if local.N() >= spec.PassEvery {
-			stop, err := push(ctx)
-			if err != nil {
-				return rep, fmt.Errorf("cluster: push: %w", err)
-			}
-			if stop {
-				return rep, nil
+		if fenced {
+			if err := rejoin(ctx); err != nil {
+				if errors.Is(err, errWorkerStopped) || ctx.Err() != nil {
+					return rep, nil
+				}
+				return rep, fmt.Errorf("cluster: re-register: %w", err)
 			}
 		}
 	}

@@ -31,8 +31,10 @@
 package collect
 
 import (
+	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -40,6 +42,14 @@ import (
 	"parmonc/internal/stat"
 	"parmonc/internal/store"
 )
+
+// ErrFenced marks a push or heartbeat from a stale registration epoch
+// or a revoked lease. A fenced sender is a zombie: the coordinator has
+// already declared it dead and may have reissued its work, so its
+// subtotals must not merge. Transports should acknowledge a fenced
+// push (so the zombie stops retrying) and tell the worker to
+// re-register into a fresh epoch. Test with errors.Is.
+var ErrFenced = errors.New("collect: fenced (stale epoch or revoked lease)")
 
 // Progress is the point-in-time view of the running statistics handed
 // to Config.OnSave after every save — the paper's "control the absolute
@@ -95,6 +105,13 @@ type Config struct {
 	// Now supplies the clock; nil means time.Now. The cluster
 	// simulator injects simulated time here.
 	Now func() time.Time
+
+	// Mono supplies the monotonic clock used for worker liveness
+	// (PruneStale, Overdue). Nil derives it from Now when Now is set
+	// (the simulator's virtual time is already jump-free), and
+	// otherwise from time.Since on a monotonic base — so a wall-clock
+	// step (NTP, VM migration) can never mass-prune healthy workers.
+	Mono func() time.Duration
 }
 
 // Collector is the engine. Create with New; all methods are safe for
@@ -110,14 +127,31 @@ type Collector struct {
 	baseN      int64
 	perWorker  map[int]*stat.Accumulator // nil unless SaveWorkerSnapshots
 	active     map[int]bool
-	lastSeen   map[int]time.Time
-	lastSeq    map[int]uint64 // highest applied push sequence per worker
-	registered int            // workers ever registered (stamped into saved metadata)
+	lastSeen   map[int]time.Duration // monotonic liveness offsets (c.mono readings)
+	lastSeq    map[int]uint64        // highest applied push sequence per worker+epoch
+	epochs     map[int]uint64        // current registration epoch per worker (0: unfenced)
+	leases     map[uint64]*leaseState
+	registered int // workers ever registered (stamped into saved metadata)
 	lastSave   time.Time
 	start      time.Time
+	mono       func() time.Duration
 	saveErr    error // first save failure, sticky
 
 	metrics *Metrics
+}
+
+// leaseState is the collector-side ledger entry for one granted lease:
+// who holds it, under which epoch, and how far the merged, acked prefix
+// extends. done only ever grows, and only via pushes that passed the
+// epoch and holder fences — so Remainder(done) is exactly the work a
+// reissue must cover.
+type leaseState struct {
+	lease     Lease
+	holder    int
+	epoch     uint64
+	done      int64
+	revoked   bool
+	completed bool
 }
 
 // New creates a collector for the run described by meta, persisting
@@ -151,12 +185,24 @@ func New(dir *store.Dir, meta store.RunMeta, cfg Config) (*Collector, error) {
 		cfg:      cfg,
 		now:      now,
 		active:   map[int]bool{},
-		lastSeen: map[int]time.Time{},
+		lastSeen: map[int]time.Duration{},
 		lastSeq:  map[int]uint64{},
+		epochs:   map[int]uint64{},
+		leases:   map[uint64]*leaseState{},
 		metrics:  newMetrics(reg),
 	}
 	c.start = now()
 	c.lastSave = c.start
+	switch {
+	case cfg.Mono != nil:
+		c.mono = cfg.Mono
+	case cfg.Now != nil:
+		base := cfg.Now()
+		c.mono = func() time.Duration { return cfg.Now().Sub(base) }
+	default:
+		base := time.Now()
+		c.mono = func() time.Duration { return time.Since(base) }
+	}
 	if cfg.SaveWorkerSnapshots {
 		c.perWorker = map[int]*stat.Accumulator{}
 	}
@@ -216,16 +262,46 @@ func New(dir *store.Dir, meta store.RunMeta, cfg Config) (*Collector, error) {
 }
 
 // Register adds worker w to the active set. Registering an already
-// active worker only refreshes its liveness timestamp.
+// active worker only refreshes its liveness timestamp. Workers
+// registered this way are unfenced (epoch 0): epoch checks do not apply
+// to them. Transports that prune and re-admit workers should use
+// RegisterEpoch instead.
 func (c *Collector) Register(w int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.registerLocked(w)
+}
+
+func (c *Collector) registerLocked(w int) {
 	if !c.active[w] {
 		c.active[w] = true
 		c.registered++
 		c.metrics.registered.Add(1)
 	}
-	c.lastSeen[w] = c.now()
+	c.lastSeen[w] = c.mono()
+}
+
+// RegisterEpoch admits worker w under registration epoch epoch (epochs
+// start at 1 and bump each time a pruned index is re-admitted). Moving
+// to a new epoch resets the worker's push-sequence space — the fresh
+// session restarts its sequence numbers at 1 — while the epoch fence
+// keeps the old session's stale retries out; that closes the dedup hole
+// a bare sequence reset would open.
+func (c *Collector) RegisterEpoch(w int, epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.registerLocked(w)
+	if c.epochs[w] != epoch {
+		c.epochs[w] = epoch
+		delete(c.lastSeq, w)
+	}
+}
+
+// Epoch returns worker w's current registration epoch (0 if unfenced).
+func (c *Collector) Epoch(w int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochs[w]
 }
 
 // Deregister removes worker w from the active set (the worker detached
@@ -278,26 +354,186 @@ func (c *Collector) Active() int {
 }
 
 // PruneStale drops workers not heard from for longer than timeout and
-// returns how many were dropped. A pruned worker's already-merged
-// subtotals remain valid (they came from its own disjoint substream);
-// only unsent work is lost — the same failure semantics as an MPI rank
-// dying in the original library.
+// returns how many were dropped. Liveness ages are measured on the
+// monotonic clock (Config.Mono), so a wall-clock step cannot make a
+// healthy worker look stale. A pruned worker's already-merged subtotals
+// remain valid (they came from its own disjoint substream); leases it
+// held are revoked but their remainders are dropped — transports that
+// reissue lost work use RevokeWorker instead.
 func (c *Collector) PruneStale(timeout time.Duration) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	now := c.now()
+	age := c.mono()
 	pruned := 0
 	for w, seen := range c.lastSeen {
-		if c.active[w] && now.Sub(seen) > timeout {
-			delete(c.active, w)
-			delete(c.lastSeen, w)
-			delete(c.lastSeq, w)
+		if c.active[w] && age-seen > timeout {
+			c.pruneLocked(w)
 			pruned++
-			c.metrics.pruned.Add(1)
-			c.event(Event{Kind: EventPrune, Worker: w})
 		}
 	}
 	return pruned
+}
+
+// pruneLocked removes w from the active set, revokes its leases, and
+// emits the prune event. The worker's epoch survives so a comeback can
+// be detected (and fenced) by RegisterEpoch with a bumped epoch.
+func (c *Collector) pruneLocked(w int) {
+	delete(c.active, w)
+	delete(c.lastSeen, w)
+	delete(c.lastSeq, w)
+	for _, ls := range c.leases {
+		if ls.holder == w && !ls.completed {
+			ls.revoked = true
+		}
+	}
+	c.metrics.pruned.Add(1)
+	c.event(Event{Kind: EventPrune, Worker: w})
+}
+
+// Overdue returns the active workers whose last sign of life (register,
+// push, or Touch) is older than age, measured on the monotonic clock.
+func (c *Collector) Overdue(age time.Duration) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.mono()
+	var out []int
+	for w, seen := range c.lastSeen {
+		if c.active[w] && now-seen > age {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Touch records a heartbeat from worker w under epoch: proof of life
+// with no statistical payload. A heartbeat from an inactive worker or a
+// stale epoch is fenced (counted, ErrFenced) — the zombie must
+// re-register before it is trusted again.
+func (c *Collector) Touch(w int, epoch uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.active[w] || (epoch != 0 && epoch != c.epochs[w]) {
+		c.metrics.staleEpoch.Add(1)
+		c.event(Event{Kind: EventStale, Worker: w})
+		return fmt.Errorf("collect: heartbeat from worker %d epoch %d: %w", w, epoch, ErrFenced)
+	}
+	c.lastSeen[w] = c.mono()
+	return nil
+}
+
+// GrantLease records that worker w (under its current epoch) holds l.
+// The lease ID must be unique for the collector's lifetime; the grant
+// is fenced to the worker's epoch at grant time.
+func (c *Collector) GrantLease(w int, l Lease) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.active[w] {
+		return fmt.Errorf("collect: lease grant to unknown worker %d", w)
+	}
+	if l.ID == 0 {
+		return fmt.Errorf("collect: lease grant without an ID")
+	}
+	if _, dup := c.leases[l.ID]; dup {
+		return fmt.Errorf("collect: duplicate lease ID %d", l.ID)
+	}
+	if l.Count <= 0 {
+		return fmt.Errorf("collect: lease %d has no realizations", l.ID)
+	}
+	c.leases[l.ID] = &leaseState{lease: l, holder: w, epoch: c.epochs[w]}
+	return nil
+}
+
+// RevokeWorker forcibly removes worker w — the supervision verdict for
+// a worker that blew its heartbeat miss budget — and returns the
+// uncomputed remainders of the leases it held, ready to be reissued
+// under fresh IDs. Already-completed leases contribute nothing; the
+// merged prefix of an incomplete lease is excluded (it is already in
+// the totals and must not be recomputed).
+func (c *Collector) RevokeWorker(w int) []Lease {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.active[w] {
+		return nil
+	}
+	rem := c.remaindersLocked(w)
+	c.pruneLocked(w)
+	return rem
+}
+
+// ReclaimLeases revokes worker w's outstanding incomplete leases
+// without deregistering it, and returns their uncomputed remainders.
+// It makes lease grants idempotent at the transport layer: a worker
+// asking for work holds no lease it knows about, so any lease the
+// ledger still shows it holding is a grant whose reply was lost in
+// flight — requeue its remainder and the worker gets the same window
+// back under a fresh ID instead of leaking the original grant forever.
+func (c *Collector) ReclaimLeases(w int) []Lease {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.active[w] {
+		return nil
+	}
+	rem := c.remaindersLocked(w)
+	for _, ls := range c.leases {
+		if ls.holder == w && !ls.completed {
+			ls.revoked = true
+		}
+	}
+	return rem
+}
+
+// ReleaseWorker is the voluntary-detach counterpart of RevokeWorker: the
+// worker said goodbye cleanly (its final subtotals are flushed), so it
+// is deregistered without counting as pruned, and the remainders of any
+// leases it abandoned mid-window are returned for reissue.
+func (c *Collector) ReleaseWorker(w int) ([]Lease, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.active[w] {
+		return nil, fmt.Errorf("collect: deregister of unknown worker %d", w)
+	}
+	rem := c.remaindersLocked(w)
+	delete(c.active, w)
+	delete(c.lastSeen, w)
+	delete(c.lastSeq, w)
+	for _, ls := range c.leases {
+		if ls.holder == w && !ls.completed {
+			ls.revoked = true
+		}
+	}
+	return rem, nil
+}
+
+// remaindersLocked collects the uncomputed tails of w's live leases in
+// deterministic (Proc, Start) order.
+func (c *Collector) remaindersLocked(w int) []Lease {
+	var rem []Lease
+	for _, ls := range c.leases {
+		if ls.holder == w && !ls.completed && !ls.revoked {
+			if r := ls.lease.Remainder(ls.done); r.Count > 0 {
+				rem = append(rem, r)
+			}
+		}
+	}
+	sort.Slice(rem, func(i, j int) bool {
+		if rem[i].Proc != rem[j].Proc {
+			return rem[i].Proc < rem[j].Proc
+		}
+		return rem[i].Start < rem[j].Start
+	})
+	return rem
+}
+
+// LeaseProgress reports how many realizations of lease id have been
+// merged, out of how many granted.
+func (c *Collector) LeaseProgress(id uint64) (done, count int64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ls := c.leases[id]
+	if ls == nil {
+		return 0, 0, false
+	}
+	return ls.done, ls.lease.Count, true
 }
 
 // Push merges one subtotal snapshot from worker w — formula (5). The
@@ -307,7 +543,7 @@ func (c *Collector) PruneStale(timeout time.Duration) int {
 // periodic averaging + save; a save failure is returned (and remembered
 // for Finalize).
 func (c *Collector) Push(w int, snap stat.Snapshot) error {
-	return c.PushSeq(w, 0, snap)
+	return c.PushFrom(PushOrigin{Worker: w}, snap)
 }
 
 // PushSeq is Push carrying a per-worker delivery sequence number, the
@@ -319,20 +555,70 @@ func (c *Collector) Push(w int, snap stat.Snapshot) error {
 // delivery, exactly-once merge. Seq 0 means "unsequenced": always
 // merged (the in-process transport needs no idempotency).
 func (c *Collector) PushSeq(w int, seq uint64, snap stat.Snapshot) error {
+	return c.PushFrom(PushOrigin{Worker: w, Seq: seq}, snap)
+}
+
+// PushOrigin identifies where a push came from and what it claims to
+// advance: the worker index, its registration epoch (0: unfenced), its
+// delivery sequence number (0: unsequenced), and — when the push
+// belongs to a lease — the lease ID plus the cumulative count of that
+// lease's realizations completed once this snapshot merges.
+type PushOrigin struct {
+	Worker int
+	Epoch  uint64
+	Seq    uint64
+	Lease  uint64
+	Done   int64
+}
+
+// PushFrom is the full merge entry point. Fencing happens before any
+// state changes: a push from a pruned worker or a stale epoch, or
+// against a revoked or foreign lease, returns ErrFenced (wrapped) and
+// is counted as stale — it must be acknowledged but never merged, which
+// is what closes the zombie-after-sequence-reset dedup hole. Lease
+// pushes additionally keep the per-lease done ledger: Done must advance
+// by exactly the snapshot's sample volume, so the ledger always equals
+// the merged prefix of the window.
+func (c *Collector) PushFrom(o PushOrigin, snap stat.Snapshot) error {
+	w := o.Worker
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.metrics.pushes.Add(1)
 	c.event(Event{Kind: EventPush, Worker: w, Samples: snap.N})
 	if !c.active[w] {
+		if o.Epoch != 0 {
+			return c.fencedLocked(o, snap, "push from pruned worker")
+		}
 		c.metrics.rejected.Add(1)
 		c.event(Event{Kind: EventReject, Worker: w, Samples: snap.N})
 		return fmt.Errorf("collect: push from unknown worker %d", w)
 	}
-	c.lastSeen[w] = c.now()
-	if seq != 0 && seq <= c.lastSeq[w] {
+	if o.Epoch != 0 && o.Epoch != c.epochs[w] {
+		return c.fencedLocked(o, snap, "stale epoch")
+	}
+	c.lastSeen[w] = c.mono()
+	if o.Seq != 0 && o.Seq <= c.lastSeq[w] {
 		c.metrics.redelivered.Add(1)
 		c.event(Event{Kind: EventDuplicate, Worker: w, Samples: snap.N})
 		return nil
+	}
+	var ls *leaseState
+	if o.Lease != 0 {
+		ls = c.leases[o.Lease]
+		switch {
+		case ls == nil:
+			return c.fencedLocked(o, snap, "unknown lease")
+		case ls.revoked:
+			return c.fencedLocked(o, snap, "revoked lease")
+		case ls.holder != w || (o.Epoch != 0 && ls.epoch != o.Epoch):
+			return c.fencedLocked(o, snap, "lease held by another worker session")
+		}
+		if o.Done <= ls.done || o.Done > ls.lease.Count || o.Done-ls.done != snap.N {
+			c.metrics.rejected.Add(1)
+			c.event(Event{Kind: EventReject, Worker: w, Samples: snap.N})
+			return fmt.Errorf("collect: worker %d lease %d: done %d (have %d, snapshot volume %d) is out of range",
+				w, o.Lease, o.Done, ls.done, snap.N)
+		}
 	}
 	if err := c.validateSnap(snap); err != nil {
 		c.metrics.rejected.Add(1)
@@ -346,8 +632,16 @@ func (c *Collector) PushSeq(w int, seq uint64, snap stat.Snapshot) error {
 	}
 	c.metrics.merges.Add(1)
 	c.event(Event{Kind: EventMerge, Worker: w, Samples: snap.N})
-	if seq != 0 {
-		c.lastSeq[w] = seq
+	if o.Seq != 0 {
+		c.lastSeq[w] = o.Seq
+	}
+	if ls != nil {
+		ls.done = o.Done
+		if ls.done == ls.lease.Count {
+			ls.completed = true
+			c.metrics.leasesCompleted.Add(1)
+			c.event(Event{Kind: EventLeaseComplete, Worker: w, Samples: ls.lease.Count, Seq: o.Lease})
+		}
 	}
 
 	if c.perWorker != nil {
@@ -371,6 +665,13 @@ func (c *Collector) PushSeq(w int, seq uint64, snap stat.Snapshot) error {
 		return c.saveLocked()
 	}
 	return nil
+}
+
+// fencedLocked counts and reports a fenced push. Called with c.mu held.
+func (c *Collector) fencedLocked(o PushOrigin, snap stat.Snapshot, why string) error {
+	c.metrics.staleEpoch.Add(1)
+	c.event(Event{Kind: EventStale, Worker: o.Worker, Samples: snap.N, Seq: o.Lease})
+	return fmt.Errorf("collect: worker %d epoch %d lease %d: %s: %w", o.Worker, o.Epoch, o.Lease, why, ErrFenced)
 }
 
 // validateSnap rejects snapshots that are internally inconsistent or

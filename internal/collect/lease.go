@@ -1,0 +1,65 @@
+package collect
+
+import "fmt"
+
+// Lease is a contiguous window of realization substreams granted to one
+// worker: realizations [Start, Start+Count) of processor subsequence
+// Proc of the run's experiment subsequence. Because the leap-frog
+// hierarchy makes every realization's RNG stream addressable by
+// coordinate alone, a lease fully determines the random numbers its
+// realizations consume — whichever worker executes it, whenever. That
+// is what lets a coordinator revoke a dead worker's lease and reissue
+// the uncomputed remainder elsewhere with a bit-identical final report.
+//
+// ID identifies the grant, not the window: a reissued remainder covers
+// part of the same window under a fresh ID, so stale pushes against the
+// revoked grant are rejectable while the remainder is recomputed.
+type Lease struct {
+	ID    uint64 // grant identity, unique per collector run; 0 = unassigned
+	Proc  uint64 // processor subsequence the window lives on
+	Start uint64 // first realization index of the window
+	Count int64  // number of realizations in the window
+}
+
+func (l Lease) String() string {
+	return fmt.Sprintf("lease %d: proc %d realizations [%d,%d)", l.ID, l.Proc, l.Start, uint64(int64(l.Start)+l.Count))
+}
+
+// Remainder returns the uncomputed tail of the lease after done
+// realizations have been acked and merged. The remainder carries no ID;
+// the lease manager stamps one when it reissues the window.
+func (l Lease) Remainder(done int64) Lease {
+	if done < 0 {
+		done = 0
+	}
+	if done > l.Count {
+		done = l.Count
+	}
+	return Lease{Proc: l.Proc, Start: l.Start + uint64(done), Count: l.Count - done}
+}
+
+// PartitionLeases splits a bounded run of maxSamples realizations into
+// leases of at most leaseSize realizations each, one processor
+// subsequence per lease (lease i lives on processor i+1 — processor
+// indices are 1-based so an unset coordinate is never a valid one).
+// The partition is a pure function of (maxSamples, leaseSize): every
+// transport that uses the same inputs enumerates the same substreams,
+// which is the ground truth the cross-transport conformance and chaos
+// bit-identity tests compare against.
+func PartitionLeases(maxSamples, leaseSize int64) []Lease {
+	if maxSamples <= 0 || leaseSize <= 0 {
+		return nil
+	}
+	n := (maxSamples + leaseSize - 1) / leaseSize
+	leases := make([]Lease, 0, n)
+	var proc uint64 = 1
+	for rem := maxSamples; rem > 0; proc++ {
+		count := leaseSize
+		if rem < count {
+			count = rem
+		}
+		leases = append(leases, Lease{Proc: proc, Start: 0, Count: count})
+		rem -= count
+	}
+	return leases
+}

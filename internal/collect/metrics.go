@@ -29,6 +29,9 @@ type Metrics struct {
 	workerRetries    *obs.Counter // RPC retries reported by detaching workers
 	workerReconnects *obs.Counter // reconnects reported by detaching workers
 
+	staleEpoch      *obs.Counter // pushes/heartbeats fenced for a stale epoch or revoked lease
+	leasesCompleted *obs.Counter // leases whose full window has merged
+
 	saveSeconds *obs.Histogram // save latency distribution
 }
 
@@ -51,6 +54,10 @@ func newMetrics(reg *obs.Registry) *Metrics {
 		workerRetries:   reg.Counter("parmonc_collector_worker_retries_total", "RPC retries reported by detaching workers."),
 		workerReconnects: reg.Counter("parmonc_collector_worker_reconnects_total",
 			"Reconnects reported by detaching workers."),
+		staleEpoch: reg.Counter("parmonc_collector_stale_epoch_total",
+			"Pushes and heartbeats fenced for a stale registration epoch or revoked lease."),
+		leasesCompleted: reg.Counter("parmonc_collector_leases_completed_total",
+			"Leases whose full realization window has been merged."),
 		saveSeconds: reg.Histogram("parmonc_collector_save_seconds", "Save cycle latency in seconds.", obs.DefDurationBuckets()),
 	}
 }
@@ -69,6 +76,8 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 		Redeliveries:      m.redelivered.Value(),
 		WorkerRetries:     m.workerRetries.Value(),
 		WorkerReconnects:  m.workerReconnects.Value(),
+		StaleEpochPushes:  m.staleEpoch.Value(),
+		LeasesCompleted:   m.leasesCompleted.Value(),
 	}
 }
 
@@ -89,6 +98,8 @@ type MetricsSnapshot struct {
 	Redeliveries      int64         `json:"redeliveries"`       // duplicate pushes acknowledged without merging
 	WorkerRetries     int64         `json:"worker_retries"`     // RPC retries reported by detaching workers
 	WorkerReconnects  int64         `json:"worker_reconnects"`  // reconnects reported by detaching workers
+	StaleEpochPushes  int64         `json:"stale_epoch"`        // pushes/heartbeats fenced for a stale epoch or revoked lease
+	LeasesCompleted   int64         `json:"leases_completed"`   // leases whose full window has merged
 }
 
 // MeanSaveLatency returns the average duration of one save cycle.
@@ -120,6 +131,8 @@ func (s MetricsSnapshot) WriteTo(w io.Writer) (int64, error) {
 		{"redeliveries", s.Redeliveries},
 		{"worker_retries", s.WorkerRetries},
 		{"worker_reconnects", s.WorkerReconnects},
+		{"stale_epoch", s.StaleEpochPushes},
+		{"leases_completed", s.LeasesCompleted},
 	} {
 		n, err := fmt.Fprintf(w, "%-24s %v\n", row.key, row.val)
 		total += int64(n)
@@ -134,12 +147,14 @@ func (s MetricsSnapshot) WriteTo(w io.Writer) (int64, error) {
 type EventKind int
 
 const (
-	EventPush      EventKind = iota // a subtotal push arrived
-	EventReject                     // the push was rejected before merging
-	EventMerge                      // the push was merged into the total
-	EventSave                       // an averaging + save cycle completed
-	EventPrune                      // a silent worker was dropped
-	EventDuplicate                  // a redelivered push was deduplicated
+	EventPush          EventKind = iota // a subtotal push arrived
+	EventReject                         // the push was rejected before merging
+	EventMerge                          // the push was merged into the total
+	EventSave                           // an averaging + save cycle completed
+	EventPrune                          // a silent worker was dropped
+	EventDuplicate                      // a redelivered push was deduplicated
+	EventStale                          // a push/heartbeat was fenced (stale epoch or revoked lease)
+	EventLeaseComplete                  // a lease's full realization window has merged
 )
 
 // String returns the event kind's wire-stable name.
@@ -157,18 +172,25 @@ func (k EventKind) String() string {
 		return "prune"
 	case EventDuplicate:
 		return "duplicate"
+	case EventStale:
+		return "stale_epoch"
+	case EventLeaseComplete:
+		return "lease_complete"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
 }
 
 // Event is one collector occurrence. Worker is meaningful for push,
-// reject, merge and prune; Samples is the snapshot volume (push, reject,
-// merge) or the running total (save); Elapsed is the save latency.
+// reject, merge, prune, stale_epoch and lease_complete; Samples is the
+// snapshot volume (push, reject, merge), the running total (save), or
+// the lease window size (lease_complete); Elapsed is the save latency;
+// Seq carries the lease ID for stale_epoch and lease_complete.
 type Event struct {
 	Kind    EventKind
 	Worker  int
 	Samples int64
+	Seq     uint64
 	Elapsed time.Duration
 }
 
@@ -211,6 +233,7 @@ func JournalHook(j *obs.Journal) Hook {
 			Kind:    e.Kind.String(),
 			Worker:  e.Worker,
 			Samples: e.Samples,
+			Seq:     e.Seq,
 			Elapsed: e.Elapsed,
 		})
 	}

@@ -51,6 +51,8 @@ func TestMetricsWriteToGolden(t *testing.T) {
 	m.redelivered.Add(2)
 	m.workerRetries.Add(6)
 	m.workerReconnects.Add(1)
+	m.staleEpoch.Add(3)
+	m.leasesCompleted.Add(4)
 
 	const golden = `pushes                   10
 merges                   7
@@ -65,6 +67,8 @@ resumed_samples          5
 redeliveries             2
 worker_retries           6
 worker_reconnects        1
+stale_epoch              3
+leases_completed         4
 `
 	var b strings.Builder
 	n, err := m.snapshot().WriteTo(&b)
@@ -87,6 +91,7 @@ func TestMetricsSnapshotJSONGolden(t *testing.T) {
 		SaveLatency: 3500 * time.Millisecond, WorkerSnapshots: 4,
 		RegisteredWorkers: 3, PrunedWorkers: 1, ResumedSamples: 5,
 		Redeliveries: 2, WorkerRetries: 6, WorkerReconnects: 1,
+		StaleEpochPushes: 3, LeasesCompleted: 4,
 	}
 	got, err := json.Marshal(snap)
 	if err != nil {
@@ -95,7 +100,7 @@ func TestMetricsSnapshotJSONGolden(t *testing.T) {
 	const golden = `{"pushes":10,"rejected_snapshots":1,"merges":7,"saves":2,` +
 		`"save_latency_ns":3500000000,"worker_snapshots":4,"registered_workers":3,` +
 		`"pruned_workers":1,"resumed_samples":5,"redeliveries":2,` +
-		`"worker_retries":6,"worker_reconnects":1}`
+		`"worker_retries":6,"worker_reconnects":1,"stale_epoch":3,"leases_completed":4}`
 	if string(got) != golden {
 		t.Fatalf("snapshot JSON drifted:\n got %s\nwant %s", got, golden)
 	}

@@ -64,6 +64,18 @@ type Config struct {
 	// Workers is the paper's M. Default: runtime.GOMAXPROCS(0).
 	Workers int
 
+	// LeaseSize is the realization-window size of the substream leases
+	// the run is partitioned into: lease i covers realizations
+	// [0, Count) of processor subsequence i+1, and worker m executes
+	// leases m, m+Workers, m+2·Workers, … in order. The partition is a
+	// pure function of (MaxSamples, LeaseSize) — shared with the
+	// cluster transport — so a distributed run with the same LeaseSize
+	// enumerates exactly the same substreams as this in-process driver,
+	// whichever workers execute them. Zero defaults to
+	// ceil(MaxSamples/Workers): one lease per worker, the classic
+	// static split.
+	LeaseSize int64
+
 	// PassPeriod is the paper's perpass: how often each worker pushes
 	// its subtotal moments to the collector. Default: 1 minute.
 	PassPeriod time.Duration
@@ -167,6 +179,12 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.MaxSamples < 0 {
 		cfg.MaxSamples = 0
+	}
+	if cfg.LeaseSize < 0 {
+		return cfg, fmt.Errorf("core: negative lease size %d", cfg.LeaseSize)
+	}
+	if cfg.LeaseSize == 0 && cfg.MaxSamples > 0 && cfg.Workers > 0 {
+		cfg.LeaseSize = (cfg.MaxSamples + int64(cfg.Workers) - 1) / int64(cfg.Workers)
 	}
 	return cfg, nil
 }
@@ -279,8 +297,28 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 	if err := params.Validate(); err != nil {
 		return Result{}, err
 	}
-	if err := params.CheckCoord(rng.Coord{Experiment: cfg.SeqNum, Processor: uint64(cfg.Workers) - 1}); err != nil {
+
+	// Partition the run into substream leases (shared with the cluster
+	// transport): lease i covers processor subsequence i+1. Worker m
+	// executes leases m, m+Workers, … in order, so the realization →
+	// substream mapping is a pure function of the configuration,
+	// independent of goroutine scheduling.
+	leases := collect.PartitionLeases(cfg.MaxSamples, cfg.LeaseSize)
+	// Every worker needs a distinct processor subsequence in unbounded
+	// mode, and the lease partition must fit the hierarchy in bounded
+	// mode — reject configurations that exceed either capacity.
+	if err := params.CheckCoord(rng.Coord{Experiment: cfg.SeqNum, Processor: uint64(cfg.Workers)}); err != nil {
 		return Result{}, fmt.Errorf("core: run does not fit the RNG hierarchy: %w", err)
+	}
+	if len(leases) > 0 {
+		last := leases[len(leases)-1]
+		var maxReal uint64
+		if cfg.LeaseSize > 1 {
+			maxReal = uint64(cfg.LeaseSize - 1)
+		}
+		if err := params.CheckCoord(rng.Coord{Experiment: cfg.SeqNum, Processor: last.Proc, Realization: maxReal}); err != nil {
+			return Result{}, fmt.Errorf("core: run does not fit the RNG hierarchy: %w", err)
+		}
 	}
 
 	meta := store.RunMeta{
@@ -326,18 +364,14 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 
 	start := time.Now()
 
-	// Static quota split keeps runs reproducible: worker m simulates
-	// quota(m) realizations from its own processor subsequence, so the
-	// final moments do not depend on goroutine scheduling.
-	quota := func(m int) int64 {
-		if cfg.MaxSamples <= 0 {
-			return -1 // unbounded
+	// workerLeases deals the partition round-robin: worker m gets
+	// leases m, m+Workers, m+2·Workers, …
+	workerLeases := func(m int) []collect.Lease {
+		var mine []collect.Lease
+		for i := m; i < len(leases); i += cfg.Workers {
+			mine = append(mine, leases[i])
 		}
-		q := cfg.MaxSamples / int64(cfg.Workers)
-		if int64(m) < cfg.MaxSamples%int64(cfg.Workers) {
-			q++
-		}
-		return q
+		return mine
 	}
 
 	msgs := make(chan snapMsg, cfg.Workers)
@@ -363,7 +397,7 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 		wg.Add(1)
 		go func(m int) {
 			defer wg.Done()
-			if err := runWorker(ctx, cfg, params, m, quota(m), routines[m], msgs, ro); err != nil {
+			if err := runWorker(ctx, cfg, params, m, workerLeases(m), routines[m], msgs, ro); err != nil {
 				errs <- fmt.Errorf("core: worker %d: %w", m, err)
 			}
 		}(m)
@@ -413,14 +447,13 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 	return Result{}, runErr
 }
 
-// runWorker simulates realizations on processor m until its quota is
-// exhausted or the context is cancelled, pushing subtotal snapshots every
-// PassPeriod (or after every realization under StrictExchange).
-func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, quota int64, r Realization, msgs chan<- snapMsg, ro *runObs) error {
-	stream, err := rng.NewStream(params, rng.Coord{Experiment: cfg.SeqNum, Processor: uint64(m)})
-	if err != nil {
-		return err
-	}
+// runWorker simulates realizations until worker m's leases are
+// exhausted or the context is cancelled, pushing subtotal snapshots
+// every PassPeriod (or after every realization under StrictExchange).
+// A bounded run executes the given leases in order; an unbounded run
+// (no leases) draws from the endless window on processor subsequence
+// m+1 until cancelled.
+func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, leases []collect.Lease, r Realization, msgs chan<- snapMsg, ro *runObs) error {
 	local := stat.New(cfg.Nrow, cfg.Ncol)
 	out := make([]float64, cfg.Nrow*cfg.Ncol)
 	lastPass := time.Now()
@@ -435,15 +468,8 @@ func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, quota 
 	}
 	defer push()
 
-	for k := int64(0); quota < 0 || k < quota; k++ {
-		if ctx.Err() != nil {
-			return nil
-		}
-		if k > 0 {
-			if err := stream.NextRealization(); err != nil {
-				return err
-			}
-		}
+	// one realization: zero the buffer, run the routine, accumulate.
+	step := func(stream *rng.Stream, k int64) error {
 		for i := range out {
 			out[i] = 0
 		}
@@ -461,6 +487,48 @@ func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, quota 
 		}
 		if cfg.StrictExchange || time.Since(lastPass) >= cfg.PassPeriod {
 			push()
+		}
+		return nil
+	}
+
+	if cfg.MaxSamples <= 0 {
+		// Unbounded: an endless window on processor subsequence m+1.
+		stream, err := rng.NewStream(params, rng.Coord{Experiment: cfg.SeqNum, Processor: uint64(m) + 1})
+		if err != nil {
+			return err
+		}
+		for k := int64(0); ; k++ {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if k > 0 {
+				if err := stream.NextRealization(); err != nil {
+					return err
+				}
+			}
+			if err := step(stream, k); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, l := range leases {
+		stream, err := rng.NewStream(params, rng.Coord{Experiment: cfg.SeqNum, Processor: l.Proc, Realization: l.Start})
+		if err != nil {
+			return err
+		}
+		for k := int64(0); k < l.Count; k++ {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if k > 0 {
+				if err := stream.NextRealization(); err != nil {
+					return err
+				}
+			}
+			if err := step(stream, k); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

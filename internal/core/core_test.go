@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"parmonc/internal/collect"
 	"parmonc/internal/rng"
 	"parmonc/internal/stat"
 	"parmonc/internal/store"
@@ -104,13 +105,17 @@ func TestRunMatchesSequentialReference(t *testing.T) {
 
 	ref := stat.New(1, 1)
 	params := rng.DefaultParams()
-	quota := []int64{34, 33, 33} // 100 split over 3 workers
-	for m := 0; m < 3; m++ {
-		s, err := rng.NewStream(params, rng.Coord{Experiment: cfg.SeqNum, Processor: uint64(m)})
+	// 100 realizations over 3 workers → leases of ⌈100/3⌉ = 34 on
+	// processor subsequences 1, 2, 3 — the same partition the driver
+	// computes, enumerated sequentially.
+	for _, l := range collect.PartitionLeases(100, 34) {
+		s, err := rng.NewStream(params, rng.Coord{
+			Experiment: cfg.SeqNum, Processor: l.Proc, Realization: l.Start,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		for k := int64(0); k < quota[m]; k++ {
+		for k := int64(0); k < l.Count; k++ {
 			if k > 0 {
 				if err := s.NextRealization(); err != nil {
 					t.Fatal(err)

@@ -60,6 +60,14 @@ type ConnPlan struct {
 	// this many bytes have been read (0 = never): reads block until
 	// the connection is closed, as if the peer's packets vanished.
 	BlackholeAfterRead int64
+
+	// KillAfter abruptly destroys the established connection this long
+	// after accept (0 = never), regardless of traffic: both directions
+	// die at once and, for TCP, the close goes out as an RST instead of
+	// an orderly FIN — the crash-stop signature of a worker host dying
+	// mid-stream, distinct from the byte-budget closes above which only
+	// fire on the next Read/Write.
+	KillAfter time.Duration
 }
 
 // Planner assigns a fault plan to the i-th accepted connection
@@ -114,7 +122,11 @@ func (l *Listener) Accept() (net.Conn, error) {
 			c.Close()
 			continue
 		}
-		return &Conn{Conn: c, plan: p, closed: make(chan struct{}), abort: l.aborted}, nil
+		fc := &Conn{Conn: c, plan: p, closed: make(chan struct{}), abort: l.aborted}
+		if p.KillAfter > 0 {
+			go fc.killAfter(p.KillAfter)
+		}
+		return fc, nil
 	}
 }
 
@@ -152,6 +164,31 @@ type Conn struct {
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() { close(c.closed) })
 	return c.Conn.Close()
+}
+
+// killAfter arms the crash-stop timer: when it fires the connection is
+// destroyed in both directions at once. A connection that closes first
+// disarms the timer.
+func (c *Conn) killAfter(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		c.Kill()
+	case <-c.closed:
+	case <-c.abort:
+	}
+}
+
+// Kill destroys the connection abruptly in both directions. For TCP the
+// close is turned into an RST (SO_LINGER 0), so the peer's next use of
+// the socket fails immediately — no orderly shutdown, no drained
+// buffers, exactly what the peer of a crashed host observes.
+func (c *Conn) Kill() {
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
 }
 
 // sleep applies the plan's latency, cut short if the conn closes.

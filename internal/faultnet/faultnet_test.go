@@ -171,6 +171,47 @@ func TestBlackholeReadBlocksUntilClose(t *testing.T) {
 	ln.Close()
 }
 
+func TestKillAfterDestroysBothDirections(t *testing.T) {
+	// Before the timer fires the connection carries traffic normally;
+	// after it fires both directions are dead at once — the crash-stop
+	// failure of a peer host dying, not a polite shutdown.
+	const fuse = 150 * time.Millisecond
+	ln := newEcho(t, FaultFirst(ConnPlan{KillAfter: fuse}))
+	c := dial(t, ln)
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	if _, err := io.ReadFull(c, got); err != nil || !bytes.Equal(got, []byte("ab")) {
+		t.Fatalf("pre-kill echo broken: %v %q", err, got)
+	}
+
+	time.Sleep(fuse + 50*time.Millisecond)
+	// Both directions must now fail. The first write may be absorbed by
+	// kernel buffers before the RST is observed, so push until it
+	// surfaces (bounded by the deadline set above).
+	var werr, rerr error
+	for i := 0; i < 50 && werr == nil; i++ {
+		_, werr = c.Write([]byte("cd"))
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, rerr = c.Read(got)
+	if werr == nil && rerr == nil {
+		t.Fatal("connection survived its kill timer")
+	}
+
+	// The listener itself survives: a fresh connection is clean.
+	c2 := dial(t, ln)
+	c2.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c2.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c2, got[:1]); err != nil || got[0] != 'y' {
+		t.Fatalf("post-kill connection broken: %v %q", err, got[:1])
+	}
+}
+
 func TestRandomPlannerReproducible(t *testing.T) {
 	a, b := RandomPlanner(42, 0.7, 10, 1000), RandomPlanner(42, 0.7, 10, 1000)
 	for i := 0; i < 100; i++ {
