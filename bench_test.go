@@ -30,9 +30,13 @@ import (
 	"parmonc/internal/collect"
 	"parmonc/internal/core"
 	"parmonc/internal/lcg"
+	"parmonc/internal/rng"
 	"parmonc/internal/sde"
 	"parmonc/internal/stat"
 	"parmonc/internal/store"
+	"parmonc/internal/workload"
+
+	_ "parmonc/internal/workload/builtin"
 )
 
 // benchPanel runs one Fig. 2 panel on the cluster simulator and reports
@@ -275,4 +279,44 @@ func BenchmarkEndToEndPi(b *testing.B) {
 		}
 	}
 	b.ReportMetric(100000*float64(b.N)/b.Elapsed().Seconds(), "realizations/s")
+}
+
+// BenchmarkRealization sweeps every registered workload's realization
+// kernel at its schema defaults — one sub-benchmark per workload, no
+// collector in the loop — so the bench.sh snapshot tracks per-scenario
+// simulation cost (the paper's τ, the per-realization time that sets
+// where parallelism pays off).
+func BenchmarkRealization(b *testing.B) {
+	for _, d := range workload.All() {
+		d := d
+		b.Run(d.Name, func(b *testing.B) {
+			id, err := d.Identity(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			factory, err := d.Factory(workload.Values(id.Params))
+			if err != nil {
+				b.Fatal(err)
+			}
+			realize, err := factory(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, err := rng.NewStream(rng.DefaultParams(), rng.Coord{Processor: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := make([]float64, id.Nrow*id.Ncol)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range out {
+					out[j] = 0
+				}
+				if err := realize(src, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -206,6 +206,214 @@ func TestCLIListWorkloads(t *testing.T) {
 	}
 }
 
+// TestCLIListJSONGolden pins the machine-readable registry byte for
+// byte. The golden file holds names, descriptions, schemas, default
+// dimensions and the parameter fingerprints at defaults — if this test
+// fails, either a workload changed identity (bump its schema version
+// and regenerate) or the listing format drifted. Regenerate with:
+//
+//	go run ./cmd/parmonc list -json > testdata/list_golden.json
+func TestCLIListJSONGolden(t *testing.T) {
+	bin := buildCLI(t, "cmd/parmonc")
+	out, err := runCLI(t, t.TempDir(), bin, "list", "-json")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	golden, err := os.ReadFile("testdata/list_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatalf("list -json drifted from testdata/list_golden.json:\n%s", out)
+	}
+	// And it is valid JSON naming every workload.
+	var entries []struct {
+		Name        string `json:"name"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal([]byte(out), &entries); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(entries) != 13 {
+		t.Fatalf("%d workloads listed, want 13", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Fingerprint, e.Name+"@v") {
+			t.Fatalf("entry %s has malformed fingerprint %q", e.Name, e.Fingerprint)
+		}
+	}
+}
+
+// TestCLISetChangesResultsDeterministically: the same -set produces
+// bit-identical results across runs, and a different -set produces
+// different results — parameterization is real and reproducible.
+func TestCLISetChangesResultsDeterministically(t *testing.T) {
+	bin := buildCLI(t, "cmd/parmonc")
+	run := func(sets ...string) (mean float64, scenario string) {
+		t.Helper()
+		args := []string{"run", "-workload", "mm1", "-set", "warmup=20", "-set", "batch=20",
+			"-maxsv", "400", "-workers", "1", "-perpass", "5ms", "-peraver", "10ms", "-json"}
+		for _, s := range sets {
+			args = append(args, "-set", s)
+		}
+		out, err := runCLI(t, t.TempDir(), bin, args...)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		var res struct {
+			Mean     []float64 `json:"mean"`
+			Scenario string    `json:"scenario"`
+			Workload string    `json:"workload"`
+		}
+		if err := json.Unmarshal([]byte(out), &res); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, out)
+		}
+		if res.Workload != "mm1" {
+			t.Fatalf("workload %q in JSON output", res.Workload)
+		}
+		return res.Mean[0], res.Scenario
+	}
+
+	base1, scen1 := run()
+	base2, scen2 := run()
+	if base1 != base2 || scen1 != scen2 {
+		t.Fatalf("identical runs diverge: %v/%v, %q/%q", base1, base2, scen1, scen2)
+	}
+	loaded, scen3 := run("lambda=0.8")
+	if loaded == base1 {
+		t.Fatalf("-set lambda=0.8 did not change the result (mean %v)", loaded)
+	}
+	if scen3 == scen1 || !strings.Contains(scen3, `"lambda":0.8`) {
+		t.Fatalf("scenario %q does not record the override", scen3)
+	}
+	// Heavier load ⇒ longer M/M/1 waits; direction is physics, not luck.
+	if loaded <= base1 {
+		t.Fatalf("mean wait at λ=0.8 (%v) not above λ=0.6 (%v)", loaded, base1)
+	}
+}
+
+// TestCLIScenarioSpecRoundTrip: a run parameterized by -set records a
+// canonical scenario JSON in parmonc_exp.dat, and re-running from that
+// spec via -scenario reproduces the result exactly.
+func TestCLIScenarioSpecRoundTrip(t *testing.T) {
+	bin := buildCLI(t, "cmd/parmonc")
+	dir := t.TempDir()
+	out, err := runCLI(t, dir, bin, "run", "-workload", "density", "-set", "bins=5", "-set", "rate=2",
+		"-maxsv", "2000", "-workers", "1", "-perpass", "5ms", "-peraver", "10ms", "-json")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	var res struct {
+		Mean     []float64 `json:"mean"`
+		Scenario string    `json:"scenario"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(res.Mean) != 5 {
+		t.Fatalf("bins=5 produced %d columns", len(res.Mean))
+	}
+
+	// The experiment log carries the same canonical spec.
+	expRaw, err := os.ReadFile(filepath.Join(dir, "parmonc_data", "parmonc_exp.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(expRaw), "scenario="+res.Scenario) {
+		t.Fatalf("parmonc_exp.dat does not record scenario %q:\n%s", res.Scenario, expRaw)
+	}
+	if !strings.Contains(string(expRaw), "workload=density@v1/") {
+		t.Fatalf("parmonc_exp.dat does not record the fingerprint:\n%s", expRaw)
+	}
+
+	// Re-run from the recorded spec file: bit-identical result.
+	specPath := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(specPath, []byte(res.Scenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out2, err := runCLI(t, t.TempDir(), bin, "run", "-scenario", specPath,
+		"-maxsv", "2000", "-workers", "1", "-perpass", "5ms", "-peraver", "10ms", "-json")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out2)
+	}
+	var res2 struct {
+		Mean     []float64 `json:"mean"`
+		Scenario string    `json:"scenario"`
+	}
+	if err := json.Unmarshal([]byte(out2), &res2); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out2)
+	}
+	if res2.Scenario != res.Scenario {
+		t.Fatalf("scenario not canonical across round trip: %q vs %q", res2.Scenario, res.Scenario)
+	}
+	for i := range res.Mean {
+		if res.Mean[i] != res2.Mean[i] {
+			t.Fatalf("Mean[%d] %v != %v after -scenario round trip", i, res.Mean[i], res2.Mean[i])
+		}
+	}
+
+	// A conflicting -workload alongside -scenario is refused.
+	if out, err := runCLI(t, t.TempDir(), bin, "run", "-scenario", specPath, "-workload", "pi",
+		"-maxsv", "10"); err == nil || !strings.Contains(out, "but -workload says") {
+		t.Fatalf("conflicting -workload accepted: %v\n%s", err, out)
+	}
+}
+
+// TestCLICoordWorkerParamMismatch is the end-to-end regression test for
+// the registration hole: a TCP worker running the same workload with a
+// different -set is rejected at registration with an error naming the
+// parameter, and never contributes samples.
+func TestCLICoordWorkerParamMismatch(t *testing.T) {
+	bin := buildCLI(t, "cmd/parmonc")
+	dir := t.TempDir()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	coord := exec.Command(bin, "coord", "-workload", "mm1",
+		"-set", "warmup=20", "-set", "batch=20", "-maxsv", "2000",
+		"-addr", addr, "-peraver", "10ms", "-pass-every", "200")
+	coord.Dir = dir
+	var coordOut strings.Builder
+	coord.Stdout = &coordOut
+	coord.Stderr = &coordOut
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+	time.Sleep(300 * time.Millisecond)
+
+	// Mismatched parameterization: rejected, names the parameter.
+	bad := exec.Command(bin, "worker", "-addr", addr, "-workload", "mm1",
+		"-set", "warmup=20", "-set", "batch=20", "-set", "lambda=0.9")
+	bad.Dir = dir
+	badOut, err := bad.CombinedOutput()
+	if err == nil {
+		t.Fatalf("mismatched worker exited zero:\n%s", badOut)
+	}
+	if !strings.Contains(string(badOut), `workload "mm1": parameter lambda mismatch: worker has 0.9, the job has 0.6`) {
+		t.Fatalf("rejection does not pin the parameter:\n%s", badOut)
+	}
+
+	// Matching parameterization: completes the job.
+	good := exec.Command(bin, "worker", "-addr", addr, "-workload", "mm1",
+		"-set", "warmup=20", "-set", "batch=20")
+	good.Dir = dir
+	if out, err := good.CombinedOutput(); err != nil {
+		t.Fatalf("matching worker: %v\n%s", err, out)
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator: %v\n%s", err, coordOut.String())
+	}
+	if !strings.Contains(coordOut.String(), "job finished") {
+		t.Fatalf("coordinator output:\n%s", coordOut.String())
+	}
+}
+
 func TestCLIUnknownWorkload(t *testing.T) {
 	bin := buildCLI(t, "cmd/parmonc")
 	out, err := runCLI(t, t.TempDir(), bin, "run", "-workload", "nope", "-maxsv", "10")

@@ -5,6 +5,19 @@
 //	parmonc coord -workload pi -maxsv 1000000 -addr :7070  # rank 0 of a cluster
 //	parmonc worker -addr host:7070 -workload pi            # additional rank
 //
+// Workloads come from the internal/workload registry and are
+// parameterized on the command line:
+//
+//	parmonc run -workload mm1 -set lambda=0.8 -set mu=1.2
+//	parmonc run -scenario spec.json       # {"workload":"mm1","params":{...}}
+//
+// Every simulating mode shares the -workload/-set/-scenario flags; the
+// resolved parameter set is fingerprinted, recorded in parmonc_exp.dat,
+// and checked by the coordinator at worker registration, so a cluster
+// can never silently merge realizations of differently-parameterized
+// workers. `parmonc list` (or `list -json`) prints the registry and
+// every workload's parameter schema.
+//
 // The run mode is the Go analogue of launching the paper's MPI program
 // on one node; coord + worker reproduce the multi-node deployment, with
 // TCP RPC standing in for MPI (see internal/cluster). The simulation
@@ -19,7 +32,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"sort"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -31,6 +43,7 @@ import (
 	"parmonc/internal/report"
 	"parmonc/internal/rng"
 	"parmonc/internal/store"
+	"parmonc/internal/workload"
 )
 
 func main() {
@@ -49,7 +62,7 @@ func main() {
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
 	case "list":
-		cmdList()
+		err = cmdList(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -71,7 +84,12 @@ modes:
   experiments  run several independent stochastic experiments and pool them
   coord        start the rank-0 coordinator of a distributed job
   worker       join a distributed job as a worker
-  list         list built-in workloads
+  list         list built-in workloads and their parameter schemas
+
+workload selection (run, experiments, coord, worker):
+  -workload <name>      pick a registered workload
+  -set key=value        override one schema parameter (repeatable)
+  -scenario spec.json   load workload and parameters from a JSON spec
 `)
 }
 
@@ -89,22 +107,69 @@ func signalContext() (context.Context, context.CancelFunc) {
 	return ctx, cancel
 }
 
-func cmdList() {
-	ws := workloads()
-	names := make([]string, 0, len(ws))
-	for n := range ws {
-		names = append(names, n)
+// jsonWorkload is one registry entry of `parmonc list -json`: the
+// machine-readable schema a driving program needs to construct -set
+// flags or scenario specs without parsing help text.
+type jsonWorkload struct {
+	Name          string           `json:"name"`
+	Description   string           `json:"description"`
+	SchemaVersion int              `json:"schema_version"`
+	Nrow          int              `json:"nrow"`
+	Ncol          int              `json:"ncol"`
+	Fingerprint   string           `json:"fingerprint"`
+	Params        []workload.Param `json:"params,omitempty"`
+	RowLabels     []string         `json:"row_labels,omitempty"`
+	ColLabels     []string         `json:"col_labels,omitempty"`
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the registry as JSON on stdout")
+	fs.Parse(args)
+
+	defs := workload.All()
+	if *jsonOut {
+		out := make([]jsonWorkload, 0, len(defs))
+		for _, d := range defs {
+			id, err := d.Identity(nil) // defaults
+			if err != nil {
+				return err
+			}
+			jw := jsonWorkload{
+				Name:          d.Name,
+				Description:   d.Description,
+				SchemaVersion: d.Schema.Version,
+				Nrow:          id.Nrow,
+				Ncol:          id.Ncol,
+				Fingerprint:   id.Fingerprint(),
+				Params:        d.Schema.Params,
+			}
+			v := workload.Values(id.Params)
+			if d.RowLabels != nil {
+				jw.RowLabels = d.RowLabels(v)
+			}
+			if d.ColLabels != nil {
+				jw.ColLabels = d.ColLabels(v)
+			}
+			out = append(out, jw)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		w := ws[n]
-		fmt.Printf("%-12s %3d×%-2d  %s\n", w.name, w.nrow, w.ncol, w.description)
+	for _, d := range defs {
+		nrow, ncol := d.Dims(d.Schema.Defaults())
+		fmt.Printf("%-12s %3d×%-2d  %s\n", d.Name, nrow, ncol, d.Description)
+		for _, p := range d.Schema.Params {
+			fmt.Printf("             -set %-18s %s\n", workload.FormatSet(p.Name, p.Default), p.Description)
+		}
 	}
+	return nil
 }
 
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	name := fs.String("workload", "pi", "built-in workload name (see `parmonc list`)")
+	wf := addWorkloadFlags(fs)
 	maxsv := fs.Int64("maxsv", 100000, "maximal sample volume (0 = run until interrupted)")
 	workers := fs.Int("workers", 0, "parallel workers M (0 = GOMAXPROCS)")
 	seqnum := fs.Uint64("seqnum", 0, "experiments subsequence number")
@@ -120,16 +185,17 @@ func cmdRun(args []string) error {
 	journal := fs.Bool("journal", true, "append the run-event journal to parmonc_data/events.jsonl")
 	fs.Parse(args)
 
-	w, err := lookupWorkload(*name)
+	w, err := wf.resolve()
 	if err != nil {
 		return err
 	}
+	nrow, ncol := w.dims()
 	ctx, cancel := signalContext()
 	defer cancel()
 
 	cfg := core.Config{
-		Nrow:                w.nrow,
-		Ncol:                w.ncol,
+		Nrow:                nrow,
+		Ncol:                ncol,
 		MaxSamples:          *maxsv,
 		Resume:              *res,
 		SeqNum:              *seqnum,
@@ -139,6 +205,9 @@ func cmdRun(args []string) error {
 		StrictExchange:      *strict,
 		WorkDir:             *dir,
 		SaveWorkerSnapshots: *snapshots,
+		Workload:            w.id.Name,
+		Fingerprint:         w.id.Fingerprint(),
+		Scenario:            w.scenario,
 	}
 
 	if *journal {
@@ -159,7 +228,7 @@ func cmdRun(args []string) error {
 			Status: func() any {
 				return map[string]any{
 					"mode":     "run",
-					"workload": w.name,
+					"workload": w.id.Fingerprint(),
 					"progress": latest.Load(),
 				}
 			},
@@ -178,7 +247,7 @@ func cmdRun(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return printJSON(result, *stats)
+		return printJSON(result, w, *stats)
 	}
 	printSummary(result, *dir)
 	if *stats {
@@ -205,6 +274,8 @@ func printStats(m collect.MetricsSnapshot) {
 // jsonResult is the machine-readable run summary of the -json flag.
 type jsonResult struct {
 	Workload    string    `json:"workload,omitempty"`
+	Fingerprint string    `json:"fingerprint,omitempty"`
+	Scenario    string    `json:"scenario,omitempty"`
 	N           int64     `json:"total_sample_volume"`
 	NewSamples  int64     `json:"new_samples"`
 	Nrow        int       `json:"rows"`
@@ -234,9 +305,12 @@ type jsonStats struct {
 	ResumedSamples    int64   `json:"resumed_samples"`
 }
 
-func printJSON(result core.Result, stats bool) error {
+func printJSON(result core.Result, w runWorkload, stats bool) error {
 	rep := result.Report
 	out := jsonResult{
+		Workload:    w.id.Name,
+		Fingerprint: w.id.Fingerprint(),
+		Scenario:    w.scenario,
 		N:           rep.N,
 		NewSamples:  result.NewSamples,
 		Nrow:        rep.Nrow,
@@ -283,7 +357,7 @@ func printSummary(result core.Result, dir string) {
 
 func cmdCoord(args []string) error {
 	fs := flag.NewFlagSet("coord", flag.ExitOnError)
-	name := fs.String("workload", "pi", "built-in workload name")
+	wf := addWorkloadFlags(fs)
 	maxsv := fs.Int64("maxsv", 100000, "total sample volume target (0 = until interrupted)")
 	seqnum := fs.Uint64("seqnum", 0, "experiments subsequence number")
 	res := fs.Bool("res", false, "resume the previous simulation")
@@ -301,23 +375,24 @@ func cmdCoord(args []string) error {
 	journal := fs.Bool("journal", true, "append the run-event journal to parmonc_data/events.jsonl")
 	fs.Parse(args)
 
-	w, err := lookupWorkload(*name)
+	w, err := wf.resolve()
 	if err != nil {
 		return err
 	}
+	nrow, ncol := w.dims()
 	params, err := rng.LoadParams(*dir)
 	if err != nil {
 		return err
 	}
 	spec := cluster.JobSpec{
 		SeqNum:     *seqnum,
-		Nrow:       w.nrow,
-		Ncol:       w.ncol,
+		Nrow:       nrow,
+		Ncol:       ncol,
 		MaxSamples: *maxsv,
 		Params:     params,
 		Gamma:      3,
 		PassEvery:  *passEvery,
-		Workload:   w.name,
+		Workload:   w.id,
 		LeaseSize:  *leaseSize,
 		Heartbeat:  *heartbeat,
 	}
@@ -357,7 +432,7 @@ func cmdCoord(args []string) error {
 		defer srv.Close()
 		fmt.Printf("ops server on http://%s (metrics, healthz, statusz, pprof)\n", srv.Addr())
 	}
-	fmt.Printf("coordinator listening on %s (workload %s, target %d)\n", coord.Addr(), w.name, *maxsv)
+	fmt.Printf("coordinator listening on %s (workload %s, target %d)\n", coord.Addr(), w.id.Fingerprint(), *maxsv)
 
 	ctx, cancel := signalContext()
 	defer cancel()
@@ -375,7 +450,7 @@ func cmdCoord(args []string) error {
 
 func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
-	name := fs.String("workload", "pi", "built-in workload name")
+	wf := addWorkloadFlags(fs)
 	maxsv := fs.Int64("maxsv", 100000, "maximal sample volume per experiment")
 	count := fs.Int("count", 3, "number of independent experiments")
 	first := fs.Uint64("first-seqnum", 0, "subsequence number of the first experiment")
@@ -388,10 +463,11 @@ func cmdExperiments(args []string) error {
 	if *count < 1 {
 		return fmt.Errorf("count %d must be >= 1", *count)
 	}
-	w, err := lookupWorkload(*name)
+	w, err := wf.resolve()
 	if err != nil {
 		return err
 	}
+	nrow, ncol := w.dims()
 	seqnums := make([]uint64, *count)
 	for i := range seqnums {
 		seqnums[i] = *first + uint64(i)
@@ -400,19 +476,22 @@ func cmdExperiments(args []string) error {
 	defer cancel()
 
 	cfg := core.Config{
-		Nrow:       w.nrow,
-		Ncol:       w.ncol,
-		MaxSamples: *maxsv,
-		Workers:    *workers,
-		PassPeriod: *perpass,
-		AverPeriod: *peraver,
-		WorkDir:    *dir,
+		Nrow:        nrow,
+		Ncol:        ncol,
+		MaxSamples:  *maxsv,
+		Workers:     *workers,
+		PassPeriod:  *perpass,
+		AverPeriod:  *peraver,
+		WorkDir:     *dir,
+		Workload:    w.id.Name,
+		Fingerprint: w.id.Fingerprint(),
+		Scenario:    w.scenario,
 	}
 	res, err := core.RunExperiments(ctx, cfg, seqnums, w.factory)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d independent experiments of workload %s, %d samples each\n", *count, w.name, *maxsv)
+	fmt.Printf("%d independent experiments of workload %s, %d samples each\n", *count, w.id.Fingerprint(), *maxsv)
 	report.Compare(os.Stdout, res.Reports, res.Combined, 0, 0)
 	fmt.Println("\npooled report:")
 	report.Summary(os.Stdout, res.Combined)
@@ -421,7 +500,7 @@ func cmdExperiments(args []string) error {
 
 func cmdWorker(args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
-	name := fs.String("workload", "pi", "built-in workload name (must match the coordinator)")
+	wf := addWorkloadFlags(fs)
 	addr := fs.String("addr", "127.0.0.1:7070", "coordinator address")
 	defaults := cluster.DefaultRetryPolicy()
 	attempts := fs.Int("retry-attempts", defaults.MaxAttempts, "RPC attempts before the worker gives up")
@@ -433,14 +512,14 @@ func cmdWorker(args []string) error {
 	journalPath := fs.String("journal", "", "append worker run events to this JSONL file")
 	fs.Parse(args)
 
-	w, err := lookupWorkload(*name)
+	w, err := wf.resolve()
 	if err != nil {
 		return err
 	}
 	ctx, cancel := signalContext()
 	defer cancel()
 	wcfg := cluster.WorkerConfig{
-		Workload: w.name,
+		Workload: w.id,
 		Retry: cluster.RetryPolicy{
 			MaxAttempts: *attempts,
 			BaseDelay:   *base,
@@ -476,7 +555,7 @@ func cmdWorker(args []string) error {
 		defer srv.Close()
 		fmt.Printf("ops server on http://%s (metrics, healthz, statusz, pprof)\n", srv.Addr())
 	}
-	fmt.Printf("worker joining %s (workload %s)\n", *addr, w.name)
+	fmt.Printf("worker joining %s (workload %s)\n", *addr, w.id.Fingerprint())
 	rep, err := cluster.RunResilientWorker(ctx, *addr, wcfg, w.factory)
 	if err != nil {
 		return err

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"parmonc/internal/core"
+	"parmonc/internal/workload"
+
+	// Built-in scenarios self-register into the workload registry.
+	_ "parmonc/internal/workload/builtin"
+)
+
+// setFlags collects repeated -set key=value flags.
+type setFlags []string
+
+func (s *setFlags) String() string { return fmt.Sprint([]string(*s)) }
+
+func (s *setFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// workloadFlags are the three flags every simulating mode shares; the
+// selected workload is the composition scenario < -workload < -set
+// (later overrides earlier, per-parameter).
+type workloadFlags struct {
+	fs       *flag.FlagSet
+	name     *string
+	sets     setFlags
+	scenario *string
+}
+
+func addWorkloadFlags(fs *flag.FlagSet) *workloadFlags {
+	wf := &workloadFlags{fs: fs}
+	wf.name = fs.String("workload", "pi", "built-in workload name (see `parmonc list`)")
+	fs.Var(&wf.sets, "set", "override one workload parameter, key=value (repeatable)")
+	wf.scenario = fs.String("scenario", "", "JSON scenario spec file selecting workload and parameters")
+	return wf
+}
+
+// runWorkload is a fully resolved workload selection: the definition,
+// the complete parameter set, the canonical identity, the per-worker
+// factory, and the round-trippable scenario JSON recorded with the run.
+type runWorkload struct {
+	def      workload.Definition
+	values   workload.Values
+	id       workload.Identity
+	factory  core.Factory
+	scenario string // canonical compact-JSON spec reproducing this run
+}
+
+func (w runWorkload) dims() (nrow, ncol int) { return w.id.Nrow, w.id.Ncol }
+
+// resolve turns the flags into a runWorkload. A -scenario file names the
+// workload and supplies base parameters; -set overrides apply on top; a
+// -workload flag given alongside a scenario must agree with it.
+func (wf *workloadFlags) resolve() (runWorkload, error) {
+	name := *wf.name
+	base := workload.Values{}
+	if *wf.scenario != "" {
+		spec, err := workload.LoadSpec(*wf.scenario)
+		if err != nil {
+			return runWorkload{}, err
+		}
+		nameFlagged := false
+		wf.fs.Visit(func(f *flag.Flag) {
+			if f.Name == "workload" {
+				nameFlagged = true
+			}
+		})
+		if nameFlagged && name != spec.Workload {
+			return runWorkload{}, fmt.Errorf("scenario %s runs workload %q but -workload says %q",
+				*wf.scenario, spec.Workload, name)
+		}
+		name = spec.Workload
+		base = spec.Params.Clone()
+	}
+	overrides, err := workload.ParseSets(wf.sets)
+	if err != nil {
+		return runWorkload{}, err
+	}
+	for k, v := range overrides {
+		base[k] = v
+	}
+	def, err := workload.Lookup(name)
+	if err != nil {
+		return runWorkload{}, err
+	}
+	id, err := def.Identity(base)
+	if err != nil {
+		return runWorkload{}, err
+	}
+	resolved := workload.Values(id.Params)
+	factory, err := def.Factory(resolved)
+	if err != nil {
+		return runWorkload{}, err
+	}
+	return runWorkload{
+		def:      def,
+		values:   resolved,
+		id:       id,
+		factory:  factory,
+		scenario: workload.Spec{Workload: name, Params: resolved}.Canonical(),
+	}, nil
+}

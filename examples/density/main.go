@@ -5,10 +5,13 @@
 // bars in one run.
 //
 // The variate is the waiting time of an M/M/1 queue customer in steady
-// state (λ = 0.6, μ = 1). Its exact distribution is a mixed atom at zero
-// plus an exponential tail: P(W = 0) = 1 − ρ and, for w > 0, density
-// ρ(μ−λ)e^{−(μ−λ)w}. The program prints the estimated and exact tail
-// densities side by side.
+// state (λ = 0.6, μ = 1), drawn by the queueing scenario package's
+// Lindley recursion and binned by the histogram scenario package — the
+// same building blocks behind the registered "mm1" and "density"
+// workloads, composed here into a custom realization. The exact
+// distribution is a mixed atom at zero plus an exponential tail:
+// P(W = 0) = 1 − ρ and, for w > 0, density ρ(μ−λ)e^{−(μ−λ)w}. The
+// program prints the estimated and exact tail densities side by side.
 //
 //	go run ./examples/density
 package main
@@ -22,64 +25,44 @@ import (
 	"time"
 
 	"parmonc"
-	"parmonc/dist"
+	"parmonc/internal/histogram"
+	"parmonc/internal/queueing"
 )
-
-const (
-	lambda = 0.6
-	mu     = 1.0
-	rho    = lambda / mu
-	warmup = 4000
-
-	bins  = 12
-	binLo = 0.0
-	binHi = 6.0
-)
-
-// waitSample draws one steady-state waiting time via the Lindley
-// recursion from an empty queue through a long warmup.
-func waitSample(src parmonc.Source) float64 {
-	w := 0.0
-	for k := 0; k < warmup; k++ {
-		w += dist.Exponential(src, mu) - dist.Exponential(src, lambda)
-		if w < 0 {
-			w = 0
-		}
-	}
-	return w
-}
 
 func main() {
-	width := (binHi - binLo) / bins
-	realization := func(src *parmonc.Stream, out []float64) error {
-		v := waitSample(src)
-		idx := int((v - binLo) / width)
-		if idx >= 0 && idx < bins {
-			out[idx] = 1 / width
-		}
-		return nil
+	q := queueing.MM1{Lambda: 0.6, Mu: 1, Warmup: 4000}
+	if err := q.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	spec := histogram.Spec{Bins: 12, A: 0, B: 6}
+	realize, err := spec.Realization(q.SteadyWait)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	res, err := parmonc.Run(context.Background(), parmonc.Config{
-		Nrow: 1, Ncol: bins,
+		Nrow: 1, Ncol: spec.Bins,
 		MaxSamples: 20000,
 		PassPeriod: 100 * time.Millisecond,
 		AverPeriod: 200 * time.Millisecond,
-	}, realization)
+	}, func(src *parmonc.Stream, out []float64) error {
+		return realize(src, out)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	rep := res.Report
+	rho := q.Rho()
+	width := spec.Width()
 	fmt.Printf("M/M/1 waiting-time density, ρ = %.1f, L = %d customers (one per realization)\n", rho, rep.N)
 	fmt.Printf("exact: atom P(W=0) = %.2f, tail density ρ(μ−λ)e^{−(μ−λ)w}\n\n", 1-rho)
 	fmt.Printf("%10s  %22s  %10s  %s\n", "w", "estimated density", "exact", "")
-	for j := 0; j < bins; j++ {
-		c := binLo + (float64(j)+0.5)*width
+	for j, c := range spec.Centers() {
 		got := rep.MeanAt(0, j)
 		// Exact bin-averaged density including the atom in bin 0.
-		a, b := binLo+float64(j)*width, binLo+float64(j+1)*width
-		exact := rho * (math.Exp(-(mu-lambda)*a) - math.Exp(-(mu-lambda)*b)) / width
+		a, b := spec.A+float64(j)*width, spec.A+float64(j+1)*width
+		exact := rho * (math.Exp(-(q.Mu-q.Lambda)*a) - math.Exp(-(q.Mu-q.Lambda)*b)) / width
 		if j == 0 {
 			exact += (1 - rho) / width
 		}

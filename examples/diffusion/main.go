@@ -6,16 +6,18 @@
 //	dy(t) = C dt + D dw(t),  y(0) = (5, 10),  C = (0.5, 1),
 //
 // by simulating trajectories with the generalized Euler method (formula
-// (9) of the paper) and averaging them with PARMONC. This mirrors the
-// paper's difftraj example: the realization routine below is exactly
-// what a PARMONC user writes, including taking its normal variates from
-// the library stream via the dist package. The exact solution
-// E y(t) = y₀ + C·t lets the program check its own answer.
+// (9) of the paper) and averaging them with PARMONC. The trajectory
+// simulator is the registered "diffusion" workload (internal/sde's
+// PaperRealization), so this program is a thin invocation: it runs the
+// definition at its schema defaults and checks the answer against the
+// exact solution E y(t) = y₀ + C·t, with C read back from the system's
+// own drift function.
 //
 // The paper integrates to t = 100 with mesh 10⁻⁶ (≈ 7.7 s per
-// realization on 2011 hardware); we integrate to t = 10 with mesh 10⁻³
-// so the demo finishes in seconds. Pass -res to resume a previous run
-// with a fresh seqnum, as in the paper's example main program.
+// realization on 2011 hardware); the defaults integrate to t = 10 with
+// mesh 10⁻³ so the demo finishes in seconds. Pass -res to resume a
+// previous run with a fresh seqnum, as in the paper's example main
+// program.
 //
 //	go run ./examples/diffusion [-res] [-seqnum N] [-maxsv L]
 package main
@@ -29,44 +31,11 @@ import (
 	"time"
 
 	"parmonc"
-	"parmonc/dist"
-)
+	"parmonc/internal/sde"
+	"parmonc/internal/workload"
 
-const (
-	nOut = 100  // output times t_i = i·tEnd/nOut
-	dim  = 2    // system dimension
-	tEnd = 10.0 // integration horizon
-	h    = 1e-3 // Euler mesh
+	_ "parmonc/internal/workload/builtin"
 )
-
-var (
-	y0 = [dim]float64{5, 10}
-	c  = [dim]float64{0.5, 1}
-	d  = [dim][dim]float64{{1.0, 0.2}, {0.2, 1.0}}
-)
-
-// difftraj simulates one approximate diffusion trajectory and fills the
-// nOut×2 realization matrix with its values at the output times.
-func difftraj(src *parmonc.Stream, out []float64) error {
-	y := y0
-	sqrtH := math.Sqrt(h)
-	stepsPerOut := int(tEnd / float64(nOut) / h)
-	var normal dist.Normal
-	for i := 0; i < nOut; i++ {
-		for s := 0; s < stepsPerOut; s++ {
-			var xi [dim]float64
-			for k := 0; k < dim; k++ {
-				xi[k] = normal.Sample(src)
-			}
-			for k := 0; k < dim; k++ {
-				y[k] += h*c[k] + sqrtH*(d[k][0]*xi[0]+d[k][1]*xi[1])
-			}
-		}
-		out[i*dim+0] = y[0]
-		out[i*dim+1] = y[1]
-	}
-	return nil
-}
 
 func main() {
 	res := flag.Bool("res", false, "resume the previous simulation (use a new -seqnum)")
@@ -74,23 +43,39 @@ func main() {
 	maxsv := flag.Int64("maxsv", 2000, "maximal sample volume")
 	flag.Parse()
 
+	def, err := workload.Lookup("diffusion")
+	if err != nil {
+		log.Fatal(err)
+	}
+	id, err := def.Identity(nil) // defaults: h=1e-3, tend=10, nout=100
+	if err != nil {
+		log.Fatal(err)
+	}
+	factory, err := def.Factory(workload.Values(id.Params))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	result, err := parmonc.RunFactory(context.Background(), parmonc.Config{
-		Nrow:       nOut,
-		Ncol:       dim,
+		Nrow:       id.Nrow,
+		Ncol:       id.Ncol,
 		MaxSamples: *maxsv,
 		Resume:     *res,
 		SeqNum:     *seqnum,
 		PassPeriod: 100 * time.Millisecond,
 		AverPeriod: 200 * time.Millisecond,
-	}, func(int) (parmonc.Realization, error) {
-		// Each worker gets its own copy of difftraj; the closure itself
-		// is stateless here, but the factory form matches how the MPI
-		// library runs a copy per rank.
-		return difftraj, nil
-	})
+	}, factory)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// The exact mean is y₀ + C·t; recover y₀ and the constant drift C
+	// from the paper system itself rather than restating them.
+	sys := sde.PaperSystem()
+	c := make([]float64, sys.Dim)
+	sys.Drift(0, sys.Y0, c)
+	tEnd := id.Params["tend"]
+	nOut := id.Nrow
 
 	rep := result.Report
 	fmt.Printf("L = %d trajectories in %v (mean %s per realization)\n",
@@ -98,8 +83,8 @@ func main() {
 	fmt.Printf("%8s  %22s  %22s\n", "t", "E y1 (exact)", "E y2 (exact)")
 	worst := 0.0
 	for _, i := range []int{9, 24, 49, 74, 99} {
-		ti := tEnd * float64(i+1) / nOut
-		e1, e2 := y0[0]+c[0]*ti, y0[1]+c[1]*ti
+		ti := tEnd * float64(i+1) / float64(nOut)
+		e1, e2 := sys.Y0[0]+c[0]*ti, sys.Y0[1]+c[1]*ti
 		g1, g2 := rep.MeanAt(i, 0), rep.MeanAt(i, 1)
 		fmt.Printf("%8.2f  %9.4f±%-7.4f (%5.2f)  %9.4f±%-7.4f (%5.2f)\n",
 			ti, g1, rep.AbsErrAt(i, 0), e1, g2, rep.AbsErrAt(i, 1), e2)

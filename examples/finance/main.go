@@ -3,10 +3,13 @@
 //
 // Under the risk-neutral measure the asset follows geometric Brownian
 // motion, so a European option's price is the discounted expected
-// payoff: exactly the E ζ the library estimates. The realization is a
-// 1×3 matrix (call payoff, put payoff, Asian call payoff); the European
-// legs are verifiable against the Black–Scholes closed form, computed
-// inline below, and put–call parity gives a second independent check.
+// payoff: exactly the E ζ the library estimates. The option parameters
+// come from the registered "option" workload's schema defaults; the
+// realization composes the scenario package's European kernel (what
+// `parmonc run -workload option` executes) with its Asian kernel into a
+// 1×3 matrix (call payoff, put payoff, Asian call payoff). The European
+// legs are verifiable against the Black–Scholes closed form from the
+// same package, and put–call parity gives a second independent check.
 //
 //	go run ./examples/finance
 package main
@@ -19,76 +22,62 @@ import (
 	"time"
 
 	"parmonc"
-	"parmonc/dist"
+	"parmonc/internal/finance"
+	"parmonc/internal/workload"
+
+	_ "parmonc/internal/workload/builtin"
 )
 
-const (
-	s0     = 100.0 // spot
-	strike = 105.0
-	rate   = 0.05
-	sigma  = 0.20
-	tMat   = 1.0 // maturity, years
-	months = 12  // Asian monitoring dates
-)
-
-// payoffs simulates one risk-neutral path and fills
-// [call, put, asian call].
-func payoffs(src *parmonc.Stream, out []float64) error {
-	disc := math.Exp(-rate * tMat)
-
-	// Terminal price for the European legs: one exact GBM step.
-	z := dist.StdNormal(src)
-	sT := s0 * math.Exp((rate-sigma*sigma/2)*tMat+sigma*math.Sqrt(tMat)*z)
-	if sT > strike {
-		out[0] = disc * (sT - strike)
-	} else {
-		out[1] = disc * (strike - sT)
-	}
-
-	// Asian leg: monthly monitoring on an independent path.
-	dt := tMat / months
-	s := s0
-	var sum float64
-	for k := 0; k < months; k++ {
-		s *= math.Exp((rate-sigma*sigma/2)*dt + sigma*math.Sqrt(dt)*dist.StdNormal(src))
-		sum += s
-	}
-	if avg := sum / months; avg > strike {
-		out[2] = disc * (avg - strike)
-	}
-	return nil
-}
-
-// blackScholes returns the exact European call and put prices.
-func blackScholes() (call, put float64) {
-	volT := sigma * math.Sqrt(tMat)
-	d1 := (math.Log(s0/strike) + (rate+sigma*sigma/2)*tMat) / volT
-	d2 := d1 - volT
-	phi := func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
-	call = s0*phi(d1) - strike*math.Exp(-rate*tMat)*phi(d2)
-	put = strike*math.Exp(-rate*tMat)*phi(-d2) - s0*phi(-d1)
-	return call, put
-}
+const months = 12 // Asian monitoring dates
 
 func main() {
+	def, err := workload.Lookup("option")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := def.Schema.Resolve(nil) // s0=100, strike=105, rate=0.05, sigma=0.2, t=1
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := finance.Option{
+		S0:     v.Float("s0"),
+		Strike: v.Float("strike"),
+		Rate:   v.Float("rate"),
+		Sigma:  v.Float("sigma"),
+		T:      v.Float("t"),
+	}
+	euro, err := o.EuropeanRealization()
+	if err != nil {
+		log.Fatal(err)
+	}
+	asian, err := o.AsianRealization(months)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	res, err := parmonc.Run(context.Background(), parmonc.Config{
-		Nrow: 1, Ncol: 3,
+		Nrow: 1, Ncol: finance.NPayoffs + 1,
 		MaxSamples: 500_000,
 		PassPeriod: 100 * time.Millisecond,
 		AverPeriod: 200 * time.Millisecond,
-	}, payoffs)
+	}, func(src *parmonc.Stream, out []float64) error {
+		if err := euro(src, out[:finance.NPayoffs]); err != nil {
+			return err
+		}
+		return asian(src, out[finance.NPayoffs:])
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	rep := res.Report
-	bsCall, bsPut := blackScholes()
+	bsCall, bsPut := o.BlackScholesCall(), o.BlackScholesPut()
 	fmt.Printf("European option, S0=%.0f K=%.0f r=%.0f%% σ=%.0f%% T=%gy, L = %d paths\n",
-		s0, strike, rate*100, sigma*100, tMat, rep.N)
+		o.S0, o.Strike, o.Rate*100, o.Sigma*100, o.T, rep.N)
 	fmt.Printf("  MC call   %8.4f ± %.4f   Black–Scholes %8.4f\n", rep.MeanAt(0, 0), rep.AbsErrAt(0, 0), bsCall)
 	fmt.Printf("  MC put    %8.4f ± %.4f   Black–Scholes %8.4f\n", rep.MeanAt(0, 1), rep.AbsErrAt(0, 1), bsPut)
 	parityMC := rep.MeanAt(0, 0) - rep.MeanAt(0, 1)
-	parityExact := s0 - strike*math.Exp(-rate*tMat)
+	parityExact := o.S0 - o.Strike*math.Exp(-o.Rate*o.T)
 	fmt.Printf("  put–call parity: MC %8.4f vs exact %8.4f\n", parityMC, parityExact)
 	fmt.Printf("  MC Asian  %8.4f ± %.4f   (no closed form; must lie below the European call)\n",
 		rep.MeanAt(0, 2), rep.AbsErrAt(0, 2))

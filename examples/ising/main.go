@@ -2,9 +2,12 @@
 // with PARMONC — the statistical-physics domain the paper lists ("the
 // Metropolis method, the Ising model").
 //
-// Each realization equilibrates a fresh 16×16 lattice at inverse
-// temperature β and reports (energy per site, |magnetization|). Sweeping
-// β across the exact critical point β_c = ln(1+√2)/2 ≈ 0.4407 shows the
+// Each realization equilibrates a fresh lattice at inverse temperature
+// β and reports (energy per site, |magnetization|). The replica
+// simulator is the registered "ising" workload (internal/ising), so
+// this program is a thin invocation: one run per β, overriding only the
+// beta/sweeps/warmup parameters of the definition's schema. Sweeping β
+// across the exact critical point β_c = ln(1+√2)/2 ≈ 0.4407 shows the
 // order parameter turning on — the independent-replica pattern is
 // exactly how PARMONC parallelizes Markov chain Monte Carlo.
 //
@@ -19,80 +22,44 @@ import (
 	"time"
 
 	"parmonc"
-	"parmonc/dist"
-)
+	"parmonc/internal/workload"
 
-const (
-	lat    = 16
-	sweeps = 80
-	warmup = 40
+	_ "parmonc/internal/workload/builtin"
 )
-
-// replica runs one independent lattice at inverse temperature beta and
-// writes the time-averaged observables.
-func replica(src *parmonc.Stream, beta float64, out []float64) error {
-	n := lat * lat
-	spins := make([]int8, n)
-	for i := range spins {
-		if dist.Bernoulli(src, 0.5) {
-			spins[i] = 1
-		} else {
-			spins[i] = -1
-		}
-	}
-	acc4, acc8 := math.Exp(-4*beta), math.Exp(-8*beta)
-	nbrSum := func(i int) int {
-		x, y := i%lat, i/lat
-		return int(spins[y*lat+(x+1)%lat]) + int(spins[y*lat+(x-1+lat)%lat]) +
-			int(spins[((y+1)%lat)*lat+x]) + int(spins[((y-1+lat)%lat)*lat+x])
-	}
-	var accE, accM float64
-	measured := 0
-	for sweep := 0; sweep < sweeps; sweep++ {
-		for k := 0; k < n; k++ {
-			i := dist.Choice(src, n)
-			dE := 2 * int(spins[i]) * nbrSum(i)
-			if dE <= 0 || (dE == 4 && dist.Bernoulli(src, acc4)) || (dE == 8 && dist.Bernoulli(src, acc8)) {
-				spins[i] = -spins[i]
-			}
-		}
-		if sweep < warmup {
-			continue
-		}
-		var e, m int
-		for i := 0; i < n; i++ {
-			x, y := i%lat, i/lat
-			e -= int(spins[i]) * (int(spins[y*lat+(x+1)%lat]) + int(spins[((y+1)%lat)*lat+x]))
-			m += int(spins[i])
-		}
-		accE += float64(e) / float64(n)
-		accM += math.Abs(float64(m)) / float64(n)
-		measured++
-	}
-	out[0] = accE / float64(measured)
-	out[1] = accM / float64(measured)
-	return nil
-}
 
 func main() {
+	def, err := workload.Lookup("ising")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defaults, err := def.Schema.Resolve(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lat := defaults.Int("l")
 	betas := []float64{0.20, 0.35, 0.44, 0.50, 0.60}
 	betaC := math.Log(1+math.Sqrt2) / 2
 
 	fmt.Printf("2-D Ising, %d×%d lattice, independent replicas (β_c = %.4f)\n", lat, lat, betaC)
 	fmt.Printf("%8s  %20s  %20s\n", "β", "E per site", "|m|")
 	for i, beta := range betas {
-		beta := beta
-		res, err := parmonc.Run(context.Background(), parmonc.Config{
-			Nrow:       1,
-			Ncol:       2,
+		id, err := def.Identity(workload.Values{"beta": beta, "sweeps": 80, "warmup": 40})
+		if err != nil {
+			log.Fatal(err)
+		}
+		factory, err := def.Factory(workload.Values(id.Params))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := parmonc.RunFactory(context.Background(), parmonc.Config{
+			Nrow:       id.Nrow,
+			Ncol:       id.Ncol,
 			MaxSamples: 200,
 			SeqNum:     uint64(i),
 			WorkDir:    fmt.Sprintf("run-beta%03.0f", beta*100),
 			PassPeriod: 100 * time.Millisecond,
 			AverPeriod: 200 * time.Millisecond,
-		}, func(src *parmonc.Stream, out []float64) error {
-			return replica(src, beta, out)
-		})
+		}, factory)
 		if err != nil {
 			log.Fatal(err)
 		}

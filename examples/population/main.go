@@ -3,11 +3,13 @@
 // at the Omsk Branch of the Sobolev Institute of Mathematics.
 //
 // Each lineage starts from one individual; every individual leaves a
-// Poisson(μ) number of offspring. The realization is the pair
-// (population after n generations, extinct-by-n indicator), so the
-// PARMONC sample means estimate E Z_n = μⁿ and the extinction
-// probability q (the root of q = e^{μ(q−1)}) simultaneously — both known
-// in closed form, so the output is self-checking.
+// Poisson(μ) number of offspring. The lineage simulator is the
+// registered "branching" workload (internal/branching), run here at its
+// schema defaults: the realization is the pair (population after n
+// generations, extinct-by-n indicator), so the PARMONC sample means
+// estimate E Z_n = μⁿ and the extinction probability q (the root of
+// q = e^{μ(q−1)}, solved by the same package) simultaneously — both
+// known in closed form, so the output is self-checking.
 //
 //	go run ./examples/population
 package main
@@ -20,60 +22,53 @@ import (
 	"time"
 
 	"parmonc"
-	"parmonc/dist"
+	"parmonc/internal/branching"
+	"parmonc/internal/workload"
+
+	_ "parmonc/internal/workload/builtin"
 )
-
-const (
-	mu          = 1.5
-	generations = 40
-	popCap      = 1_000_000
-)
-
-// lineage simulates one family line; out = [Z_n, extinct?].
-func lineage(src *parmonc.Stream, out []float64) error {
-	z := int64(1)
-	for g := 0; g < generations && z > 0 && z <= popCap; g++ {
-		// The offspring of z individuals total Poisson(z·μ).
-		z = dist.Poisson(src, float64(z)*mu)
-	}
-	out[0] = float64(z)
-	if z == 0 {
-		out[1] = 1
-	}
-	return nil
-}
-
-// extinctionProbability solves q = exp(μ(q−1)) by fixed point.
-func extinctionProbability() float64 {
-	q := 0.0
-	for i := 0; i < 200; i++ {
-		q = math.Exp(mu * (q - 1))
-	}
-	return q
-}
 
 func main() {
-	res, err := parmonc.Run(context.Background(), parmonc.Config{
-		Nrow:       1,
-		Ncol:       2,
-		MaxSamples: 100_000,
-		PassPeriod: 100 * time.Millisecond,
-		AverPeriod: 200 * time.Millisecond,
-	}, lineage)
+	def, err := workload.Lookup("branching")
+	if err != nil {
+		log.Fatal(err)
+	}
+	id, err := def.Identity(nil) // mu=1.5, generations=40, popcap=1e6
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := workload.Values(id.Params)
+	factory, err := def.Factory(v)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	res, err := parmonc.RunFactory(context.Background(), parmonc.Config{
+		Nrow:       id.Nrow,
+		Ncol:       id.Ncol,
+		MaxSamples: 100_000,
+		PassPeriod: 100 * time.Millisecond,
+		AverPeriod: 200 * time.Millisecond,
+	}, factory)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := branching.Process{
+		Mu:          v.Float("mu"),
+		Generations: v.Int("generations"),
+		PopCap:      v.Int64("popcap"),
+	}
 	rep := res.Report
-	q := extinctionProbability()
+	q := p.ExtinctionProbability()
 	fmt.Printf("Galton–Watson, Poisson(%.1f) offspring, %d generations, L = %d lineages\n",
-		mu, generations, rep.N)
+		p.Mu, p.Generations, rep.N)
 	fmt.Printf("  extinction fraction  %.5f ± %.5f   (theory q = %.5f)\n",
 		rep.MeanAt(0, 1), rep.AbsErrAt(0, 1), q)
 	fmt.Printf("  mean population      %.3g           (theory μ^n = %.3g; surviving lineages are\n",
-		rep.MeanAt(0, 0), math.Pow(mu, generations))
+		rep.MeanAt(0, 0), p.MeanPopulation())
 	fmt.Printf("                        truncated at the %.0g cap, so the estimate is a deliberate undercount)\n",
-		float64(popCap))
+		float64(p.PopCap))
 	if math.Abs(rep.MeanAt(0, 1)-q) < rep.AbsErrAt(0, 1) {
 		fmt.Println("  extinction probability inside the 3σ interval ✓")
 	}

@@ -1,9 +1,11 @@
 // Quickstart: estimate π with PARMONC.
 //
-// The user writes one sequential routine that simulates a single
-// realization of the random object — here the indicator that a uniform
-// point in the unit square falls inside the quarter disc — and hands it
-// to parmonc.Run. The library parallelizes the simulation, computes the
+// The realization routine — the indicator that a uniform point in the
+// unit square falls inside the quarter disc — ships registered in the
+// workload registry as "pi", shared with `parmonc run -workload pi` and
+// the cluster commands. This program is the thin-invocation form: look
+// the definition up, build its factory at the schema defaults, and hand
+// it to the library, which parallelizes the simulation, computes the
 // sample mean with its 3σ confidence bound, and stores results under
 // ./parmonc_data.
 //
@@ -18,23 +20,33 @@ import (
 	"time"
 
 	"parmonc"
+	"parmonc/internal/workload"
+
+	_ "parmonc/internal/workload/builtin"
 )
 
 func main() {
-	res, err := parmonc.Run(context.Background(), parmonc.Config{
-		Nrow:       1,
-		Ncol:       1,
+	def, err := workload.Lookup("pi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	id, err := def.Identity(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	factory, err := def.Factory(workload.Values(id.Params))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := parmonc.RunFactory(context.Background(), parmonc.Config{
+		Nrow:       id.Nrow,
+		Ncol:       id.Ncol,
 		MaxSamples: 2_000_000,
 		SeqNum:     0,
 		PassPeriod: 100 * time.Millisecond,
 		AverPeriod: 200 * time.Millisecond,
-	}, func(src *parmonc.Stream, out []float64) error {
-		x, y := src.Float64(), src.Float64()
-		if x*x+y*y < 1 {
-			out[0] = 1
-		}
-		return nil
-	})
+	}, factory)
 	if err != nil {
 		log.Fatal(err)
 	}

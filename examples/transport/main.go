@@ -2,11 +2,13 @@
 // Monte Carlo began with and the first the paper lists.
 //
 // A particle beam hits a homogeneous slab; each history flies
-// exponential free paths, scatters isotropically with probability c and
-// is absorbed otherwise. The realization routine returns the indicator
-// triple (transmitted, reflected, absorbed); PARMONC averages histories
-// into the three probabilities with confidence bounds, for a sweep of
-// scattering ratios.
+// exponential free paths, scatters isotropically with probability
+// c = σ_s/σ_t and is absorbed otherwise. The history simulator is the
+// registered "transport" workload (internal/transport), so this program
+// is a thin invocation: one run per scattering ratio, overriding only
+// the sigma_s parameter of the definition's schema. PARMONC averages
+// histories into the three probabilities (transmitted, reflected,
+// absorbed) with confidence bounds.
 //
 //	go run ./examples/transport
 package main
@@ -19,59 +21,40 @@ import (
 	"time"
 
 	"parmonc"
-	"parmonc/dist"
-)
+	"parmonc/internal/workload"
 
-const (
-	thickness = 2.0 // slab width, mean free paths (ΣT = 1)
-	sigmaT    = 1.0
-	mu0       = 1.0 // normal incidence
+	_ "parmonc/internal/workload/builtin"
 )
-
-// history simulates one particle through a slab with scattering ratio c
-// and sets exactly one of out[0..2] (transmitted, reflected, absorbed).
-func history(src *parmonc.Stream, c float64, out []float64) error {
-	x, mu := 0.0, mu0
-	for coll := 0; coll < 10000; coll++ {
-		x += mu * dist.Exponential(src, sigmaT)
-		switch {
-		case x >= thickness:
-			out[0] = 1
-			return nil
-		case x < 0:
-			out[1] = 1
-			return nil
-		}
-		if !dist.Bernoulli(src, c) {
-			out[2] = 1
-			return nil
-		}
-		if mu = dist.Uniform(src, -1, 1); mu == 0 {
-			mu = 1e-12
-		}
-	}
-	return fmt.Errorf("history exceeded collision cap")
-}
 
 func main() {
+	def, err := workload.Lookup("transport")
+	if err != nil {
+		log.Fatal(err)
+	}
 	ratios := []float64{0, 0.3, 0.6, 0.9, 0.99}
 
 	// One PARMONC run per scattering ratio, each under its own
 	// experiments subsequence so all runs use disjoint random numbers.
 	fmt.Printf("%6s  %22s  %22s  %22s\n", "c", "P(transmit)", "P(reflect)", "P(absorb)")
 	for i, c := range ratios {
-		c := c
-		res, err := parmonc.Run(context.Background(), parmonc.Config{
-			Nrow:       1,
-			Ncol:       3,
+		// Defaults: thickness=2, sigma_t=1, mu0=1 — so sigma_s = c.
+		id, err := def.Identity(workload.Values{"sigma_s": c})
+		if err != nil {
+			log.Fatal(err)
+		}
+		factory, err := def.Factory(workload.Values(id.Params))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := parmonc.RunFactory(context.Background(), parmonc.Config{
+			Nrow:       id.Nrow,
+			Ncol:       id.Ncol,
 			MaxSamples: 200_000,
 			SeqNum:     uint64(i),
 			WorkDir:    fmt.Sprintf("%s/run-c%02.0f", ".", c*100),
 			PassPeriod: 100 * time.Millisecond,
 			AverPeriod: 200 * time.Millisecond,
-		}, func(src *parmonc.Stream, out []float64) error {
-			return history(src, c, out)
-		})
+		}, factory)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -81,7 +64,7 @@ func main() {
 			rep.MeanAt(0, 1), rep.AbsErrAt(0, 1),
 			rep.MeanAt(0, 2), rep.AbsErrAt(0, 2))
 		if c == 0 {
-			exact := math.Exp(-sigmaT * thickness / mu0)
+			exact := math.Exp(-id.Params["sigma_t"] * id.Params["thickness"] / id.Params["mu0"])
 			fmt.Printf("        pure absorber check: exact P(transmit) = e^-2 = %.5f\n", exact)
 		}
 	}

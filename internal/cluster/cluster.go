@@ -36,6 +36,7 @@ import (
 	"parmonc/internal/rng"
 	"parmonc/internal/stat"
 	"parmonc/internal/store"
+	"parmonc/internal/workload"
 )
 
 // JobSpec describes the simulation a coordinator manages. It is
@@ -48,7 +49,16 @@ type JobSpec struct {
 	Params     rng.Params // leap exponents
 	Gamma      float64    // confidence coefficient
 	PassEvery  int64      // worker pushes after this many realizations (>= 1)
-	Workload   string     // optional workload identity, checked at registration
+
+	// Workload is the parameter-resolved identity of the realization
+	// routine this job averages. It is checked against every worker at
+	// registration: name, schema version, dimensions and every resolved
+	// parameter value must agree (via the canonical fingerprint), so a
+	// worker built for the same-named scenario with different parameters
+	// is rejected before any wrong moments are merged. The zero Identity
+	// disables the check; a workload.Named identity checks the name only
+	// (the legacy level).
+	Workload workload.Identity
 
 	// LeaseSize, when positive, fixes the realization-window size of
 	// the leases the coordinator hands out: lease i covers realizations
@@ -92,11 +102,14 @@ func (s JobSpec) Validate() error {
 // RegisterArgs is sent by a worker when it joins.
 type RegisterArgs struct {
 	Hostname string // informational
-	// Workload identifies the realization routine the worker will run.
-	// When both sides set it, the coordinator rejects mismatches at
-	// registration — catching the operator error of joining a worker
-	// built for a different job before any wrong moments are merged.
-	Workload string
+	// Workload identifies the realization routine the worker will run:
+	// name, schema version, dimensions and resolved parameter values.
+	// When both sides set it, the coordinator rejects any mismatch at
+	// registration with an error naming the exact field that differs —
+	// catching the operator error of joining a worker built (or
+	// parameterized) for a different job before any wrong moments are
+	// merged.
+	Workload workload.Identity
 	// ClientID is an opaque identity chosen by the worker process,
 	// making registration idempotent: if the coordinator applied a
 	// Register but the reply was lost in the network, the retried call
@@ -323,13 +336,18 @@ func NewCoordinatorOn(spec JobSpec, cfg CoordinatorConfig, ln net.Listener) (*Co
 		return nil, err
 	}
 	meta := store.RunMeta{
-		SeqNum:    spec.SeqNum,
-		Nrow:      spec.Nrow,
-		Ncol:      spec.Ncol,
-		MaxSV:     spec.MaxSamples,
-		Params:    spec.Params,
-		Gamma:     spec.Gamma,
-		StartedAt: time.Now(),
+		SeqNum:      spec.SeqNum,
+		Nrow:        spec.Nrow,
+		Ncol:        spec.Ncol,
+		MaxSV:       spec.MaxSamples,
+		Params:      spec.Params,
+		Gamma:       spec.Gamma,
+		StartedAt:   time.Now(),
+		Workload:    spec.Workload.Name,
+		Fingerprint: spec.Workload.Fingerprint(),
+	}
+	if spec.Workload.Digest != "" {
+		meta.Scenario = workload.Spec{Workload: spec.Workload.Name, Params: spec.Workload.Params}.Canonical()
 	}
 	eng, err := collect.New(dir, meta, collect.Config{
 		Resume:              cfg.Resume,
@@ -360,6 +378,13 @@ func NewCoordinatorOn(spec JobSpec, cfg CoordinatorConfig, ln net.Listener) (*Co
 		reg = obs.NewRegistry()
 	}
 	c.cm = newCoordMetrics(reg, c)
+	if !spec.Workload.IsZero() {
+		// Prometheus info pattern: a constant 1 whose labels carry the
+		// workload identity, joinable against every other series.
+		reg.Gauge("parmonc_workload_info", "Workload identity of the job this coordinator manages.",
+			obs.L("workload", spec.Workload.Name),
+			obs.L("fingerprint", spec.Workload.Fingerprint())).Set(1)
+	}
 	if cfg.Registry != nil {
 		cfg.Registry.GaugeFunc("parmonc_coordinator_active_workers", "Workers currently attached to the coordinator.",
 			func() float64 { return float64(eng.Active()) })
@@ -391,10 +416,11 @@ func NewCoordinatorOn(spec JobSpec, cfg CoordinatorConfig, ln net.Listener) (*Co
 // exposes them) and in a private one otherwise; Status reads them
 // either way.
 type coordMetrics struct {
-	heartbeats      *obs.Counter
-	heartbeatMisses *obs.Counter
-	leasesGranted   *obs.Counter
-	leasesReissued  *obs.Counter
+	heartbeats            *obs.Counter
+	heartbeatMisses       *obs.Counter
+	leasesGranted         *obs.Counter
+	leasesReissued        *obs.Counter
+	registrationsRejected *obs.Counter
 }
 
 func newCoordMetrics(reg *obs.Registry, c *Coordinator) coordMetrics {
@@ -405,10 +431,11 @@ func newCoordMetrics(reg *obs.Registry, c *Coordinator) coordMetrics {
 			return float64(c.lm.pendingCount())
 		})
 	return coordMetrics{
-		heartbeats:      reg.Counter("parmonc_coordinator_heartbeats_total", "Explicit heartbeat RPCs received."),
-		heartbeatMisses: reg.Counter("parmonc_coordinator_heartbeat_misses_total", "Supervision ticks that found a worker past its heartbeat interval."),
-		leasesGranted:   reg.Counter("parmonc_coordinator_leases_granted_total", "Leases granted to workers (including re-grants of reissued remainders)."),
-		leasesReissued:  reg.Counter("parmonc_coordinator_leases_reissued_total", "Lease remainders reissued after their holder died or detached mid-window."),
+		heartbeats:            reg.Counter("parmonc_coordinator_heartbeats_total", "Explicit heartbeat RPCs received."),
+		heartbeatMisses:       reg.Counter("parmonc_coordinator_heartbeat_misses_total", "Supervision ticks that found a worker past its heartbeat interval."),
+		leasesGranted:         reg.Counter("parmonc_coordinator_leases_granted_total", "Leases granted to workers (including re-grants of reissued remainders)."),
+		leasesReissued:        reg.Counter("parmonc_coordinator_leases_reissued_total", "Lease remainders reissued after their holder died or detached mid-window."),
+		registrationsRejected: reg.Counter("parmonc_coordinator_registrations_rejected_total", "Worker registrations refused for a workload identity mismatch."),
 	}
 }
 
@@ -508,8 +535,15 @@ func (s *service) Register(args RegisterArgs, reply *RegisterReply) error {
 	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.spec.Workload != "" && args.Workload != "" && args.Workload != c.spec.Workload {
-		return fmt.Errorf("cluster: worker runs workload %q but the job is %q", args.Workload, c.spec.Workload)
+	if err := c.spec.Workload.CheckWorker(args.Workload); err != nil {
+		c.cm.registrationsRejected.Inc()
+		if c.journal != nil {
+			c.journal.Record(obs.Event{Kind: "register_reject", Fields: map[string]any{
+				"hostname": args.Hostname, "workload": args.Workload.Fingerprint(),
+				"job_workload": c.spec.Workload.Fingerprint(), "reason": err.Error(),
+			}})
+		}
+		return fmt.Errorf("cluster: %w", err)
 	}
 	if args.ClientID != "" {
 		if w, ok := c.byClient[args.ClientID]; ok {

@@ -15,6 +15,7 @@ import (
 	"parmonc/internal/rng"
 	"parmonc/internal/stat"
 	"parmonc/internal/store"
+	"parmonc/internal/workload"
 )
 
 func uniformRealization(int) (core.Realization, error) {
@@ -567,7 +568,7 @@ func TestRunWorkerOptsRespectsContext(t *testing.T) {
 
 func TestWorkloadIdentityChecked(t *testing.T) {
 	spec := testSpec(1000)
-	spec.Workload = "pi"
+	spec.Workload = workload.Named("pi")
 	coord, err := NewCoordinator(spec, CoordinatorConfig{WorkDir: t.TempDir(), AverPeriod: time.Millisecond}, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -17,13 +17,16 @@ import (
 	"parmonc/internal/obs"
 	"parmonc/internal/rng"
 	"parmonc/internal/stat"
+	"parmonc/internal/workload"
 )
 
 // WorkerConfig tunes RunResilientWorker beyond the address.
 type WorkerConfig struct {
-	// Workload names the realization routine; the coordinator rejects
-	// mismatches at registration when its JobSpec also names one.
-	Workload string
+	// Workload is the parameter-resolved identity of the realization
+	// routine this worker runs; the coordinator rejects any identity
+	// mismatch at registration when its JobSpec also carries one. Use
+	// workload.Named for a name-only (legacy) identity.
+	Workload workload.Identity
 	// Hostname is informational (default: os.Hostname).
 	Hostname string
 	// Retry governs reconnect/retry behavior; the zero value uses
@@ -109,10 +112,12 @@ func RunWorker(ctx context.Context, addr string, factory core.Factory) error {
 	return RunNamedWorker(ctx, addr, "", factory)
 }
 
-// RunNamedWorker is RunWorker carrying a workload identity that the
-// coordinator verifies at registration (when its JobSpec names one).
+// RunNamedWorker is RunWorker carrying a name-only workload identity
+// that the coordinator verifies at registration (when its JobSpec names
+// one). Full parameter-fingerprint checking needs WorkerConfig.Workload
+// set to a resolved workload.Identity via RunResilientWorker.
 func RunNamedWorker(ctx context.Context, addr, workloadName string, factory core.Factory) error {
-	_, err := RunResilientWorker(ctx, addr, WorkerConfig{Workload: workloadName}, factory)
+	_, err := RunResilientWorker(ctx, addr, WorkerConfig{Workload: workload.Named(workloadName)}, factory)
 	return err
 }
 
@@ -224,7 +229,7 @@ func RunResilientWorker(ctx context.Context, addr string, cfg WorkerConfig, fact
 	wo := newWorkerObs(cfg.Registry, w, rc)
 	if cfg.Journal != nil {
 		cfg.Journal.Record(obs.Event{Kind: "register", Worker: w, Fields: map[string]any{
-			"addr": addr, "workload": cfg.Workload, "epoch": reg.Epoch,
+			"addr": addr, "workload": cfg.Workload.Fingerprint(), "epoch": reg.Epoch,
 		}})
 		defer func() {
 			st := rc.Stats()
@@ -328,7 +333,7 @@ func RunResilientWorker(ctx context.Context, addr string, cfg WorkerConfig, fact
 		touch()
 		if cfg.Journal != nil {
 			cfg.Journal.Record(obs.Event{Kind: "register", Worker: w, Fields: map[string]any{
-				"addr": addr, "workload": cfg.Workload, "epoch": rr.Epoch, "rejoin": true,
+				"addr": addr, "workload": cfg.Workload.Fingerprint(), "epoch": rr.Epoch, "rejoin": true,
 			}})
 		}
 		return nil

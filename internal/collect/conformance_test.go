@@ -18,6 +18,10 @@ import (
 	"parmonc/internal/core"
 	"parmonc/internal/rng"
 	"parmonc/internal/stat"
+	"parmonc/internal/workload"
+
+	// The registry-wide conformance sweep iterates every built-in.
+	_ "parmonc/internal/workload/builtin"
 )
 
 // countingFactory returns realizations that ignore the RNG stream and
@@ -102,6 +106,110 @@ func TestTransportConformanceBitIdentical(t *testing.T) {
 		if a.AbsErr[i] != b.AbsErr[i] {
 			t.Errorf("AbsErr[%d]: %v vs %v", i, a.AbsErr[i], b.AbsErr[i])
 		}
+	}
+}
+
+// conformanceOverrides shrink the expensive workloads so the
+// registry-wide sweep stays fast; identity checking is orthogonal to
+// parameter magnitude, and the small settings still exercise every
+// scenario package's full realization path.
+var conformanceOverrides = map[string]workload.Values{
+	"diffusion":   {"h": 0.01, "tend": 1, "nout": 10},
+	"mm1":         {"warmup": 50, "batch": 50},
+	"ising":       {"l": 8, "sweeps": 10, "warmup": 4},
+	"dsmc":        {"n": 40},
+	"coagulation": {"n0": 50, "volume": 50},
+	"chem":        {"a0": 40},
+}
+
+// TestRegistryConformanceBitIdentical sweeps every registered workload
+// through both transports under the conditions that make runs
+// bit-comparable: one worker per transport, per-realization exchange,
+// and a single lease covering the whole run, so both transports
+// enumerate the identical substream partition in the identical merge
+// order. Any difference — in the RNG coordinates a transport hands its
+// worker, in merge arithmetic, in push sequencing — shows up as a
+// bit-level divergence on some workload.
+func TestRegistryConformanceBitIdentical(t *testing.T) {
+	const L = 40
+	for _, d := range workload.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			id, err := d.Identity(conformanceOverrides[d.Name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := workload.Values(id.Params)
+
+			factory, err := d.Factory(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.RunFactory(context.Background(), core.Config{
+				Nrow:           id.Nrow,
+				Ncol:           id.Ncol,
+				MaxSamples:     L,
+				Workers:        1,
+				LeaseSize:      L,
+				StrictExchange: true, // push after every realization, like PassEvery=1
+				WorkDir:        t.TempDir(),
+			}, factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := res.Report
+
+			spec := cluster.JobSpec{
+				Nrow:       id.Nrow,
+				Ncol:       id.Ncol,
+				MaxSamples: L,
+				Params:     rng.DefaultParams(),
+				Gamma:      stat.DefaultConfidenceCoefficient,
+				PassEvery:  1,
+				LeaseSize:  L,
+				Workload:   id,
+			}
+			coord, err := cluster.NewCoordinator(spec, cluster.CoordinatorConfig{WorkDir: t.TempDir()}, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer coord.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			workerFactory, err := d.Factory(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			workerErr := make(chan error, 1)
+			go func() {
+				_, err := cluster.RunResilientWorker(ctx, coord.Addr(),
+					cluster.WorkerConfig{Workload: id}, workerFactory)
+				workerErr <- err
+			}()
+			b, err := coord.Wait(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := <-workerErr; err != nil {
+				t.Fatal(err)
+			}
+
+			if a.N != L || b.N != L {
+				t.Fatalf("N: goroutine %d, rpc %d, want %d", a.N, b.N, L)
+			}
+			for i := range a.Mean {
+				if a.Mean[i] != b.Mean[i] {
+					t.Errorf("Mean[%d]: %v vs %v", i, a.Mean[i], b.Mean[i])
+				}
+				if a.Var[i] != b.Var[i] {
+					t.Errorf("Var[%d]: %v vs %v", i, a.Var[i], b.Var[i])
+				}
+				if a.AbsErr[i] != b.AbsErr[i] {
+					t.Errorf("AbsErr[%d]: %v vs %v", i, a.AbsErr[i], b.AbsErr[i])
+				}
+			}
+		})
 	}
 }
 

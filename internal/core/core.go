@@ -139,6 +139,19 @@ type Config struct {
 	// buffered off the hot path. The caller owns the journal and closes
 	// it after the run.
 	Journal *obs.Journal
+
+	// Workload, Fingerprint and Scenario are the optional workload
+	// identity of the run: the registered workload name, its
+	// parameter-resolved fingerprint ("name@v1/0123456789ab"), and the
+	// canonical compact-JSON scenario spec that reproduces the
+	// parameterization. They are recorded in the run metadata, the
+	// experiment log and the run_start journal event. The core driver
+	// does not interpret them — identity is resolved by the caller
+	// (internal/workload), keeping this package free of a dependency on
+	// the registry. Empty strings mean "unnamed user factory".
+	Workload    string
+	Fingerprint string
+	Scenario    string
 }
 
 // Progress is the point-in-time view of a running simulation handed to
@@ -322,14 +335,17 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 	}
 
 	meta := store.RunMeta{
-		SeqNum:    cfg.SeqNum,
-		Nrow:      cfg.Nrow,
-		Ncol:      cfg.Ncol,
-		MaxSV:     cfg.MaxSamples,
-		Workers:   cfg.Workers,
-		Params:    params,
-		Gamma:     cfg.Gamma,
-		StartedAt: time.Now(),
+		SeqNum:      cfg.SeqNum,
+		Nrow:        cfg.Nrow,
+		Ncol:        cfg.Ncol,
+		MaxSV:       cfg.MaxSamples,
+		Workers:     cfg.Workers,
+		Params:      params,
+		Gamma:       cfg.Gamma,
+		StartedAt:   time.Now(),
+		Workload:    cfg.Workload,
+		Fingerprint: cfg.Fingerprint,
+		Scenario:    cfg.Scenario,
 	}
 
 	// The collector engine owns base-checkpoint establishment (resume
@@ -348,11 +364,21 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 		return Result{}, err
 	}
 	ro := newRunObs(cfg.Registry, eng)
+	if cfg.Registry != nil && cfg.Fingerprint != "" {
+		// Prometheus info pattern: a constant 1 whose labels carry the
+		// workload identity, joinable against every other series.
+		cfg.Registry.Gauge("parmonc_workload_info", "Workload identity of this run.",
+			obs.L("workload", cfg.Workload), obs.L("fingerprint", cfg.Fingerprint)).Set(1)
+	}
 	if cfg.Journal != nil {
-		cfg.Journal.Record(obs.Event{Kind: "run_start", Fields: map[string]any{
+		startFields := map[string]any{
 			"workers": cfg.Workers, "seqnum": cfg.SeqNum, "maxsv": cfg.MaxSamples,
 			"nrow": cfg.Nrow, "ncol": cfg.Ncol, "resume": cfg.Resume,
-		}})
+		}
+		if cfg.Fingerprint != "" {
+			startFields["workload"] = cfg.Fingerprint
+		}
+		cfg.Journal.Record(obs.Event{Kind: "run_start", Fields: startFields})
 		defer func() {
 			cfg.Journal.Record(obs.Event{Kind: "run_stop", Samples: eng.N()})
 		}()

@@ -86,6 +86,24 @@ func (q MM1) BatchMeanWait(src dist.Source, out []float64) error {
 	return nil
 }
 
+// SteadyWait runs the Lindley recursion from an empty queue through the
+// warmup and returns one (approximately) steady-state waiting time: the
+// single-sample counterpart of BatchMeanWait, for estimators — like the
+// waiting-time histogram — that need the variate itself rather than a
+// batch mean. Parameters should satisfy Validate; the sampler signature
+// leaves no room for an error return.
+func (q MM1) SteadyWait(src dist.Source) float64 {
+	warmup := q.Warmup
+	if warmup == 0 {
+		warmup = 1000
+	}
+	w := 0.0
+	for k := 0; k < warmup; k++ {
+		w = lindleyStep(src, w, q.Lambda, q.Mu)
+	}
+	return w
+}
+
 func lindleyStep(src dist.Source, w, lambda, mu float64) float64 {
 	s := dist.Exponential(src, mu)
 	a := dist.Exponential(src, lambda)

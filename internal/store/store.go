@@ -61,6 +61,17 @@ type RunMeta struct {
 	Params    rng.Params
 	Gamma     float64 // confidence coefficient
 	StartedAt time.Time
+
+	// Workload names the realization routine the run averages, and
+	// Fingerprint its full parameter-resolved identity (the short
+	// "name@v1/0123456789ab" form). Scenario, when present, is the
+	// canonical compact-JSON scenario spec that reproduces the run's
+	// parameterization verbatim via `parmonc run -scenario`. All three
+	// are optional (runs driven by an unregistered user factory leave
+	// them empty) and are recorded in the experiment log.
+	Workload    string
+	Fingerprint string
+	Scenario    string
 }
 
 // Validate checks the metadata invariants.
@@ -392,9 +403,21 @@ func (d *Dir) AppendExperiment(meta RunMeta, resumed bool) error {
 	if resumed {
 		mode = "resumed"
 	}
-	_, err = fmt.Fprintf(f, "%s seqnum=%d rows=%d cols=%d maxsv=%d workers=%d mode=%s\n",
+	line := fmt.Sprintf("%s seqnum=%d rows=%d cols=%d maxsv=%d workers=%d mode=%s",
 		meta.StartedAt.UTC().Format(time.RFC3339), meta.SeqNum, meta.Nrow, meta.Ncol,
 		meta.MaxSV, meta.Workers, mode)
+	// Workload identity rides on the same space-separated line; the
+	// scenario spec is canonical compact JSON (no spaces), so the line
+	// stays splittable on blanks.
+	if meta.Fingerprint != "" {
+		line += " workload=" + meta.Fingerprint
+	} else if meta.Workload != "" {
+		line += " workload=" + meta.Workload
+	}
+	if meta.Scenario != "" {
+		line += " scenario=" + meta.Scenario
+	}
+	_, err = fmt.Fprintf(f, "%s\n", line)
 	return err
 }
 

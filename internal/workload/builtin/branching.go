@@ -1,0 +1,40 @@
+package builtin
+
+import (
+	"parmonc/internal/branching"
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+	"parmonc/internal/workload"
+)
+
+func init() {
+	workload.Register(workload.Definition{
+		Name:        "branching",
+		Description: "Galton–Watson (Poisson offspring) population and extinction",
+		Schema: workload.Schema{
+			Version: 1,
+			Params: []workload.Param{
+				{Name: "mu", Description: "mean offspring count", Kind: workload.Float, Default: 1.5, Positive: true},
+				{Name: "generations", Description: "generations simulated per lineage", Kind: workload.Int, Default: 40, Min: workload.Bound(1)},
+				{Name: "popcap", Description: "explosion guard: population beyond this counts as survived", Kind: workload.Int, Default: 1_000_000, Min: workload.Bound(1)},
+			},
+		},
+		Dims:      fixed(1, branching.NOutcomes),
+		ColLabels: labels("final_population", "extinct"),
+		Factory: func(v workload.Values) (core.Factory, error) {
+			p := branching.Process{
+				Mu:          v.Float("mu"),
+				Generations: v.Int("generations"),
+				PopCap:      v.Int64("popcap"),
+			}
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+			return func(int) (core.Realization, error) {
+				return func(src *rng.Stream, out []float64) error {
+					return p.Realize(src, out)
+				}, nil
+			}, nil
+		},
+	})
+}

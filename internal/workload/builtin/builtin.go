@@ -1,0 +1,29 @@
+// Package builtin registers the library's built-in workloads — the
+// scenarios used in the paper's evaluation and this repository's
+// examples — with the workload registry. Import it for side effects:
+//
+//	import _ "parmonc/internal/workload/builtin"
+//
+// Each scenario lives in its own file and contributes one
+// workload.Definition: name, description, output dimensions, a typed
+// parameter schema with defaults and bounds, and the factory producing
+// per-worker realization routines. The cmd/parmonc CLI, the examples,
+// the cross-transport conformance suite and the generated README table
+// all consume these registrations; adding a scenario is one Register
+// call in one new file.
+package builtin
+
+//go:generate go run parmonc/cmd/workload-docs -readme ../../../README.md
+
+import "parmonc/internal/workload"
+
+// fixed is a Dims function for workloads whose output shape does not
+// depend on parameters.
+func fixed(nrow, ncol int) func(workload.Values) (int, int) {
+	return func(workload.Values) (int, int) { return nrow, ncol }
+}
+
+// labels is a constant label-list function.
+func labels(ls ...string) func(workload.Values) []string {
+	return func(workload.Values) []string { return ls }
+}

@@ -1,0 +1,41 @@
+package builtin
+
+import (
+	"parmonc/internal/chem"
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+	"parmonc/internal/workload"
+)
+
+// chemTimes are the fixed observation times of the workload.
+var chemTimes = []float64{0.3, 1, 2, 5}
+
+func init() {
+	workload.Register(workload.Definition{
+		Name:        "chem",
+		Description: "Gillespie SSA, reversible isomerization A⇌B at 4 times",
+		Schema: workload.Schema{
+			Version: 1,
+			Params: []workload.Param{
+				{Name: "k1", Description: "forward rate A→B", Kind: workload.Float, Default: 2, Positive: true},
+				{Name: "k2", Description: "backward rate B→A", Kind: workload.Float, Default: 1, Positive: true},
+				{Name: "a0", Description: "initial A molecules", Kind: workload.Int, Default: 150, Min: workload.Bound(0)},
+				{Name: "b0", Description: "initial B molecules", Kind: workload.Int, Default: 0, Min: workload.Bound(0)},
+			},
+		},
+		Dims:      fixed(len(chemTimes), 2),
+		RowLabels: labels("t=0.3", "t=1", "t=2", "t=5"),
+		ColLabels: labels("A", "B"),
+		Factory: func(v workload.Values) (core.Factory, error) {
+			net := chem.Isomerization(v.Float("k1"), v.Float("k2"), v.Int64("a0"), v.Int64("b0"))
+			if err := net.Validate(); err != nil {
+				return nil, err
+			}
+			return func(int) (core.Realization, error) {
+				return func(src *rng.Stream, out []float64) error {
+					return net.Trajectory(src, chemTimes, []int{0, 1}, out)
+				}, nil
+			}, nil
+		},
+	})
+}

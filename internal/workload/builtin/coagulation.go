@@ -1,0 +1,45 @@
+package builtin
+
+import (
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+	"parmonc/internal/smoluchowski"
+	"parmonc/internal/workload"
+)
+
+// coagulationTimes are the fixed observation times of the workload.
+var coagulationTimes = []float64{0.5, 1, 2, 4}
+
+func init() {
+	workload.Register(workload.Definition{
+		Name:        "coagulation",
+		Description: "Smoluchowski constant-kernel cluster counts at 4 times",
+		Schema: workload.Schema{
+			Version: 1,
+			Params: []workload.Param{
+				{Name: "n0", Description: "initial monomer count", Kind: workload.Int, Default: 500, Min: workload.Bound(2)},
+				{Name: "volume", Description: "system volume", Kind: workload.Float, Default: 500, Positive: true},
+				{Name: "k0", Description: "constant kernel rate", Kind: workload.Float, Default: 1, Positive: true},
+			},
+		},
+		Dims:      fixed(len(coagulationTimes), 1),
+		RowLabels: labels("t=0.5", "t=1", "t=2", "t=4"),
+		ColLabels: labels("clusters"),
+		Factory: func(v workload.Values) (core.Factory, error) {
+			sys := smoluchowski.System{
+				N0:     v.Int("n0"),
+				Volume: v.Float("volume"),
+				Kernel: smoluchowski.ConstantKernel(v.Float("k0")),
+				K0:     v.Float("k0"),
+			}
+			if err := sys.Validate(); err != nil {
+				return nil, err
+			}
+			return func(int) (core.Realization, error) {
+				return func(src *rng.Stream, out []float64) error {
+					return sys.ClusterCounts(src, coagulationTimes, out)
+				}, nil
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,50 @@
+package builtin
+
+import (
+	"strconv"
+
+	"parmonc/dist"
+	"parmonc/internal/core"
+	"parmonc/internal/histogram"
+	"parmonc/internal/rng"
+	"parmonc/internal/workload"
+)
+
+func init() {
+	workload.Register(workload.Definition{
+		Name:        "density",
+		Description: "histogram density of Exp(rate) with per-bin error bars",
+		Schema: workload.Schema{
+			Version: 1,
+			Params: []workload.Param{
+				{Name: "bins", Description: "number of equal-width bins", Kind: workload.Int, Default: 15, Min: workload.Bound(1)},
+				{Name: "a", Description: "support interval lower edge", Kind: workload.Float, Default: 0},
+				{Name: "b", Description: "support interval upper edge (> a)", Kind: workload.Float, Default: 3},
+				{Name: "rate", Description: "exponential rate", Kind: workload.Float, Default: 1, Positive: true},
+			},
+		},
+		Dims: func(v workload.Values) (int, int) { return 1, v.Int("bins") },
+		ColLabels: func(v workload.Values) []string {
+			ls := make([]string, v.Int("bins"))
+			for i := range ls {
+				ls[i] = "bin" + strconv.Itoa(i+1)
+			}
+			return ls
+		},
+		Factory: func(v workload.Values) (core.Factory, error) {
+			spec := histogram.Spec{Bins: v.Int("bins"), A: v.Float("a"), B: v.Float("b")}
+			rate := v.Float("rate")
+			r, err := spec.Realization(func(src dist.Source) float64 {
+				return dist.Exponential(src, rate)
+			})
+			if err != nil {
+				return nil, err
+			}
+			return func(int) (core.Realization, error) {
+				return func(src *rng.Stream, out []float64) error {
+					return r(src, out)
+				}, nil
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,41 @@
+package builtin
+
+import (
+	"strconv"
+
+	"parmonc/internal/core"
+	"parmonc/internal/sde"
+	"parmonc/internal/workload"
+)
+
+func init() {
+	workload.Register(workload.Definition{
+		Name:        "diffusion",
+		Description: "the paper's Sec. 4 SDE test (scaled mesh): E y(t_i) on an nout×2 grid",
+		Schema: workload.Schema{
+			Version: 1,
+			Params: []workload.Param{
+				{Name: "h", Description: "Euler mesh size", Kind: workload.Float, Default: 1e-3, Positive: true},
+				{Name: "tend", Description: "integration horizon", Kind: workload.Float, Default: 10, Positive: true},
+				{Name: "nout", Description: "number of output times t_i = i·tend/nout", Kind: workload.Int, Default: 100, Min: workload.Bound(1)},
+			},
+		},
+		Dims: func(v workload.Values) (int, int) { return v.Int("nout"), 2 },
+		RowLabels: func(v workload.Values) []string {
+			ls := make([]string, v.Int("nout"))
+			for i := range ls {
+				ls[i] = "t" + strconv.Itoa(i+1)
+			}
+			return ls
+		},
+		ColLabels: labels("y1", "y2"),
+		Factory: func(v workload.Values) (core.Factory, error) {
+			h, tEnd, nOut := v.Float("h"), v.Float("tend"), v.Int("nout")
+			// The integrator carries per-call state; every worker gets a
+			// fresh one, as every MPI rank runs its own user routine.
+			return func(int) (core.Realization, error) {
+				return sde.PaperRealization(h, tEnd, nOut)
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,48 @@
+package builtin
+
+import (
+	"fmt"
+
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+	"parmonc/internal/workload"
+	"parmonc/internal/wos"
+)
+
+func init() {
+	workload.Register(workload.Definition{
+		Name:        "dirichlet",
+		Description: "walk-on-spheres solution of Δu=0 on a disk, boundary x²−y²",
+		Schema: workload.Schema{
+			Version: 1,
+			Params: []workload.Param{
+				{Name: "radius", Description: "disk radius", Kind: workload.Float, Default: 1, Positive: true},
+				{Name: "x", Description: "evaluation point x", Kind: workload.Float, Default: 0.3},
+				{Name: "y", Description: "evaluation point y", Kind: workload.Float, Default: 0.2},
+				{Name: "eps", Description: "boundary-capture shell thickness", Kind: workload.Float, Default: 1e-4, Positive: true},
+			},
+		},
+		Dims:      fixed(1, 1),
+		ColLabels: labels("u"),
+		Factory: func(v workload.Values) (core.Factory, error) {
+			solver := wos.Solver{
+				Domain:   wos.Disk{Radius: v.Float("radius")},
+				Boundary: func(p [2]float64) float64 { return p[0]*p[0] - p[1]*p[1] },
+				Epsilon:  v.Float("eps"),
+			}
+			if err := solver.Validate(); err != nil {
+				return nil, err
+			}
+			x0 := [2]float64{v.Float("x"), v.Float("y")}
+			if !solver.Domain.Contains(x0) {
+				return nil, fmt.Errorf("workload dirichlet: point (%g, %g) outside the disk of radius %g",
+					x0[0], x0[1], v.Float("radius"))
+			}
+			return func(int) (core.Realization, error) {
+				return func(src *rng.Stream, out []float64) error {
+					return solver.Walk(src, x0, out)
+				}, nil
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,44 @@
+package builtin
+
+import (
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+	"parmonc/internal/turbulence"
+	"parmonc/internal/workload"
+)
+
+// dispersionTimes are the fixed observation times of the workload.
+var dispersionTimes = []float64{0.2, 0.5, 1, 2, 5}
+
+func init() {
+	workload.Register(workload.Definition{
+		Name:        "dispersion",
+		Description: "turbulent dispersion σ_x(t) vs Taylor's law at 5 times",
+		Schema: workload.Schema{
+			Version: 1,
+			Params: []workload.Param{
+				{Name: "sigma_v", Description: "rms velocity σ_v", Kind: workload.Float, Default: 1.5, Positive: true},
+				{Name: "tl", Description: "Lagrangian integral time scale", Kind: workload.Float, Default: 1, Positive: true},
+				{Name: "dt", Description: "integration step (≪ tl for accuracy)", Kind: workload.Float, Default: 0.02, Positive: true},
+			},
+		},
+		Dims:      fixed(len(dispersionTimes), 1),
+		RowLabels: labels("t=0.2", "t=0.5", "t=1", "t=2", "t=5"),
+		ColLabels: labels("x_squared"),
+		Factory: func(v workload.Values) (core.Factory, error) {
+			f := turbulence.Flow{
+				SigmaV: v.Float("sigma_v"),
+				TL:     v.Float("tl"),
+				Dt:     v.Float("dt"),
+			}
+			if err := f.Validate(); err != nil {
+				return nil, err
+			}
+			return func(int) (core.Realization, error) {
+				return func(src *rng.Stream, out []float64) error {
+					return f.Disperse(src, dispersionTimes, out)
+				}, nil
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,46 @@
+package builtin
+
+import (
+	"parmonc/internal/core"
+	"parmonc/internal/dsmc"
+	"parmonc/internal/rng"
+	"parmonc/internal/workload"
+)
+
+// dsmcTimes are the fixed observation times of the workload.
+var dsmcTimes = []float64{0.5, 1, 2, 4, 8}
+
+func init() {
+	workload.Register(workload.Definition{
+		Name:        "dsmc",
+		Description: "Boltzmann/DSMC Maxwell-gas temperature relaxation at 5 times",
+		Schema: workload.Schema{
+			Version: 1,
+			Params: []workload.Param{
+				{Name: "n", Description: "number of model particles", Kind: workload.Int, Default: 200, Min: workload.Bound(2)},
+				{Name: "nu", Description: "per-particle collision frequency", Kind: workload.Float, Default: 1, Positive: true},
+				{Name: "tx", Description: "initial x-component temperature", Kind: workload.Float, Default: 3, Positive: true},
+				{Name: "ty", Description: "initial y/z-component temperature", Kind: workload.Float, Default: 1, Positive: true},
+			},
+		},
+		Dims:      fixed(len(dsmcTimes), dsmc.NMoments),
+		RowLabels: labels("t=0.5", "t=1", "t=2", "t=4", "t=8"),
+		ColLabels: labels("temp_x", "temp_y", "temp_z"),
+		Factory: func(v workload.Values) (core.Factory, error) {
+			g := dsmc.Gas{
+				N:  v.Int("n"),
+				Nu: v.Float("nu"),
+				Tx: v.Float("tx"),
+				Ty: v.Float("ty"),
+			}
+			if err := g.Validate(); err != nil {
+				return nil, err
+			}
+			return func(int) (core.Realization, error) {
+				return func(src *rng.Stream, out []float64) error {
+					return g.Relax(src, dsmcTimes, out)
+				}, nil
+			}, nil
+		},
+	})
+}

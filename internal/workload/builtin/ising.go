@@ -1,0 +1,42 @@
+package builtin
+
+import (
+	"parmonc/internal/core"
+	"parmonc/internal/ising"
+	"parmonc/internal/rng"
+	"parmonc/internal/workload"
+)
+
+func init() {
+	workload.Register(workload.Definition{
+		Name:        "ising",
+		Description: "2-D Ising replica observables on an l×l lattice",
+		Schema: workload.Schema{
+			Version: 1,
+			Params: []workload.Param{
+				{Name: "l", Description: "lattice side", Kind: workload.Int, Default: 16, Min: workload.Bound(2)},
+				{Name: "beta", Description: "inverse temperature β = J/kT", Kind: workload.Float, Default: 0.3, Min: workload.Bound(0)},
+				{Name: "sweeps", Description: "Metropolis sweeps per replica", Kind: workload.Int, Default: 60, Min: workload.Bound(1)},
+				{Name: "warmup", Description: "sweeps discarded before measuring", Kind: workload.Int, Default: 30, Min: workload.Bound(0)},
+			},
+		},
+		Dims:      fixed(1, ising.NObservables),
+		ColLabels: labels("energy_per_site", "abs_magnetization"),
+		Factory: func(v workload.Values) (core.Factory, error) {
+			m := ising.Model{
+				L:      v.Int("l"),
+				Beta:   v.Float("beta"),
+				Sweeps: v.Int("sweeps"),
+				Warmup: v.Int("warmup"),
+			}
+			if err := m.Validate(); err != nil {
+				return nil, err
+			}
+			return func(int) (core.Realization, error) {
+				return func(src *rng.Stream, out []float64) error {
+					return m.Replica(src, out)
+				}, nil
+			}, nil
+		},
+	})
+}

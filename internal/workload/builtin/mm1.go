@@ -1,0 +1,42 @@
+package builtin
+
+import (
+	"parmonc/internal/core"
+	"parmonc/internal/queueing"
+	"parmonc/internal/rng"
+	"parmonc/internal/workload"
+)
+
+func init() {
+	workload.Register(workload.Definition{
+		Name:        "mm1",
+		Description: "M/M/1 queue batch-mean waiting time",
+		Schema: workload.Schema{
+			Version: 1,
+			Params: []workload.Param{
+				{Name: "lambda", Description: "arrival rate (< mu for stability)", Kind: workload.Float, Default: 0.6, Positive: true},
+				{Name: "mu", Description: "service rate", Kind: workload.Float, Default: 1, Positive: true},
+				{Name: "warmup", Description: "customers discarded before measuring", Kind: workload.Int, Default: 2000, Min: workload.Bound(0)},
+				{Name: "batch", Description: "customers averaged per realization", Kind: workload.Int, Default: 2000, Min: workload.Bound(1)},
+			},
+		},
+		Dims:      fixed(1, 1),
+		ColLabels: labels("mean_wait"),
+		Factory: func(v workload.Values) (core.Factory, error) {
+			q := queueing.MM1{
+				Lambda: v.Float("lambda"),
+				Mu:     v.Float("mu"),
+				Warmup: v.Int("warmup"),
+				Batch:  v.Int("batch"),
+			}
+			if err := q.Validate(); err != nil {
+				return nil, err
+			}
+			return func(int) (core.Realization, error) {
+				return func(src *rng.Stream, out []float64) error {
+					return q.BatchMeanWait(src, out)
+				}, nil
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,45 @@
+package builtin
+
+import (
+	"parmonc/internal/core"
+	"parmonc/internal/finance"
+	"parmonc/internal/rng"
+	"parmonc/internal/workload"
+)
+
+func init() {
+	workload.Register(workload.Definition{
+		Name:        "option",
+		Description: "European call/put payoffs under geometric Brownian motion",
+		Schema: workload.Schema{
+			Version: 1,
+			Params: []workload.Param{
+				{Name: "s0", Description: "spot price", Kind: workload.Float, Default: 100, Positive: true},
+				{Name: "strike", Description: "strike K", Kind: workload.Float, Default: 105, Positive: true},
+				{Name: "rate", Description: "risk-free rate r", Kind: workload.Float, Default: 0.05},
+				{Name: "sigma", Description: "volatility σ", Kind: workload.Float, Default: 0.2, Positive: true},
+				{Name: "t", Description: "maturity in years", Kind: workload.Float, Default: 1, Positive: true},
+			},
+		},
+		Dims:      fixed(1, finance.NPayoffs),
+		ColLabels: labels("call", "put"),
+		Factory: func(v workload.Values) (core.Factory, error) {
+			o := finance.Option{
+				S0:     v.Float("s0"),
+				Strike: v.Float("strike"),
+				Rate:   v.Float("rate"),
+				Sigma:  v.Float("sigma"),
+				T:      v.Float("t"),
+			}
+			r, err := o.EuropeanRealization()
+			if err != nil {
+				return nil, err
+			}
+			return func(int) (core.Realization, error) {
+				return func(src *rng.Stream, out []float64) error {
+					return r(src, out)
+				}, nil
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,28 @@
+package builtin
+
+import (
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+	"parmonc/internal/workload"
+)
+
+func init() {
+	workload.Register(workload.Definition{
+		Name:        "pi",
+		Description: "estimate π/4 by rejection in the unit square",
+		Schema:      workload.Schema{Version: 1},
+		Dims:        fixed(1, 1),
+		ColLabels:   labels("inside_quarter_disc"),
+		Factory: func(workload.Values) (core.Factory, error) {
+			return func(int) (core.Realization, error) {
+				return func(src *rng.Stream, out []float64) error {
+					x, y := src.Float64(), src.Float64()
+					if x*x+y*y < 1 {
+						out[0] = 1
+					}
+					return nil
+				}, nil
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,42 @@
+package builtin
+
+import (
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+	"parmonc/internal/transport"
+	"parmonc/internal/workload"
+)
+
+func init() {
+	workload.Register(workload.Definition{
+		Name:        "transport",
+		Description: "1-D slab transmission/reflection/absorption probabilities",
+		Schema: workload.Schema{
+			Version: 1,
+			Params: []workload.Param{
+				{Name: "thickness", Description: "slab width (mean free paths at sigma_t=1)", Kind: workload.Float, Default: 2, Positive: true},
+				{Name: "sigma_t", Description: "total macroscopic cross-section", Kind: workload.Float, Default: 1, Positive: true},
+				{Name: "sigma_s", Description: "scattering cross-section (0 ≤ sigma_s ≤ sigma_t)", Kind: workload.Float, Default: 0.8, Min: workload.Bound(0)},
+				{Name: "mu0", Description: "incident direction cosine, in (0, 1]", Kind: workload.Float, Default: 1, Positive: true, Max: workload.Bound(1)},
+			},
+		},
+		Dims:      fixed(1, transport.NOutcomes),
+		ColLabels: labels("transmitted", "reflected", "absorbed"),
+		Factory: func(v workload.Values) (core.Factory, error) {
+			slab := transport.Slab{
+				Thickness: v.Float("thickness"),
+				SigmaT:    v.Float("sigma_t"),
+				SigmaS:    v.Float("sigma_s"),
+				Mu0:       v.Float("mu0"),
+			}
+			if err := slab.Validate(); err != nil {
+				return nil, err
+			}
+			return func(int) (core.Realization, error) {
+				return func(src *rng.Stream, out []float64) error {
+					return slab.History(src, out)
+				}, nil
+			}, nil
+		},
+	})
+}

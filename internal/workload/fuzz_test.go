@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSet: whatever the input, ParseSet either rejects it or
+// returns a key/value pair that FormatSet renders back to something
+// ParseSet parses to the identical pair — the CLI's -set arguments and
+// the canonical identity string agree on the value forever.
+func FuzzParseSet(f *testing.F) {
+	f.Add("lambda=0.8")
+	f.Add("mu=1")
+	f.Add("x=-1e300")
+	f.Add("k=0x1p-3")
+	f.Add("=5")
+	f.Add("a==b")
+	f.Add("bins=2.5")
+	f.Add("rate=NaN")
+	f.Fuzz(func(t *testing.T, arg string) {
+		k, v, err := ParseSet(arg)
+		if err != nil {
+			return
+		}
+		if !paramName.MatchString(k) {
+			t.Fatalf("accepted invalid key %q", k)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("accepted non-finite value %g", v)
+		}
+		k2, v2, err := ParseSet(FormatSet(k, v))
+		if err != nil {
+			t.Fatalf("FormatSet(%q, %g) = %q does not re-parse: %v", k, v, FormatSet(k, v), err)
+		}
+		if k2 != k || v2 != v {
+			t.Fatalf("round trip changed %q=%g to %q=%g", k, v, k2, v2)
+		}
+	})
+}
+
+// FuzzParseSpec: scenario specs either fail to parse or round-trip
+// through their canonical form bit-for-bit — the parmonc_exp.dat record
+// of a run always reproduces the exact parameterization.
+func FuzzParseSpec(f *testing.F) {
+	f.Add(`{"workload":"mm1","params":{"lambda":0.8,"mu":1.2}}`)
+	f.Add(`{"workload":"pi"}`)
+	f.Add(`{"workload":"density","params":{"bins":15}}`)
+	f.Add(`{"workload":"x","params":{"a":1e-300}}`)
+	f.Add(`{"workload":"bad name"}`)
+	f.Add(`{"workload":"mm1","unknown":1}`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := ParseSpec([]byte(data))
+		if err != nil {
+			return
+		}
+		c := s.Canonical()
+		if strings.ContainsAny(c, " \t\n") {
+			t.Fatalf("canonical form contains whitespace: %q", c)
+		}
+		back, err := ParseSpec([]byte(c))
+		if err != nil {
+			t.Fatalf("canonical form %q does not parse: %v", c, err)
+		}
+		if back.Canonical() != c {
+			t.Fatalf("canonical not a fixed point: %q vs %q", back.Canonical(), c)
+		}
+		if back.Workload != s.Workload || len(back.Params) != len(s.Params) {
+			t.Fatalf("round trip changed the spec: %+v vs %+v", back, s)
+		}
+		for k, v := range s.Params {
+			bv, ok := back.Params[k]
+			if !ok || (bv != v && !(math.IsNaN(bv) && math.IsNaN(v))) {
+				t.Fatalf("param %s: %g != %g", k, bv, v)
+			}
+		}
+	})
+}

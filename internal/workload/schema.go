@@ -1,0 +1,252 @@
+// Package workload makes simulation scenarios first-class: a workload
+// is a named realization routine plus a typed parameter schema, and the
+// package owns workload identity end to end — from the CLI's
+// -set key=value flags and JSON scenario specs, through the registry
+// every built-in scenario registers itself in, to the canonical
+// parameter fingerprint the cluster transport checks at registration.
+//
+// The original PARMONC is a library: the user links an arbitrary
+// realization routine and the RNG/collector machinery does the rest.
+// This package is the Go-shaped version of that contract. A scenario
+// package contributes one Definition (name, description, output
+// dimensions, parameter schema, factory); everything else — CLI flags,
+// report labels, machine-readable listings, cross-transport identity
+// checks — is derived from it, so adding a scenario is one Register
+// call instead of a multi-file edit.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind is the type of a schema parameter.
+type Kind string
+
+const (
+	// Float is an unconstrained real parameter (bounds aside).
+	Float Kind = "float"
+	// Int is an integer-valued parameter; overrides must be integral.
+	Int Kind = "int"
+)
+
+// Param is one typed parameter of a workload schema.
+type Param struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Kind        Kind     `json:"kind"`
+	Default     float64  `json:"default"`
+	Min         *float64 `json:"min,omitempty"` // inclusive lower bound
+	Max         *float64 `json:"max,omitempty"` // inclusive upper bound
+	// Positive requires the value to be strictly greater than zero —
+	// the common "rate/size must be positive" constraint that an
+	// inclusive Min cannot express.
+	Positive bool `json:"positive,omitempty"`
+}
+
+// Bound returns a pointer to v, for authoring Param bounds inline.
+func Bound(v float64) *float64 { return &v }
+
+// Schema is the ordered, versioned parameter schema of a workload.
+// Version participates in the identity fingerprint: bump it whenever a
+// parameter is added, removed, renamed, or its meaning changes, so
+// binaries built before and after the change cannot silently join the
+// same cluster job.
+type Schema struct {
+	Version int     `json:"version"`
+	Params  []Param `json:"params,omitempty"`
+}
+
+// Values holds resolved parameter values by name. Int-kind parameters
+// are stored as integral float64s (the schema rejects anything else).
+type Values map[string]float64
+
+// Float returns the value of a parameter (which must exist — resolved
+// Values always carry every schema parameter).
+func (v Values) Float(name string) float64 { return v[name] }
+
+// Int returns an Int-kind parameter as an int.
+func (v Values) Int(name string) int { return int(v[name]) }
+
+// Int64 returns an Int-kind parameter as an int64.
+func (v Values) Int64(name string) int64 { return int64(v[name]) }
+
+// Clone returns a copy of v.
+func (v Values) Clone() Values {
+	c := make(Values, len(v))
+	for k, x := range v {
+		c[k] = x
+	}
+	return c
+}
+
+// canonical renders the values as "k1=v1,k2=v2" with sorted keys and
+// shortest-round-trip float formatting — the deterministic fragment of
+// the identity fingerprint.
+func (v Values) canonical() string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(v[k], 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// paramName restricts schema parameter names (and therefore -set keys)
+// to a shape that is unambiguous in canonical strings, JSON, and shell
+// command lines.
+var paramName = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// validate checks the schema's own invariants (well-formed names, kinds
+// and defaults); Register calls it so a broken schema fails at
+// registration, not at first use.
+func (s Schema) validate() error {
+	if s.Version < 1 {
+		return fmt.Errorf("workload: schema version %d must be >= 1", s.Version)
+	}
+	seen := map[string]bool{}
+	for _, p := range s.Params {
+		if !paramName.MatchString(p.Name) {
+			return fmt.Errorf("workload: invalid parameter name %q", p.Name)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("workload: duplicate parameter %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Kind != Float && p.Kind != Int {
+			return fmt.Errorf("workload: parameter %q has unknown kind %q", p.Name, p.Kind)
+		}
+		if err := s.checkValue(p, p.Default); err != nil {
+			return fmt.Errorf("workload: default %w", err)
+		}
+	}
+	return nil
+}
+
+// param looks a parameter up by name.
+func (s Schema) param(name string) (Param, bool) {
+	for _, p := range s.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// checkValue validates one value against its parameter's kind and
+// bounds.
+func (s Schema) checkValue(p Param, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("value of %q must be finite, got %g", p.Name, v)
+	}
+	if p.Kind == Int && v != math.Trunc(v) {
+		return fmt.Errorf("value of %q must be an integer, got %g", p.Name, v)
+	}
+	if p.Positive && !(v > 0) {
+		return fmt.Errorf("value of %q must be > 0, got %g", p.Name, v)
+	}
+	if p.Min != nil && v < *p.Min {
+		return fmt.Errorf("value of %q must be >= %g, got %g", p.Name, *p.Min, v)
+	}
+	if p.Max != nil && v > *p.Max {
+		return fmt.Errorf("value of %q must be <= %g, got %g", p.Name, *p.Max, v)
+	}
+	return nil
+}
+
+// Defaults returns the schema's default values.
+func (s Schema) Defaults() Values {
+	v := make(Values, len(s.Params))
+	for _, p := range s.Params {
+		v[p.Name] = p.Default
+	}
+	return v
+}
+
+// Resolve validates the overrides against the schema and returns the
+// complete value set: defaults with the overrides applied. Unknown
+// keys, non-integral Int values and out-of-bounds values are rejected
+// with errors naming the offending parameter.
+func (s Schema) Resolve(overrides Values) (Values, error) {
+	v := s.Defaults()
+	keys := make([]string, 0, len(overrides))
+	for k := range overrides {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic first error
+	for _, k := range keys {
+		p, ok := s.param(k)
+		if !ok {
+			return nil, fmt.Errorf("workload: unknown parameter %q (have %s)", k, s.names())
+		}
+		if err := s.checkValue(p, overrides[k]); err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		v[k] = overrides[k]
+	}
+	return v, nil
+}
+
+// names lists the schema's parameter names for error messages.
+func (s Schema) names() string {
+	if len(s.Params) == 0 {
+		return "no parameters"
+	}
+	names := make([]string, len(s.Params))
+	for i, p := range s.Params {
+		names[i] = p.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// ParseSet parses one -set argument of the form "key=value".
+func ParseSet(arg string) (key string, val float64, err error) {
+	eq := strings.IndexByte(arg, '=')
+	if eq < 0 {
+		return "", 0, fmt.Errorf("workload: -set %q is not of the form key=value", arg)
+	}
+	key = arg[:eq]
+	if !paramName.MatchString(key) {
+		return "", 0, fmt.Errorf("workload: -set key %q is not a valid parameter name", key)
+	}
+	val, perr := strconv.ParseFloat(arg[eq+1:], 64)
+	if perr != nil {
+		return "", 0, fmt.Errorf("workload: -set %s: bad value %q", key, arg[eq+1:])
+	}
+	if math.IsNaN(val) || math.IsInf(val, 0) {
+		return "", 0, fmt.Errorf("workload: -set %s: value must be finite, got %g", key, val)
+	}
+	return key, val, nil
+}
+
+// ParseSets parses a list of -set arguments; a later assignment to the
+// same key wins, as with repeated command-line flags.
+func ParseSets(args []string) (Values, error) {
+	v := Values{}
+	for _, arg := range args {
+		k, x, err := ParseSet(arg)
+		if err != nil {
+			return nil, err
+		}
+		v[k] = x
+	}
+	return v, nil
+}
+
+// FormatSet renders one assignment in -set form; ParseSet inverts it.
+func FormatSet(key string, val float64) string {
+	return key + "=" + strconv.FormatFloat(val, 'g', -1, 64)
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Spec is a scenario specification: a workload name plus parameter
+// overrides. It is the JSON payload of the CLI's -scenario flag, and
+// its canonical form is stamped into parmonc_exp.dat alongside every
+// run, so a stored experiment can be re-run exactly with
+//
+//	parmonc run -scenario <(grep ... parmonc_exp.dat)
+//
+// Specs round-trip: Canonical output parses back to an equal Spec.
+type Spec struct {
+	Workload string `json:"workload"`
+	Params   Values `json:"params,omitempty"`
+}
+
+// ParseSpec decodes a scenario spec, rejecting unknown fields so a
+// typo'd key fails loudly instead of silently running the defaults.
+func ParseSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("workload: invalid scenario spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	// Trailing garbage after the JSON document is a malformed file.
+	if dec.More() {
+		return Spec{}, fmt.Errorf("workload: invalid scenario spec: trailing data after JSON document")
+	}
+	return s, nil
+}
+
+// LoadSpec reads and parses a scenario spec file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("workload: reading scenario spec: %w", err)
+	}
+	s, err := ParseSpec(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("workload: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Validate checks the spec's shape (the workload need not be
+// registered — a spec may describe a user-linked scenario).
+func (s Spec) Validate() error {
+	if s.Workload == "" {
+		return fmt.Errorf("workload: scenario spec has no workload name")
+	}
+	if !paramName.MatchString(s.Workload) {
+		return fmt.Errorf("workload: scenario spec has invalid workload name %q", s.Workload)
+	}
+	for k, v := range s.Params {
+		if !paramName.MatchString(k) {
+			return fmt.Errorf("workload: scenario spec has invalid parameter name %q", k)
+		}
+		if _, _, err := ParseSet(FormatSet(k, v)); err != nil {
+			return fmt.Errorf("workload: scenario spec parameter %s: non-finite value %g", k, v)
+		}
+	}
+	return nil
+}
+
+// Canonical renders the spec as compact JSON with sorted parameter
+// keys — a single token with no spaces, safe to embed in the
+// space-separated parmonc_exp.dat line format. ParseSpec inverts it.
+func (s Spec) Canonical() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Values are finite float64s and the struct has no unmarshalable
+		// fields; Marshal cannot fail for a validated spec.
+		panic(fmt.Errorf("workload: marshaling scenario spec: %w", err))
+	}
+	return string(b)
+}
+
+// Resolve looks the spec's workload up in the registry and resolves its
+// parameters against the schema.
+func (s Spec) Resolve() (Definition, Values, error) {
+	def, err := Lookup(s.Workload)
+	if err != nil {
+		return Definition{}, nil, err
+	}
+	v, err := def.Schema.Resolve(s.Params)
+	if err != nil {
+		return Definition{}, nil, fmt.Errorf("workload %s: %w", s.Workload, err)
+	}
+	return def, v, nil
+}

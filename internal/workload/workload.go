@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"parmonc/internal/core"
+)
+
+// Definition is everything the library needs to serve a scenario: its
+// identity, its output shape, its typed parameters, and the factory
+// producing per-worker realization routines. Scenario packages register
+// one Definition each (see internal/workload/builtin); the CLI, the
+// cluster protocol, the conformance suite and the generated docs all
+// run off the registry.
+type Definition struct {
+	// Name is the registry key (same character set as parameter names).
+	Name string
+	// Description is the one-line human summary shown by `parmonc list`.
+	Description string
+	// Schema is the versioned parameter schema.
+	Schema Schema
+	// Dims returns the realization matrix dimensions for resolved
+	// values — dimensions may depend on parameters (bin or output-time
+	// counts).
+	Dims func(v Values) (nrow, ncol int)
+	// Factory builds the per-worker realization factory for resolved
+	// values.
+	Factory func(v Values) (core.Factory, error)
+	// RowLabels and ColLabels, when non-nil, name the realization
+	// matrix axes for reports and machine-readable listings.
+	RowLabels func(v Values) []string
+	ColLabels func(v Values) []string
+}
+
+// validate checks the definition invariants at registration time.
+func (d Definition) validate() error {
+	if !paramName.MatchString(d.Name) {
+		return fmt.Errorf("workload: invalid name %q", d.Name)
+	}
+	if d.Description == "" {
+		return fmt.Errorf("workload %q: empty description", d.Name)
+	}
+	if d.Dims == nil {
+		return fmt.Errorf("workload %q: nil Dims", d.Name)
+	}
+	if d.Factory == nil {
+		return fmt.Errorf("workload %q: nil Factory", d.Name)
+	}
+	if err := d.Schema.validate(); err != nil {
+		return fmt.Errorf("workload %q: %w", d.Name, err)
+	}
+	nrow, ncol := d.Dims(d.Schema.Defaults())
+	if nrow <= 0 || ncol <= 0 {
+		return fmt.Errorf("workload %q: default dimensions %d×%d invalid", d.Name, nrow, ncol)
+	}
+	return nil
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Definition{}
+)
+
+// Register adds a definition to the registry. It panics on an invalid
+// or duplicate definition: registration happens in package init
+// functions, where a panic is a build-time bug, not a runtime
+// condition.
+func Register(d Definition) {
+	if err := d.validate(); err != nil {
+		panic(err)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[d.Name]; dup {
+		panic(fmt.Errorf("workload: duplicate registration of %q", d.Name))
+	}
+	registry[d.Name] = d
+}
+
+// Lookup resolves a workload name; the error of an unknown name lists
+// what is available.
+func Lookup(name string) (Definition, error) {
+	regMu.RLock()
+	d, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return Definition{}, fmt.Errorf("unknown workload %q; available: [%s]",
+			name, strings.Join(Names(), " "))
+	}
+	return d, nil
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered definition, sorted by name.
+func All() []Definition {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	defs := make([]Definition, 0, len(registry))
+	for _, d := range registry {
+		defs = append(defs, d)
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].Name < defs[j].Name })
+	return defs
+}

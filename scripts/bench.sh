@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Run the tracked microbenchmarks (collector push throughput and the
-# RNG kernels) and write a machine-readable snapshot BENCH_<date>.json
+# Run the tracked microbenchmarks (collector push throughput, the RNG
+# kernels, and the per-workload realization sweep
+# BenchmarkRealization/<name>) and write a machine-readable snapshot BENCH_<date>.json
 # at the repo root. CI runs this on every push and uploads the snapshot
 # as an artifact; the checked-in baseline is the reference point for
 # the "collector push must not regress" budget.
@@ -8,13 +9,13 @@
 # Environment:
 #   BENCHTIME      go test -benchtime value (default 1s)
 #   BENCH_OUT      output path (default BENCH_<YYYY-MM-DD>.json)
-#   BENCH_PATTERN  benchmark regex (default collector push + RNG)
+#   BENCH_PATTERN  benchmark regex (default collector push + RNG + realizations)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
-PATTERN="${BENCH_PATTERN:-^(BenchmarkCollectorPush|BenchmarkRNG)$}"
+PATTERN="${BENCH_PATTERN:-^(BenchmarkCollectorPush|BenchmarkRNG|BenchmarkRealization)$}"
 DATE="$(date +%F)"
 OUT="${BENCH_OUT:-BENCH_${DATE}.json}"
 
