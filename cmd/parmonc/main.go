@@ -297,6 +297,7 @@ type jsonStats struct {
 	Pushes            int64   `json:"pushes"`
 	Merges            int64   `json:"merges"`
 	RejectedSnapshots int64   `json:"rejected_snapshots"`
+	PushesInvalid     int64   `json:"pushes_invalid"`
 	Saves             int64   `json:"saves"`
 	SaveLatencySec    float64 `json:"save_latency_seconds"`
 	WorkerSnapshots   int64   `json:"worker_snapshots"`
@@ -330,6 +331,7 @@ func printJSON(result core.Result, w runWorkload, stats bool) error {
 			Pushes:            m.Pushes,
 			Merges:            m.Merges,
 			RejectedSnapshots: m.RejectedSnapshots,
+			PushesInvalid:     m.PushesInvalid,
 			Saves:             m.Saves,
 			SaveLatencySec:    m.SaveLatency.Seconds(),
 			WorkerSnapshots:   m.WorkerSnapshots,

@@ -29,6 +29,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parmonc/internal/collect"
@@ -219,7 +220,7 @@ type Coordinator struct {
 	byClient  map[string]int // ClientID → assigned index (idempotent Register)
 	epoch     map[int]uint64 // registration generation per worker index
 	lm        *leaseManager
-	stopped   bool
+	stopped   atomic.Bool   // read lock-free on the push/heartbeat hot path
 	completed chan struct{} // closed when target reached and all workers done
 
 	heartbeat  time.Duration // worker liveness interval (0: supervision off)
@@ -549,7 +550,7 @@ func (s *service) Register(args RegisterArgs, reply *RegisterReply) error {
 		if w, ok := c.byClient[args.ClientID]; ok {
 			reply.Worker = w
 			reply.Spec = c.spec
-			reply.Stop = c.stopped || c.eng.TargetReached()
+			reply.Stop = c.stopped.Load() || c.eng.TargetReached()
 			if reply.Stop {
 				// The worker will exit on Stop without calling Done;
 				// release the index its first (reply-lost) Register
@@ -579,7 +580,7 @@ func (s *service) Register(args RegisterArgs, reply *RegisterReply) error {
 			return nil
 		}
 	}
-	if c.stopped || c.eng.TargetReached() {
+	if c.stopped.Load() || c.eng.TargetReached() {
 		reply.Stop = true
 		reply.Spec = c.spec
 		return nil
@@ -610,7 +611,7 @@ func (s *service) Acquire(args AcquireArgs, reply *AcquireReply) error {
 	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.stopped || c.eng.TargetReached() {
+	if c.stopped.Load() || c.eng.TargetReached() {
 		reply.Stop = true
 		return nil
 	}
@@ -653,9 +654,7 @@ func (s *service) Heartbeat(args HeartbeatArgs, reply *HeartbeatReply) error {
 		}
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	reply.Stop = c.stopped || c.eng.TargetReached()
+	reply.Stop = c.stopped.Load() || c.eng.TargetReached()
 	return nil
 }
 
@@ -683,9 +682,10 @@ func (s *service) Push(args PushArgs, reply *PushReply) error {
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	reply.Stop = c.stopped || c.eng.TargetReached()
+	// The stop signal needs no coordinator lock: a push never touches
+	// lease or assignment state, so the engine's sharded merge is the
+	// only synchronization on this path.
+	reply.Stop = c.stopped.Load() || c.eng.TargetReached()
 	return nil
 }
 
@@ -721,7 +721,7 @@ func (s *service) Done(args DoneArgs, reply *DoneReply) error {
 }
 
 func (c *Coordinator) maybeCompleteLocked() {
-	if c.eng.Active() == 0 && (c.stopped || c.eng.TargetReached()) {
+	if c.eng.Active() == 0 && (c.stopped.Load() || c.eng.TargetReached()) {
 		select {
 		case <-c.completed:
 		default:
@@ -733,9 +733,9 @@ func (c *Coordinator) maybeCompleteLocked() {
 // Stop tells all workers (at their next push) to stop, even if the
 // sample target has not been reached — the job-kill path.
 func (c *Coordinator) Stop() {
+	c.stopped.Store(true)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.stopped = true
 	c.maybeCompleteLocked()
 }
 
@@ -780,9 +780,9 @@ type Status struct {
 // Status reports the coordinator's current state and metrics.
 func (c *Coordinator) Status() Status {
 	c.mu.Lock()
-	stopped := c.stopped
 	pending := c.lm.pendingCount()
 	c.mu.Unlock()
+	stopped := c.stopped.Load()
 	return Status{
 		N:               c.eng.N(),
 		ActiveWorkers:   c.eng.Active(),

@@ -23,6 +23,23 @@
 //     callbacks,
 //   - built-in Metrics (atomic counters + optional event hook).
 //
+// # Concurrency
+//
+// The collector is sharded by worker: each worker index owns a shard
+// holding its staging accumulator, liveness timestamp, sequence
+// high-water mark, registration epoch and lease ledger, all guarded by
+// a per-shard mutex. A push therefore only contends with other traffic
+// from the same worker — the paper's Fig. 2 scalability claim requires
+// the 0-th processor to stay off the workers' critical path, and a
+// single global lock put it squarely on it. The global report is not
+// maintained incrementally: whenever one is needed (save, finalize,
+// status) the shards are folded into a fresh total in ascending
+// worker-index order, base moments first — a fixed reduction tree (see
+// internal/stat/shard.go), so the result is a deterministic function of
+// what each worker pushed and reports stay reproducible no matter how
+// pushes interleaved in real time. Saves serialize on their own lock
+// and fold a copy-on-save total, so a slow fsync never stalls pushes.
+//
 // Transports stay thin: the goroutine driver (internal/core), the
 // net/rpc coordinator (internal/cluster) and the discrete-event cluster
 // simulator (internal/clustersim) all reduce to Register / Push /
@@ -36,6 +53,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parmonc/internal/obs"
@@ -85,14 +103,17 @@ type Config struct {
 	StableMoments bool
 
 	// OnSave, if non-nil, is invoked after every save with a snapshot
-	// of the running statistics. It runs with the collector lock held:
-	// it must not block for long and must not call back into the
-	// Collector.
+	// of the running statistics. It runs with the collector's save lock
+	// held (pushes keep flowing, further saves wait): it must not block
+	// for long and must not call back into the Collector.
 	OnSave func(Progress)
 
 	// Hook, if non-nil, receives one Event per collector occurrence
 	// (push, reject, merge, save, prune) in addition to the atomic
-	// counters. Same locking caveats as OnSave.
+	// counters. Events from one worker's pushes arrive in order, but
+	// hooks fire concurrently across workers (under the originating
+	// worker's shard lock), so a Hook must be safe for concurrent use,
+	// keep it fast, and must not call back into the Collector.
 	Hook Hook
 
 	// Registry, if non-nil, is the obs registry the collector's
@@ -121,33 +142,62 @@ type Collector struct {
 	meta store.RunMeta
 	cfg  Config
 	now  func() time.Time
+	mono func() time.Duration
 
-	mu         sync.Mutex
-	total      stat.Moments
-	baseN      int64
-	perWorker  map[int]*stat.Accumulator // nil unless SaveWorkerSnapshots
-	active     map[int]bool
-	lastSeen   map[int]time.Duration // monotonic liveness offsets (c.mono readings)
-	lastSeq    map[int]uint64        // highest applied push sequence per worker+epoch
-	epochs     map[int]uint64        // current registration epoch per worker (0: unfenced)
-	leases     map[uint64]*leaseState
-	registered int // workers ever registered (stamped into saved metadata)
-	lastSave   time.Time
-	start      time.Time
-	mono       func() time.Duration
-	saveErr    error // first save failure, sticky
+	// mu guards the shards and leaseIdx maps themselves; the state
+	// inside a shard is guarded by that shard's own mutex. Lock order
+	// where both are needed: mu before shard.mu.
+	mu       sync.RWMutex
+	shards   map[int]*shard
+	leaseIdx map[uint64]int // lease ID → holder's worker index; grows for the collector's lifetime
+
+	baseSnap stat.Snapshot // the run's base moments (resume or empty); immutable after New
+	baseN    int64
+	start    time.Time
+
+	samples     atomic.Int64 // new samples merged this run (excludes the resumed base)
+	activeCount atomic.Int64 // currently registered workers
+	registered  atomic.Int64 // workers ever registered (stamped into saved metadata)
+
+	// saveMu serializes averaging + save cycles (and the sticky first
+	// save error) without blocking pushes: a save folds the shards into
+	// a copy and does its I/O holding only saveMu. lastSave is the
+	// UnixNano of the last save attempt, read by the push hot path to
+	// decide whether a periodic save is due.
+	saveMu   sync.Mutex
+	saveErr  error // first save failure, sticky
+	lastSave atomic.Int64
 
 	metrics *Metrics
 }
 
+// shard is one worker's slice of the collector: everything a push from
+// that worker touches, guarded by one mutex so pushes from different
+// workers never contend. The staging accumulator is cumulative for the
+// collector's lifetime — a pruned worker's already-merged subtotals
+// stay in the totals (they came from its own disjoint substream), so a
+// shard is deactivated on prune/deregister, never discarded.
+type shard struct {
+	mu       sync.Mutex
+	worker   int
+	active   bool
+	lastSeen time.Duration           // monotonic liveness offset (Collector.mono reading)
+	lastSeq  uint64                  // highest applied push sequence for the current epoch
+	epoch    uint64                  // current registration epoch (0: unfenced)
+	raw      *stat.Accumulator       // staging moments (raw-sum mode)
+	stable   *stat.StableAccumulator // staging moments (StableMoments mode)
+	wacc     *stat.Accumulator       // cumulative per-worker snapshot (SaveWorkerSnapshots)
+	leases   map[uint64]*leaseState  // leases granted to this worker, by ID
+}
+
 // leaseState is the collector-side ledger entry for one granted lease:
-// who holds it, under which epoch, and how far the merged, acked prefix
+// under which epoch it was granted and how far the merged, acked prefix
 // extends. done only ever grows, and only via pushes that passed the
-// epoch and holder fences — so Remainder(done) is exactly the work a
-// reissue must cover.
+// epoch fences — so Remainder(done) is exactly the work a reissue must
+// cover. The holder is implicit: lease state lives in the holder's
+// shard, and the global leaseIdx maps lease IDs to holders.
 type leaseState struct {
 	lease     Lease
-	holder    int
 	epoch     uint64
 	done      int64
 	revoked   bool
@@ -184,15 +234,12 @@ func New(dir *store.Dir, meta store.RunMeta, cfg Config) (*Collector, error) {
 		meta:     meta,
 		cfg:      cfg,
 		now:      now,
-		active:   map[int]bool{},
-		lastSeen: map[int]time.Duration{},
-		lastSeq:  map[int]uint64{},
-		epochs:   map[int]uint64{},
-		leases:   map[uint64]*leaseState{},
+		shards:   map[int]*shard{},
+		leaseIdx: map[uint64]int{},
 		metrics:  newMetrics(reg),
 	}
 	c.start = now()
-	c.lastSave = c.start
+	c.lastSave.Store(c.start.UnixNano())
 	switch {
 	case cfg.Mono != nil:
 		c.mono = cfg.Mono
@@ -202,9 +249,6 @@ func New(dir *store.Dir, meta store.RunMeta, cfg Config) (*Collector, error) {
 	default:
 		base := time.Now()
 		c.mono = func() time.Duration { return time.Since(base) }
-	}
-	if cfg.SaveWorkerSnapshots {
-		c.perWorker = map[int]*stat.Accumulator{}
 	}
 
 	base := stat.New(meta.Nrow, meta.Ncol)
@@ -237,21 +281,12 @@ func New(dir *store.Dir, meta store.RunMeta, cfg Config) (*Collector, error) {
 			return nil, err
 		}
 	}
+	c.baseSnap = base.Snapshot()
 	c.baseN = base.N()
 	c.metrics.resumedSamples.Set(float64(c.baseN))
 
-	if cfg.StableMoments {
-		sc := stat.NewStable(meta.Nrow, meta.Ncol)
-		if err := sc.Merge(base.Snapshot()); err != nil {
-			return nil, err
-		}
-		c.total = sc
-	} else {
-		c.total = base
-	}
-
 	if dir != nil {
-		if err := dir.SaveBaseCheckpoint(base.Snapshot(), meta); err != nil {
+		if err := dir.SaveBaseCheckpoint(c.baseSnap, meta); err != nil {
 			return nil, err
 		}
 		if err := dir.AppendExperiment(meta, cfg.Resume); err != nil {
@@ -261,24 +296,73 @@ func New(dir *store.Dir, meta store.RunMeta, cfg Config) (*Collector, error) {
 	return c, nil
 }
 
+// shardFor returns worker w's shard, or nil if w was never registered.
+func (c *Collector) shardFor(w int) *shard {
+	c.mu.RLock()
+	sh := c.shards[w]
+	c.mu.RUnlock()
+	return sh
+}
+
+// shardOrCreate returns worker w's shard, creating it on first
+// registration.
+func (c *Collector) shardOrCreate(w int) *shard {
+	if sh := c.shardFor(w); sh != nil {
+		return sh
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sh := c.shards[w]; sh != nil {
+		return sh
+	}
+	sh := &shard{worker: w, leases: map[uint64]*leaseState{}}
+	if c.cfg.StableMoments {
+		sh.stable = stat.NewStable(c.meta.Nrow, c.meta.Ncol)
+	} else {
+		sh.raw = stat.New(c.meta.Nrow, c.meta.Ncol)
+	}
+	if c.cfg.SaveWorkerSnapshots {
+		sh.wacc = stat.New(c.meta.Nrow, c.meta.Ncol)
+	}
+	c.shards[w] = sh
+	return sh
+}
+
+// shardList snapshots the shard set in ascending worker order — the
+// deterministic iteration order for folds, pruning and liveness scans.
+func (c *Collector) shardList() []*shard {
+	c.mu.RLock()
+	out := make([]*shard, 0, len(c.shards))
+	for _, sh := range c.shards {
+		out = append(out, sh)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].worker < out[j].worker })
+	return out
+}
+
 // Register adds worker w to the active set. Registering an already
 // active worker only refreshes its liveness timestamp. Workers
 // registered this way are unfenced (epoch 0): epoch checks do not apply
 // to them. Transports that prune and re-admit workers should use
 // RegisterEpoch instead.
 func (c *Collector) Register(w int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.registerLocked(w)
+	sh := c.shardOrCreate(w)
+	sh.mu.Lock()
+	c.registerShard(sh)
+	sh.mu.Unlock()
 }
 
-func (c *Collector) registerLocked(w int) {
-	if !c.active[w] {
-		c.active[w] = true
-		c.registered++
+// registerShard activates sh (idempotently) and refreshes its liveness.
+// Called with sh.mu held.
+func (c *Collector) registerShard(sh *shard) {
+	if !sh.active {
+		sh.active = true
+		c.activeCount.Add(1)
+		c.registered.Add(1)
 		c.metrics.registered.Add(1)
 	}
-	c.lastSeen[w] = c.mono()
+	sh.lastSeen = c.mono()
 }
 
 // RegisterEpoch admits worker w under registration epoch epoch (epochs
@@ -288,42 +372,55 @@ func (c *Collector) registerLocked(w int) {
 // keeps the old session's stale retries out; that closes the dedup hole
 // a bare sequence reset would open.
 func (c *Collector) RegisterEpoch(w int, epoch uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.registerLocked(w)
-	if c.epochs[w] != epoch {
-		c.epochs[w] = epoch
-		delete(c.lastSeq, w)
+	sh := c.shardOrCreate(w)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c.registerShard(sh)
+	if sh.epoch != epoch {
+		sh.epoch = epoch
+		sh.lastSeq = 0
 	}
 }
 
 // Epoch returns worker w's current registration epoch (0 if unfenced).
 func (c *Collector) Epoch(w int) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.epochs[w]
+	sh := c.shardFor(w)
+	if sh == nil {
+		return 0
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.epoch
 }
 
 // Deregister removes worker w from the active set (the worker detached
 // voluntarily). It errors for a worker that is not active.
 func (c *Collector) Deregister(w int) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.active[w] {
+	sh := c.shardFor(w)
+	if sh == nil {
 		return fmt.Errorf("collect: deregister of unknown worker %d", w)
 	}
-	delete(c.active, w)
-	delete(c.lastSeen, w)
-	delete(c.lastSeq, w)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.active {
+		return fmt.Errorf("collect: deregister of unknown worker %d", w)
+	}
+	sh.active = false
+	sh.lastSeq = 0
+	c.activeCount.Add(-1)
 	return nil
 }
 
 // LastSeq returns the highest push sequence number applied for worker
 // w (0 if the worker has only sent unsequenced pushes, or none).
 func (c *Collector) LastSeq(w int) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lastSeq[w]
+	sh := c.shardFor(w)
+	if sh == nil {
+		return 0
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.lastSeq
 }
 
 // NoteTransport folds transport-level resilience counters reported by a
@@ -341,16 +438,18 @@ func (c *Collector) NoteTransport(retries, reconnects int64) {
 
 // IsActive reports whether worker w is currently registered.
 func (c *Collector) IsActive(w int) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.active[w]
+	sh := c.shardFor(w)
+	if sh == nil {
+		return false
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.active
 }
 
 // Active returns the number of currently registered workers.
 func (c *Collector) Active() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.active)
+	return int(c.activeCount.Load())
 }
 
 // PruneStale drops workers not heard from for longer than timeout and
@@ -361,46 +460,46 @@ func (c *Collector) Active() int {
 // held are revoked but their remainders are dropped — transports that
 // reissue lost work use RevokeWorker instead.
 func (c *Collector) PruneStale(timeout time.Duration) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	age := c.mono()
 	pruned := 0
-	for w, seen := range c.lastSeen {
-		if c.active[w] && age-seen > timeout {
-			c.pruneLocked(w)
+	for _, sh := range c.shardList() {
+		sh.mu.Lock()
+		if sh.active && age-sh.lastSeen > timeout {
+			c.pruneShard(sh)
 			pruned++
 		}
+		sh.mu.Unlock()
 	}
 	return pruned
 }
 
-// pruneLocked removes w from the active set, revokes its leases, and
-// emits the prune event. The worker's epoch survives so a comeback can
-// be detected (and fenced) by RegisterEpoch with a bumped epoch.
-func (c *Collector) pruneLocked(w int) {
-	delete(c.active, w)
-	delete(c.lastSeen, w)
-	delete(c.lastSeq, w)
-	for _, ls := range c.leases {
-		if ls.holder == w && !ls.completed {
+// pruneShard deactivates sh, revokes its leases, and emits the prune
+// event. The shard's epoch survives so a comeback can be detected (and
+// fenced) by RegisterEpoch with a bumped epoch. Called with sh.mu held.
+func (c *Collector) pruneShard(sh *shard) {
+	sh.active = false
+	sh.lastSeq = 0
+	c.activeCount.Add(-1)
+	for _, ls := range sh.leases {
+		if !ls.completed {
 			ls.revoked = true
 		}
 	}
 	c.metrics.pruned.Add(1)
-	c.event(Event{Kind: EventPrune, Worker: w})
+	c.event(Event{Kind: EventPrune, Worker: sh.worker})
 }
 
 // Overdue returns the active workers whose last sign of life (register,
 // push, or Touch) is older than age, measured on the monotonic clock.
 func (c *Collector) Overdue(age time.Duration) []int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	now := c.mono()
 	var out []int
-	for w, seen := range c.lastSeen {
-		if c.active[w] && now-seen > age {
-			out = append(out, w)
+	for _, sh := range c.shardList() {
+		sh.mu.Lock()
+		if sh.active && now-sh.lastSeen > age {
+			out = append(out, sh.worker)
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -410,15 +509,18 @@ func (c *Collector) Overdue(age time.Duration) []int {
 // stale epoch is fenced (counted, ErrFenced) — the zombie must
 // re-register before it is trusted again.
 func (c *Collector) Touch(w int, epoch uint64) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.active[w] || (epoch != 0 && epoch != c.epochs[w]) {
-		c.metrics.staleEpoch.Add(1)
-		c.event(Event{Kind: EventStale, Worker: w})
-		return fmt.Errorf("collect: heartbeat from worker %d epoch %d: %w", w, epoch, ErrFenced)
+	sh := c.shardFor(w)
+	if sh != nil {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if sh.active && (epoch == 0 || epoch == sh.epoch) {
+			sh.lastSeen = c.mono()
+			return nil
+		}
 	}
-	c.lastSeen[w] = c.mono()
-	return nil
+	c.metrics.staleEpoch.Add(1)
+	c.event(Event{Kind: EventStale, Worker: w})
+	return fmt.Errorf("collect: heartbeat from worker %d epoch %d: %w", w, epoch, ErrFenced)
 }
 
 // GrantLease records that worker w (under its current epoch) holds l.
@@ -427,19 +529,26 @@ func (c *Collector) Touch(w int, epoch uint64) error {
 func (c *Collector) GrantLease(w int, l Lease) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.active[w] {
+	sh := c.shards[w]
+	if sh == nil {
+		return fmt.Errorf("collect: lease grant to unknown worker %d", w)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.active {
 		return fmt.Errorf("collect: lease grant to unknown worker %d", w)
 	}
 	if l.ID == 0 {
 		return fmt.Errorf("collect: lease grant without an ID")
 	}
-	if _, dup := c.leases[l.ID]; dup {
+	if _, dup := c.leaseIdx[l.ID]; dup {
 		return fmt.Errorf("collect: duplicate lease ID %d", l.ID)
 	}
 	if l.Count <= 0 {
 		return fmt.Errorf("collect: lease %d has no realizations", l.ID)
 	}
-	c.leases[l.ID] = &leaseState{lease: l, holder: w, epoch: c.epochs[w]}
+	sh.leases[l.ID] = &leaseState{lease: l, epoch: sh.epoch}
+	c.leaseIdx[l.ID] = w
 	return nil
 }
 
@@ -450,13 +559,17 @@ func (c *Collector) GrantLease(w int, l Lease) error {
 // merged prefix of an incomplete lease is excluded (it is already in
 // the totals and must not be recomputed).
 func (c *Collector) RevokeWorker(w int) []Lease {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.active[w] {
+	sh := c.shardFor(w)
+	if sh == nil {
 		return nil
 	}
-	rem := c.remaindersLocked(w)
-	c.pruneLocked(w)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.active {
+		return nil
+	}
+	rem := remainders(sh)
+	c.pruneShard(sh)
 	return rem
 }
 
@@ -468,14 +581,18 @@ func (c *Collector) RevokeWorker(w int) []Lease {
 // flight — requeue its remainder and the worker gets the same window
 // back under a fresh ID instead of leaking the original grant forever.
 func (c *Collector) ReclaimLeases(w int) []Lease {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.active[w] {
+	sh := c.shardFor(w)
+	if sh == nil {
 		return nil
 	}
-	rem := c.remaindersLocked(w)
-	for _, ls := range c.leases {
-		if ls.holder == w && !ls.completed {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.active {
+		return nil
+	}
+	rem := remainders(sh)
+	for _, ls := range sh.leases {
+		if !ls.completed {
 			ls.revoked = true
 		}
 	}
@@ -487,29 +604,33 @@ func (c *Collector) ReclaimLeases(w int) []Lease {
 // is deregistered without counting as pruned, and the remainders of any
 // leases it abandoned mid-window are returned for reissue.
 func (c *Collector) ReleaseWorker(w int) ([]Lease, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.active[w] {
+	sh := c.shardFor(w)
+	if sh == nil {
 		return nil, fmt.Errorf("collect: deregister of unknown worker %d", w)
 	}
-	rem := c.remaindersLocked(w)
-	delete(c.active, w)
-	delete(c.lastSeen, w)
-	delete(c.lastSeq, w)
-	for _, ls := range c.leases {
-		if ls.holder == w && !ls.completed {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.active {
+		return nil, fmt.Errorf("collect: deregister of unknown worker %d", w)
+	}
+	rem := remainders(sh)
+	sh.active = false
+	sh.lastSeq = 0
+	c.activeCount.Add(-1)
+	for _, ls := range sh.leases {
+		if !ls.completed {
 			ls.revoked = true
 		}
 	}
 	return rem, nil
 }
 
-// remaindersLocked collects the uncomputed tails of w's live leases in
-// deterministic (Proc, Start) order.
-func (c *Collector) remaindersLocked(w int) []Lease {
+// remainders collects the uncomputed tails of sh's live leases in
+// deterministic (Proc, Start) order. Called with sh.mu held.
+func remainders(sh *shard) []Lease {
 	var rem []Lease
-	for _, ls := range c.leases {
-		if ls.holder == w && !ls.completed && !ls.revoked {
+	for _, ls := range sh.leases {
+		if !ls.completed && !ls.revoked {
 			if r := ls.lease.Remainder(ls.done); r.Count > 0 {
 				rem = append(rem, r)
 			}
@@ -527,9 +648,19 @@ func (c *Collector) remaindersLocked(w int) []Lease {
 // LeaseProgress reports how many realizations of lease id have been
 // merged, out of how many granted.
 func (c *Collector) LeaseProgress(id uint64) (done, count int64, ok bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ls := c.leases[id]
+	c.mu.RLock()
+	w, known := c.leaseIdx[id]
+	var sh *shard
+	if known {
+		sh = c.shards[w]
+	}
+	c.mu.RUnlock()
+	if sh == nil {
+		return 0, 0, false
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls := sh.leases[id]
 	if ls == nil {
 		return 0, 0, false
 	}
@@ -579,61 +710,106 @@ type PushOrigin struct {
 // pushes additionally keep the per-lease done ledger: Done must advance
 // by exactly the snapshot's sample volume, so the ledger always equals
 // the merged prefix of the window.
+//
+// The push only takes the sender's shard lock, so pushes from different
+// workers run concurrently; the snapshot merges into the worker's
+// staging accumulator and reaches the global report at the next fold.
 func (c *Collector) PushFrom(o PushOrigin, snap stat.Snapshot) error {
 	w := o.Worker
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.metrics.pushes.Add(1)
-	c.event(Event{Kind: EventPush, Worker: w, Samples: snap.N})
-	if !c.active[w] {
+	c.mu.RLock()
+	sh := c.shards[w]
+	var leaseHolder int
+	leaseKnown := false
+	if o.Lease != 0 {
+		leaseHolder, leaseKnown = c.leaseIdx[o.Lease]
+	}
+	c.mu.RUnlock()
+	if sh == nil {
+		c.event(Event{Kind: EventPush, Worker: w, Samples: snap.N})
 		if o.Epoch != 0 {
-			return c.fencedLocked(o, snap, "push from pruned worker")
+			return c.fenced(o, snap, "push from pruned worker")
 		}
 		c.metrics.rejected.Add(1)
 		c.event(Event{Kind: EventReject, Worker: w, Samples: snap.N})
 		return fmt.Errorf("collect: push from unknown worker %d", w)
 	}
-	if o.Epoch != 0 && o.Epoch != c.epochs[w] {
-		return c.fencedLocked(o, snap, "stale epoch")
+	sh.mu.Lock()
+	saveDue, err := c.pushShard(sh, o, snap, leaseHolder, leaseKnown)
+	sh.mu.Unlock()
+	if saveDue {
+		return c.maybeSave()
 	}
-	c.lastSeen[w] = c.mono()
-	if o.Seq != 0 && o.Seq <= c.lastSeq[w] {
+	return err
+}
+
+// pushShard is the per-worker body of PushFrom. Called with sh.mu held;
+// it never takes c.mu or saveMu (the lease holder was resolved under
+// c.mu before the shard lock, and a due periodic save is signalled to
+// the caller to run after the shard unlocks).
+func (c *Collector) pushShard(sh *shard, o PushOrigin, snap stat.Snapshot, leaseHolder int, leaseKnown bool) (saveDue bool, err error) {
+	w := o.Worker
+	c.event(Event{Kind: EventPush, Worker: w, Samples: snap.N})
+	if !sh.active {
+		if o.Epoch != 0 {
+			return false, c.fenced(o, snap, "push from pruned worker")
+		}
+		c.metrics.rejected.Add(1)
+		c.event(Event{Kind: EventReject, Worker: w, Samples: snap.N})
+		return false, fmt.Errorf("collect: push from unknown worker %d", w)
+	}
+	if o.Epoch != 0 && o.Epoch != sh.epoch {
+		return false, c.fenced(o, snap, "stale epoch")
+	}
+	sh.lastSeen = c.mono()
+	if o.Seq != 0 && o.Seq <= sh.lastSeq {
 		c.metrics.redelivered.Add(1)
 		c.event(Event{Kind: EventDuplicate, Worker: w, Samples: snap.N})
-		return nil
+		return false, nil
 	}
 	var ls *leaseState
 	if o.Lease != 0 {
-		ls = c.leases[o.Lease]
+		ls = sh.leases[o.Lease]
 		switch {
+		case ls == nil && leaseKnown && leaseHolder != w:
+			return false, c.fenced(o, snap, "lease held by another worker session")
 		case ls == nil:
-			return c.fencedLocked(o, snap, "unknown lease")
+			return false, c.fenced(o, snap, "unknown lease")
 		case ls.revoked:
-			return c.fencedLocked(o, snap, "revoked lease")
-		case ls.holder != w || (o.Epoch != 0 && ls.epoch != o.Epoch):
-			return c.fencedLocked(o, snap, "lease held by another worker session")
+			return false, c.fenced(o, snap, "revoked lease")
+		case o.Epoch != 0 && ls.epoch != o.Epoch:
+			return false, c.fenced(o, snap, "lease held by another worker session")
 		}
 		if o.Done <= ls.done || o.Done > ls.lease.Count || o.Done-ls.done != snap.N {
 			c.metrics.rejected.Add(1)
 			c.event(Event{Kind: EventReject, Worker: w, Samples: snap.N})
-			return fmt.Errorf("collect: worker %d lease %d: done %d (have %d, snapshot volume %d) is out of range",
+			return false, fmt.Errorf("collect: worker %d lease %d: done %d (have %d, snapshot volume %d) is out of range",
 				w, o.Lease, o.Done, ls.done, snap.N)
 		}
 	}
-	if err := c.validateSnap(snap); err != nil {
+	if verr := c.validateSnap(snap); verr != nil {
+		c.metrics.rejected.Add(1)
+		c.metrics.pushesInvalid.Add(1)
+		c.event(Event{Kind: EventInvalid, Worker: w, Samples: snap.N})
+		return false, fmt.Errorf("collect: rejecting snapshot from worker %d: %w", w, verr)
+	}
+	// The snapshot is validated exactly once, above; the staging merge
+	// only re-checks dimensions.
+	if sh.raw != nil {
+		err = sh.raw.MergeTrusted(snap)
+	} else {
+		err = sh.stable.MergeTrusted(snap)
+	}
+	if err != nil {
 		c.metrics.rejected.Add(1)
 		c.event(Event{Kind: EventReject, Worker: w, Samples: snap.N})
-		return fmt.Errorf("collect: rejecting snapshot from worker %d: %w", w, err)
+		return false, err
 	}
-	if err := c.total.Merge(snap); err != nil {
-		c.metrics.rejected.Add(1)
-		c.event(Event{Kind: EventReject, Worker: w, Samples: snap.N})
-		return err
-	}
+	c.samples.Add(snap.N)
 	c.metrics.merges.Add(1)
 	c.event(Event{Kind: EventMerge, Worker: w, Samples: snap.N})
 	if o.Seq != 0 {
-		c.lastSeq[w] = o.Seq
+		sh.lastSeq = o.Seq
 	}
 	if ls != nil {
 		ls.done = o.Done
@@ -644,38 +820,33 @@ func (c *Collector) PushFrom(o PushOrigin, snap stat.Snapshot) error {
 		}
 	}
 
-	if c.perWorker != nil {
-		acc, ok := c.perWorker[w]
-		if !ok {
-			acc = stat.New(c.meta.Nrow, c.meta.Ncol)
-			c.perWorker[w] = acc
-		}
-		if err := acc.Merge(snap); err != nil {
-			return err
+	if sh.wacc != nil {
+		if err := sh.wacc.MergeTrusted(snap); err != nil {
+			return false, err
 		}
 		if c.dir != nil {
-			if err := c.dir.SaveWorkerSnapshot(w, acc.Snapshot(), c.stampedMetaLocked()); err != nil {
-				return err
+			if err := c.dir.SaveWorkerSnapshot(w, sh.wacc.Snapshot(), c.stampedMeta()); err != nil {
+				return false, err
 			}
 		}
 		c.metrics.workerSnapshots.Add(1)
 	}
 
-	if c.cfg.AverPeriod > 0 && c.now().Sub(c.lastSave) >= c.cfg.AverPeriod {
-		return c.saveLocked()
-	}
-	return nil
+	saveDue = c.cfg.AverPeriod > 0 &&
+		c.now().Sub(time.Unix(0, c.lastSave.Load())) >= c.cfg.AverPeriod
+	return saveDue, nil
 }
 
-// fencedLocked counts and reports a fenced push. Called with c.mu held.
-func (c *Collector) fencedLocked(o PushOrigin, snap stat.Snapshot, why string) error {
+// fenced counts and reports a fenced push.
+func (c *Collector) fenced(o PushOrigin, snap stat.Snapshot, why string) error {
 	c.metrics.staleEpoch.Add(1)
 	c.event(Event{Kind: EventStale, Worker: o.Worker, Samples: snap.N, Seq: o.Lease})
 	return fmt.Errorf("collect: worker %d epoch %d lease %d: %s: %w", o.Worker, o.Epoch, o.Lease, why, ErrFenced)
 }
 
-// validateSnap rejects snapshots that are internally inconsistent or
-// have the wrong dimensions for this run.
+// validateSnap rejects snapshots that are internally inconsistent
+// (NaN/Inf or negative moment sums, mismatched slice lengths, negative
+// volume) or have the wrong dimensions for this run.
 func (c *Collector) validateSnap(snap stat.Snapshot) error {
 	if err := snap.Validate(); err != nil {
 		return err
@@ -686,57 +857,141 @@ func (c *Collector) validateSnap(snap stat.Snapshot) error {
 	return nil
 }
 
-// stampedMetaLocked returns the run metadata with the worker count
-// updated to what the collector has actually seen (the RPC transport
-// hands out indices dynamically, so the configured count can be stale).
-func (c *Collector) stampedMetaLocked() store.RunMeta {
+// stampedMeta returns the run metadata with the worker count updated to
+// what the collector has actually seen (the RPC transport hands out
+// indices dynamically, so the configured count can be stale).
+func (c *Collector) stampedMeta() store.RunMeta {
 	meta := c.meta
-	if c.registered > meta.Workers {
-		meta.Workers = c.registered
+	if r := int(c.registered.Load()); r > meta.Workers {
+		meta.Workers = r
 	}
 	return meta
 }
 
-// Save forces an averaging + save cycle regardless of AverPeriod.
-func (c *Collector) Save() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.saveLocked()
+// fold reduces the base moments and every shard's staging accumulator
+// into a fresh total, in the fixed order that makes reports
+// deterministic: base first, then shards in ascending worker-index
+// order (see internal/stat/shard.go). Inactive shards are included — a
+// pruned worker's merged subtotals stay valid. Each shard is locked
+// only while its own moments fold in, so pushes to other shards keep
+// flowing.
+func (c *Collector) fold() stat.Moments {
+	shards := c.shardList()
+	if c.cfg.StableMoments {
+		total := stat.NewStable(c.meta.Nrow, c.meta.Ncol)
+		if err := total.MergeTrusted(c.baseSnap); err != nil {
+			panic(fmt.Sprintf("collect: base moments fold: %v", err))
+		}
+		for _, sh := range shards {
+			sh.mu.Lock()
+			err := total.MergeStable(sh.stable)
+			sh.mu.Unlock()
+			if err != nil {
+				panic(fmt.Sprintf("collect: shard %d fold: %v", sh.worker, err))
+			}
+		}
+		return total
+	}
+	total := stat.New(c.meta.Nrow, c.meta.Ncol)
+	if err := total.MergeTrusted(c.baseSnap); err != nil {
+		panic(fmt.Sprintf("collect: base moments fold: %v", err))
+	}
+	for _, sh := range shards {
+		sh.mu.Lock()
+		err := total.MergeFrom(sh.raw)
+		sh.mu.Unlock()
+		if err != nil {
+			panic(fmt.Sprintf("collect: shard %d fold: %v", sh.worker, err))
+		}
+	}
+	return total
 }
 
-func (c *Collector) saveLocked() error {
+// Save forces an averaging + save cycle regardless of AverPeriod.
+func (c *Collector) Save() error {
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	_, err := c.saveHolding()
+	return err
+}
+
+// maybeSave runs a periodic save if one is still due — the push that
+// noticed the elapsed AverPeriod calls this after releasing its shard
+// lock, and the double check under saveMu collapses the herd of pushes
+// that noticed simultaneously into one save.
+func (c *Collector) maybeSave() error {
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	if c.now().Sub(time.Unix(0, c.lastSave.Load())) < c.cfg.AverPeriod {
+		return nil
+	}
+	_, err := c.saveHolding()
+	return err
+}
+
+// saveHolding performs one averaging + save cycle. Called with saveMu
+// held; pushes are not blocked (the fold takes each shard lock only
+// briefly, and the file I/O runs on the folded copy).
+func (c *Collector) saveHolding() (stat.Report, error) {
+	total := c.fold()
 	t0 := c.now()
+	rep := total.Report(c.meta.Gamma)
 	var err error
 	if c.dir != nil {
-		rep := c.total.Report(c.meta.Gamma)
-		meta := c.stampedMetaLocked()
+		meta := c.stampedMeta()
 		if e := c.dir.SaveResults(rep, meta); e != nil {
 			err = e
 		}
-		if e := c.dir.SaveCheckpoint(c.total.Snapshot(), meta); e != nil && err == nil {
+		if e := c.dir.SaveCheckpoint(total.Snapshot(), meta); e != nil && err == nil {
 			err = e
 		}
 	}
-	c.lastSave = c.now()
-	elapsed := c.lastSave.Sub(t0)
+	now := c.now()
+	c.lastSave.Store(now.UnixNano())
+	elapsed := now.Sub(t0)
 	if err != nil {
 		if c.saveErr == nil {
 			c.saveErr = err
 		}
-		return err
+		return rep, err
 	}
 	c.metrics.saves.Add(1)
 	c.metrics.saveNanos.Add(int64(elapsed))
 	c.metrics.saveSeconds.Observe(elapsed.Seconds())
-	c.event(Event{Kind: EventSave, Samples: c.total.N(), Elapsed: elapsed})
+	c.event(Event{Kind: EventSave, Samples: rep.N, Elapsed: elapsed})
 	if c.cfg.OnSave != nil {
-		c.cfg.OnSave(c.progressLocked())
+		c.cfg.OnSave(Progress{
+			N:         rep.N,
+			MaxAbsErr: rep.MaxAbsErr,
+			MaxRelErr: rep.MaxRelErr,
+			MaxVar:    rep.MaxVar,
+			Elapsed:   now.Sub(c.start),
+		})
 	}
-	return nil
+	return rep, nil
 }
 
-func (c *Collector) progressLocked() Progress {
-	rep := c.total.Report(c.meta.Gamma)
+// Finalize performs the final averaging + save and returns the merged
+// report. If any save — this one or an earlier periodic one — failed,
+// Finalize returns that first error instead.
+func (c *Collector) Finalize() (stat.Report, error) {
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	rep, _ := c.saveHolding() // error is sticky in saveErr
+	if c.saveErr != nil {
+		return stat.Report{}, c.saveErr
+	}
+	return rep, nil
+}
+
+// Report computes the current derived statistics without saving.
+func (c *Collector) Report() stat.Report {
+	return c.fold().Report(c.meta.Gamma)
+}
+
+// Progress returns the current progress snapshot without saving.
+func (c *Collector) Progress() Progress {
+	rep := c.fold().Report(c.meta.Gamma)
 	return Progress{
 		N:         rep.N,
 		MaxAbsErr: rep.MaxAbsErr,
@@ -746,46 +1001,15 @@ func (c *Collector) progressLocked() Progress {
 	}
 }
 
-// Finalize performs the final averaging + save and returns the merged
-// report. If any save — this one or an earlier periodic one — failed,
-// Finalize returns that first error instead.
-func (c *Collector) Finalize() (stat.Report, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_ = c.saveLocked() // error is sticky in saveErr
-	if c.saveErr != nil {
-		return stat.Report{}, c.saveErr
-	}
-	return c.total.Report(c.meta.Gamma), nil
-}
-
-// Report computes the current derived statistics without saving.
-func (c *Collector) Report() stat.Report {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.total.Report(c.meta.Gamma)
-}
-
-// Progress returns the current progress snapshot without saving.
-func (c *Collector) Progress() Progress {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.progressLocked()
-}
-
 // N returns the current total sample volume, including any resumed
 // base.
 func (c *Collector) N() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.total.N()
+	return c.baseN + c.samples.Load()
 }
 
 // BaseN returns the sample volume the run started from (zero for a
 // fresh run, the previous run's volume after a resume).
 func (c *Collector) BaseN() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.baseN
 }
 
@@ -793,9 +1017,7 @@ func (c *Collector) BaseN() int64 {
 // MaxSV) has been met. A non-positive target never completes — the
 // paper's "endless simulation" mode.
 func (c *Collector) TargetReached() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.meta.MaxSV > 0 && c.total.N()-c.baseN >= c.meta.MaxSV
+	return c.meta.MaxSV > 0 && c.samples.Load() >= c.meta.MaxSV
 }
 
 // Metrics returns a consistent snapshot of the collector's counters.
@@ -803,8 +1025,9 @@ func (c *Collector) Metrics() MetricsSnapshot {
 	return c.metrics.snapshot()
 }
 
-// event delivers e to the configured hook, if any. Called with c.mu
-// held.
+// event delivers e to the configured hook, if any. Usually called with
+// the originating shard's lock held; hooks must be concurrency-safe
+// (see Config.Hook).
 func (c *Collector) event(e Event) {
 	if c.cfg.Hook != nil {
 		c.cfg.Hook(e)

@@ -11,13 +11,17 @@ package collect_test
 import (
 	"context"
 	"math"
+	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
 	"parmonc/internal/cluster"
+	"parmonc/internal/collect"
 	"parmonc/internal/core"
 	"parmonc/internal/rng"
 	"parmonc/internal/stat"
+	"parmonc/internal/store"
 	"parmonc/internal/workload"
 
 	// The registry-wide conformance sweep iterates every built-in.
@@ -269,5 +273,175 @@ func TestTransportConformanceMultiWorker(t *testing.T) {
 	if d := math.Abs(res.Report.MeanAt(0, 0) - rep.MeanAt(0, 0)); d > 0.025 {
 		t.Fatalf("transport means diverge: %v vs %v (Δ=%v)",
 			res.Report.MeanAt(0, 0), rep.MeanAt(0, 0), d)
+	}
+}
+
+// --- Sharded-collector interleaving conformance -----------------------
+//
+// The sharded collector's contract: the report is a function of each
+// worker's own push sequence only — the cross-worker arrival order must
+// never reach the statistics. The sweeps below drive the same
+// per-worker push lists through (a) seeded-shuffled serial
+// interleavings and (b) genuinely concurrent goroutine schedules, and
+// require every report to be bit-identical to a worker-major reference.
+
+// interleaveMeta describes the direct-collector sweep run.
+func interleaveMeta(workers int) store.RunMeta {
+	return store.RunMeta{
+		SeqNum: 1, Nrow: 2, Ncol: 2, Workers: workers,
+		Params: rng.DefaultParams(), Gamma: stat.DefaultConfidenceCoefficient,
+		StartedAt: time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// interleavePushes builds worker w's deterministic push list from the
+// counting sequence (distinct phase per worker).
+func interleavePushes(w, count int) []stat.Snapshot {
+	out := make([]stat.Snapshot, count)
+	row := make([]float64, 4)
+	for k := range out {
+		a := stat.New(2, 2)
+		for i := range row {
+			row[i] = 2 + math.Sin(1.3*float64(k)+0.7*float64(i)+11*float64(w))
+		}
+		if err := a.Add(row); err != nil {
+			panic(err)
+		}
+		out[k] = a.Snapshot()
+	}
+	return out
+}
+
+// momentsBitsEqual compares the moment statistics of two reports for
+// exact bit identity (MeanSimTime is wall-clock-derived and excluded).
+func momentsBitsEqual(a, b stat.Report) (int, bool) {
+	if a.N != b.N {
+		return -1, false
+	}
+	for i := range a.Mean {
+		for _, pair := range [][2]float64{
+			{a.Mean[i], b.Mean[i]}, {a.Var[i], b.Var[i]},
+			{a.AbsErr[i], b.AbsErr[i]}, {a.RelErr[i], b.RelErr[i]},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				return i, false
+			}
+		}
+	}
+	return 0, true
+}
+
+func TestShardedInterleavingBitIdentical(t *testing.T) {
+	const (
+		workers = 8
+		count   = 40
+		trials  = 6
+	)
+	pushes := make([][]stat.Snapshot, workers)
+	for w := range pushes {
+		pushes[w] = interleavePushes(w, count)
+	}
+	newEngine := func() *collect.Collector {
+		eng, err := collect.New(nil, interleaveMeta(workers), collect.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < workers; w++ {
+			eng.Register(w)
+		}
+		return eng
+	}
+
+	// Worker-major reference: all of worker 0's pushes, then worker 1's…
+	ref := newEngine()
+	for w := range pushes {
+		for seq, s := range pushes[w] {
+			if err := ref.PushSeq(w, uint64(seq+1), s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := ref.Report()
+
+	// (a) Seeded-shuffled serial interleavings: deliver pushes in a
+	// random global order that preserves each worker's own order.
+	for trial := 0; trial < trials; trial++ {
+		eng := newEngine()
+		r := rand.New(rand.NewSource(int64(trial)*131 + 7))
+		cursor := make([]int, workers)
+		remaining := workers * count
+		for remaining > 0 {
+			w := r.Intn(workers)
+			if cursor[w] >= count {
+				continue
+			}
+			if err := eng.PushSeq(w, uint64(cursor[w]+1), pushes[w][cursor[w]]); err != nil {
+				t.Fatal(err)
+			}
+			cursor[w]++
+			remaining--
+		}
+		if i, ok := momentsBitsEqual(eng.Report(), want); !ok {
+			t.Fatalf("shuffled trial %d: report differs from worker-major reference at entry %d", trial, i)
+		}
+	}
+
+	// (b) Concurrent goroutine schedules: the scheduler picks the
+	// interleaving; saves run concurrently to stress the fold.
+	for trial := 0; trial < trials; trial++ {
+		eng := newEngine()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for seq, s := range pushes[w] {
+					if err := eng.PushSeq(w, uint64(seq+1), s); err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+					if seq%16 == 0 {
+						_ = eng.Report() // mid-run folds must not disturb the totals
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		if i, ok := momentsBitsEqual(eng.Report(), want); !ok {
+			t.Fatalf("concurrent trial %d: report differs from worker-major reference at entry %d", trial, i)
+		}
+	}
+}
+
+// TestMultiWorkerTransportDeterministic: with the sharded collector the
+// goroutine transport's report is bit-deterministic even at Workers > 1
+// — the lease partition fixes each worker's realization subsequence and
+// the fold fixes the reduction order, so the goroutine scheduler has
+// nothing left to perturb. (The serialized collector could not promise
+// this: cross-worker merge order followed the scheduler.)
+func TestMultiWorkerTransportDeterministic(t *testing.T) {
+	run := func() stat.Report {
+		res, err := core.RunFactory(context.Background(), core.Config{
+			Nrow:           2,
+			Ncol:           2,
+			MaxSamples:     240,
+			Workers:        4,
+			LeaseSize:      60,
+			StrictExchange: true,
+			WorkDir:        t.TempDir(),
+		}, countingFactory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report
+	}
+	want := run()
+	for trial := 0; trial < 3; trial++ {
+		if i, ok := momentsBitsEqual(run(), want); !ok {
+			t.Fatalf("trial %d: multi-worker report not bit-deterministic (entry %d)", trial, i)
+		}
 	}
 }

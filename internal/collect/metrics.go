@@ -17,6 +17,7 @@ import (
 type Metrics struct {
 	pushes          *obs.Counter // Push calls received (incl. rejected)
 	rejected        *obs.Counter // snapshots rejected before merging
+	pushesInvalid   *obs.Counter // rejections caused by an invalid snapshot payload
 	merges          *obs.Counter // snapshots merged into the total
 	saves           *obs.Counter // averaging + save cycles completed
 	saveNanos       *obs.Counter // cumulative save latency
@@ -43,6 +44,7 @@ func newMetrics(reg *obs.Registry) *Metrics {
 	return &Metrics{
 		pushes:          reg.Counter("parmonc_collector_pushes_total", "Subtotal pushes received, including rejected ones."),
 		rejected:        reg.Counter("parmonc_collector_rejected_snapshots_total", "Pushes rejected before merging (unknown worker or invalid snapshot)."),
+		pushesInvalid:   reg.Counter("parmonc_collector_pushes_invalid_total", "Pushes rejected because the snapshot payload was invalid (NaN/Inf or negative moment sums, bad dimensions, inconsistent volume)."),
 		merges:          reg.Counter("parmonc_collector_merges_total", "Snapshots merged into the running total (formula (5))."),
 		saves:           reg.Counter("parmonc_collector_saves_total", "Averaging and save cycles completed."),
 		saveNanos:       reg.Counter("parmonc_collector_save_nanoseconds_total", "Cumulative time spent in save cycles."),
@@ -66,6 +68,7 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
 		Pushes:            m.pushes.Value(),
 		RejectedSnapshots: m.rejected.Value(),
+		PushesInvalid:     m.pushesInvalid.Value(),
 		Merges:            m.merges.Value(),
 		Saves:             m.saves.Value(),
 		SaveLatency:       time.Duration(m.saveNanos.Value()),
@@ -88,6 +91,7 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 type MetricsSnapshot struct {
 	Pushes            int64         `json:"pushes"`             // subtotal pushes received
 	RejectedSnapshots int64         `json:"rejected_snapshots"` // pushes rejected (unknown worker or invalid snapshot)
+	PushesInvalid     int64         `json:"pushes_invalid"`     // rejections caused by an invalid snapshot payload
 	Merges            int64         `json:"merges"`             // snapshots merged into the running total
 	Saves             int64         `json:"saves"`              // averaging + save cycles
 	SaveLatency       time.Duration `json:"save_latency_ns"`    // cumulative time spent saving
@@ -121,6 +125,7 @@ func (s MetricsSnapshot) WriteTo(w io.Writer) (int64, error) {
 		{"pushes", s.Pushes},
 		{"merges", s.Merges},
 		{"rejected_snapshots", s.RejectedSnapshots},
+		{"pushes_invalid", s.PushesInvalid},
 		{"saves", s.Saves},
 		{"save_latency_total", s.SaveLatency},
 		{"save_latency_mean", s.MeanSaveLatency()},
@@ -155,6 +160,7 @@ const (
 	EventDuplicate                      // a redelivered push was deduplicated
 	EventStale                          // a push/heartbeat was fenced (stale epoch or revoked lease)
 	EventLeaseComplete                  // a lease's full realization window has merged
+	EventInvalid                        // the push was rejected because its snapshot payload was invalid
 )
 
 // String returns the event kind's wire-stable name.
@@ -176,6 +182,8 @@ func (k EventKind) String() string {
 		return "stale_epoch"
 	case EventLeaseComplete:
 		return "lease_complete"
+	case EventInvalid:
+		return "push_invalid"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -194,8 +202,10 @@ type Event struct {
 	Elapsed time.Duration
 }
 
-// Hook observes collector events. It is called with the collector lock
-// held: keep it fast and do not call back into the Collector.
+// Hook observes collector events. Events for one worker's pushes are
+// delivered in order (under that worker's shard lock), but pushes from
+// different workers run concurrently, so a Hook must be safe for
+// concurrent use. Keep it fast and do not call back into the Collector.
 type Hook func(Event)
 
 // MultiHook fans one event out to several hooks (nils are skipped), so

@@ -42,6 +42,7 @@ func TestMetricsWriteToGolden(t *testing.T) {
 	m.pushes.Add(10)
 	m.merges.Add(7)
 	m.rejected.Add(1)
+	m.pushesInvalid.Add(1)
 	m.saves.Add(2)
 	m.saveNanos.Add(int64(3500 * time.Millisecond))
 	m.workerSnapshots.Add(4)
@@ -57,6 +58,7 @@ func TestMetricsWriteToGolden(t *testing.T) {
 	const golden = `pushes                   10
 merges                   7
 rejected_snapshots       1
+pushes_invalid           1
 saves                    2
 save_latency_total       3.5s
 save_latency_mean        1.75s
@@ -87,7 +89,7 @@ leases_completed         4
 // MetricsSnapshot (the /statusz wire format).
 func TestMetricsSnapshotJSONGolden(t *testing.T) {
 	snap := MetricsSnapshot{
-		Pushes: 10, RejectedSnapshots: 1, Merges: 7, Saves: 2,
+		Pushes: 10, RejectedSnapshots: 1, PushesInvalid: 1, Merges: 7, Saves: 2,
 		SaveLatency: 3500 * time.Millisecond, WorkerSnapshots: 4,
 		RegisteredWorkers: 3, PrunedWorkers: 1, ResumedSamples: 5,
 		Redeliveries: 2, WorkerRetries: 6, WorkerReconnects: 1,
@@ -97,7 +99,7 @@ func TestMetricsSnapshotJSONGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const golden = `{"pushes":10,"rejected_snapshots":1,"merges":7,"saves":2,` +
+	const golden = `{"pushes":10,"rejected_snapshots":1,"pushes_invalid":1,"merges":7,"saves":2,` +
 		`"save_latency_ns":3500000000,"worker_snapshots":4,"registered_workers":3,` +
 		`"pruned_workers":1,"resumed_samples":5,"redeliveries":2,` +
 		`"worker_retries":6,"worker_reconnects":1,"stale_epoch":3,"leases_completed":4}`

@@ -227,12 +227,6 @@ type Result struct {
 	Metrics collect.MetricsSnapshot
 }
 
-// snapMsg is one subtotal push from a worker to the collector.
-type snapMsg struct {
-	worker int
-	snap   stat.Snapshot
-}
-
 // runObs bundles the driver's own instrumentation — realization
 // timing/throughput and collector-push latency, the series the paper's
 // Fig. 2 evaluation (T_comp(L), push traffic) is derived from. A nil
@@ -400,13 +394,11 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 		return mine
 	}
 
-	msgs := make(chan snapMsg, cfg.Workers)
-	errs := make(chan error, cfg.Workers+1)
+	errs := make(chan error, cfg.Workers)
 	var wg sync.WaitGroup
 
 	// Build every worker's realization before launching any goroutine,
-	// so a factory failure cannot leave workers blocked on the collector
-	// channel.
+	// so a factory failure cannot leave half a fleet running.
 	routines := make([]Realization, cfg.Workers)
 	for m := range routines {
 		r, err := factory(m)
@@ -419,28 +411,21 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 		routines[m] = r
 	}
 
+	// Workers push straight into the sharded collector engine — the
+	// engine is the paper's 0-th processor, and since it only locks the
+	// pushing worker's shard there is no merge funnel to route pushes
+	// through: the exchange is asynchronous, no worker ever waits for
+	// another.
 	for m := 0; m < cfg.Workers; m++ {
 		wg.Add(1)
 		go func(m int) {
 			defer wg.Done()
-			if err := runWorker(ctx, cfg, params, m, workerLeases(m), routines[m], msgs, ro); err != nil {
+			if err := runWorker(ctx, cfg, params, m, workerLeases(m), routines[m], eng, ro); err != nil {
 				errs <- fmt.Errorf("core: worker %d: %w", m, err)
 			}
 		}(m)
 	}
-
-	// Close the message channel once every worker is done.
-	go func() {
-		wg.Wait()
-		close(msgs)
-	}()
-
-	// The merge loop runs in this goroutine — the engine is the paper's
-	// 0-th processor, this loop its in-process channel transport.
-	collectErr := drain(eng, msgs, ro)
-	if collectErr != nil {
-		errs <- collectErr
-	}
+	wg.Wait()
 
 	interrupted := ctx.Err() != nil
 	close(errs)
@@ -451,48 +436,65 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 		}
 	}
 
-	if collectErr == nil {
-		// Final save even after a worker failure: the run fails cleanly
-		// with whatever was accumulated on disk. Only a collector-side
-		// failure skips it (the store is already broken).
-		rep, ferr := eng.Finalize()
-		if runErr == nil {
-			runErr = ferr
-		}
-		if runErr == nil {
-			return Result{
-				Report:      rep,
-				Meta:        meta,
-				NewSamples:  rep.N - resumedN,
-				Elapsed:     time.Since(start),
-				Interrupted: interrupted,
-				Metrics:     eng.Metrics(),
-			}, nil
-		}
+	// Final save even after a worker failure: the run fails cleanly
+	// with whatever was accumulated on disk. If the store itself is
+	// broken the finalize fails too, and the worker's error wins.
+	rep, ferr := eng.Finalize()
+	if runErr == nil {
+		runErr = ferr
+	}
+	if runErr == nil {
+		return Result{
+			Report:      rep,
+			Meta:        meta,
+			NewSamples:  rep.N - resumedN,
+			Elapsed:     time.Since(start),
+			Interrupted: interrupted,
+			Metrics:     eng.Metrics(),
+		}, nil
 	}
 	return Result{}, runErr
 }
 
 // runWorker simulates realizations until worker m's leases are
 // exhausted or the context is cancelled, pushing subtotal snapshots
-// every PassPeriod (or after every realization under StrictExchange).
-// A bounded run executes the given leases in order; an unbounded run
-// (no leases) draws from the endless window on processor subsequence
-// m+1 until cancelled.
-func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, leases []collect.Lease, r Realization, msgs chan<- snapMsg, ro *runObs) error {
+// straight into the collector engine every PassPeriod (or after every
+// realization under StrictExchange) — the push only takes this worker's
+// shard lock, so workers never serialize on each other. A bounded run
+// executes the given leases in order; an unbounded run (no leases)
+// draws from the endless window on processor subsequence m+1 until
+// cancelled.
+func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, leases []collect.Lease, r Realization, eng *collect.Collector, ro *runObs) (err error) {
 	local := stat.New(cfg.Nrow, cfg.Ncol)
 	out := make([]float64, cfg.Nrow*cfg.Ncol)
 	lastPass := time.Now()
 
-	push := func() {
+	push := func() error {
 		if local.N() == 0 {
-			return
+			return nil
 		}
-		msgs <- snapMsg{worker: m, snap: local.Snapshot()}
+		var t0 time.Time
+		if ro != nil {
+			t0 = time.Now()
+		}
+		perr := eng.Push(m, local.Snapshot())
+		if ro != nil {
+			ro.pushSec.Observe(time.Since(t0).Seconds())
+		}
+		if perr != nil {
+			return perr
+		}
 		local.Reset()
 		lastPass = time.Now()
+		return nil
 	}
-	defer push()
+	// Flush the final subtotal; a flush failure surfaces unless the
+	// worker is already failing.
+	defer func() {
+		if ferr := push(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	// one realization: zero the buffer, run the routine, accumulate.
 	step := func(stream *rng.Stream, k int64) error {
@@ -512,7 +514,7 @@ func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, leases
 			ro.realizeSec.Observe(elapsed.Seconds())
 		}
 		if cfg.StrictExchange || time.Since(lastPass) >= cfg.PassPeriod {
-			push()
+			return push()
 		}
 		return nil
 	}
@@ -555,29 +557,6 @@ func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, leases
 			if err := step(stream, k); err != nil {
 				return err
 			}
-		}
-	}
-	return nil
-}
-
-// drain feeds worker snapshots to the collector engine until the
-// channel closes. On an engine failure the workers must not be left
-// blocked on the channel, so the remaining messages are discarded
-// before the error is returned.
-func drain(eng *collect.Collector, msgs <-chan snapMsg, ro *runObs) error {
-	for msg := range msgs {
-		var t0 time.Time
-		if ro != nil {
-			t0 = time.Now()
-		}
-		err := eng.Push(msg.worker, msg.snap)
-		if ro != nil {
-			ro.pushSec.Observe(time.Since(t0).Seconds())
-		}
-		if err != nil {
-			for range msgs {
-			}
-			return err
 		}
 	}
 	return nil

@@ -1,0 +1,44 @@
+package stat
+
+import "testing"
+
+// Micro-benchmarks for the two functions on the collector's push hot
+// path: every push validates its snapshot once and then folds it into a
+// shard accumulator, so per-element costs here multiply directly into
+// collector throughput (see BenchmarkCollectorPushContended at the repo
+// root). The 1000×2 shape matches that benchmark's run geometry.
+
+func benchSnapshot() Snapshot {
+	a := New(1000, 2)
+	row := make([]float64, 1000*2)
+	for i := range row {
+		row[i] = float64(i)
+	}
+	if err := a.Add(row); err != nil {
+		panic(err)
+	}
+	return a.Snapshot()
+}
+
+func BenchmarkSnapshotValidate(b *testing.B) {
+	s := benchSnapshot()
+	b.SetBytes(int64(16 * len(s.Sum)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccumulatorMergeTrusted(b *testing.B) {
+	s := benchSnapshot()
+	a := New(1000, 2)
+	b.SetBytes(int64(16 * len(s.Sum)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.MergeTrusted(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package stat
+
+// Deterministic shard reduction for the sharded collector.
+//
+// The sharded collector stages each worker's subtotal pushes in a
+// per-worker accumulator and only folds the shards into a global total
+// when a report is actually needed (save, finalize, status). Floating-
+// point addition is not associative, so the fold must happen in a fixed
+// order for the result to be reproducible: base moments first, then the
+// shards in ascending worker-index order, each folded with one
+// left-to-right Merge. Two runs that hand each worker the same pushes
+// in the same per-worker order then produce bit-identical reports no
+// matter how the pushes interleaved across workers in real time — the
+// property Lubachevsky's "Why The Results of Parallel and Serial Monte
+// Carlo Simulations May Differ" demands of a parallel collector.
+//
+// Within one shard the staging accumulator applies pushes strictly in
+// arrival order, so the fold is a left fold at both levels. For raw
+// sums that left fold has an exact regrouping property: pre-merging any
+// prefix of a push sequence into a composite snapshot and then merging
+// the rest is bit-identical to merging the sequence one by one, because
+// both perform the same pairwise additions in the same order. That is
+// the "associative under the fixed reduction tree" contract the
+// property tests in shard_prop_test.go pin.
+
+// Fold merges base and then each shard snapshot, in slice order, into a
+// fresh raw-sum accumulator — the canonical reduction the sharded
+// collector performs with live accumulators (Accumulator.MergeFrom,
+// which is bitwise the same arithmetic without the snapshot copies).
+// Callers wanting the collector's deterministic order pass shards
+// sorted by worker index.
+func Fold(nrow, ncol int, base Snapshot, shards []Snapshot) (*Accumulator, error) {
+	total := New(nrow, ncol)
+	if err := total.Merge(base); err != nil {
+		return nil, err
+	}
+	for _, s := range shards {
+		if err := total.Merge(s); err != nil {
+			return nil, err
+		}
+	}
+	return total, nil
+}
+
+// FoldStable is Fold for the Welford/Chan scheme: base and shards are
+// converted from the raw-sum wire format and combined with the exact
+// parallel update, in slice order.
+func FoldStable(nrow, ncol int, base Snapshot, shards []Snapshot) (*StableAccumulator, error) {
+	total := NewStable(nrow, ncol)
+	if err := total.Merge(base); err != nil {
+		return nil, err
+	}
+	for _, s := range shards {
+		if err := total.Merge(s); err != nil {
+			return nil, err
+		}
+	}
+	return total, nil
+}

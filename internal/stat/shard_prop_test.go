@@ -1,0 +1,279 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Property tests for the deterministic shard reduction (shard.go):
+// randomized snapshot sequences, seeded generators, bitwise assertions.
+// These pin the exact floating-point contracts the sharded collector
+// relies on — tolerance comparisons would not catch a reordered
+// addition, which is precisely the bug class "Why The Results of
+// Parallel and Serial Monte Carlo Simulations May Differ" warns about.
+
+// genSnapshot draws a random but internally consistent snapshot:
+// accumulate volume realizations so Sum/Sum2/N always describe real
+// data (Validate-clean by construction).
+func genSnapshot(r *rand.Rand, nrow, ncol int, volume int) Snapshot {
+	a := New(nrow, ncol)
+	row := make([]float64, nrow*ncol)
+	for k := 0; k < volume; k++ {
+		for i := range row {
+			// Spread magnitudes across ~6 decades so regrouping bugs
+			// that only bite with mixed exponents are exercised.
+			row[i] = (r.Float64() - 0.25) * math.Pow(10, float64(r.Intn(7)-3))
+		}
+		if err := a.AddTimed(row, time.Duration(r.Intn(1000))*time.Microsecond); err != nil {
+			panic(err)
+		}
+	}
+	return a.Snapshot()
+}
+
+// bitsEqual compares two snapshots for exact bit identity.
+func bitsEqual(a, b Snapshot) bool {
+	if a.Nrow != b.Nrow || a.Ncol != b.Ncol || a.N != b.N || a.SimTimeNS != b.SimTimeNS {
+		return false
+	}
+	for i := range a.Sum {
+		if math.Float64bits(a.Sum[i]) != math.Float64bits(b.Sum[i]) ||
+			math.Float64bits(a.Sum2[i]) != math.Float64bits(b.Sum2[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func requireBitsEqual(t *testing.T, got, want Snapshot, what string) {
+	t.Helper()
+	if !bitsEqual(got, want) {
+		t.Fatalf("%s: snapshots are not bit-identical\n got: %+v\nwant: %+v", what, got, want)
+	}
+}
+
+// TestFoldMatchesSequentialMerge: folding base + shards with Fold is
+// bit-identical to sequentially Merge-ing the same snapshots, in the
+// same order, into one accumulator — Fold introduces no regrouping.
+func TestFoldMatchesSequentialMerge(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 20260808} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			nrow, ncol := 1+r.Intn(4), 1+r.Intn(4)
+			base := genSnapshot(r, nrow, ncol, r.Intn(20))
+			shards := make([]Snapshot, 1+r.Intn(8))
+			for i := range shards {
+				shards[i] = genSnapshot(r, nrow, ncol, r.Intn(30))
+			}
+
+			folded, err := Fold(nrow, ncol, base, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := New(nrow, ncol)
+			if err := seq.Merge(base); err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range shards {
+				if err := seq.Merge(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			requireBitsEqual(t, folded.Snapshot(), seq.Snapshot(), "Fold vs sequential Merge")
+
+			stable, err := FoldStable(nrow, ncol, base, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqStable := NewStable(nrow, ncol)
+			if err := seqStable.Merge(base); err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range shards {
+				if err := seqStable.Merge(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			requireBitsEqual(t, stable.Snapshot(), seqStable.Snapshot(), "FoldStable vs sequential stable Merge")
+		})
+	}
+}
+
+// TestMergeFromMatchesMergeSnapshot: folding a live accumulator with
+// MergeFrom is bitwise the same arithmetic as round-tripping it through
+// a Snapshot — the collector's live-shard fold cannot drift from the
+// wire-format semantics.
+func TestMergeFromMatchesMergeSnapshot(t *testing.T) {
+	for _, seed := range []int64{3, 99, 31337} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			nrow, ncol := 1+r.Intn(3), 1+r.Intn(3)
+
+			shard := New(nrow, ncol)
+			for k := 0; k < 1+r.Intn(10); k++ {
+				if err := shard.MergeTrusted(genSnapshot(r, nrow, ncol, 1+r.Intn(10))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			base := genSnapshot(r, nrow, ncol, r.Intn(10))
+
+			viaFrom := New(nrow, ncol)
+			if err := viaFrom.Merge(base); err != nil {
+				t.Fatal(err)
+			}
+			if err := viaFrom.MergeFrom(shard); err != nil {
+				t.Fatal(err)
+			}
+			viaSnap := New(nrow, ncol)
+			if err := viaSnap.Merge(base); err != nil {
+				t.Fatal(err)
+			}
+			if err := viaSnap.Merge(shard.Snapshot()); err != nil {
+				t.Fatal(err)
+			}
+			requireBitsEqual(t, viaFrom.Snapshot(), viaSnap.Snapshot(), "MergeFrom vs Merge(Snapshot())")
+		})
+	}
+}
+
+// TestMergeTrustedMatchesMerge: skipping revalidation changes nothing
+// about the arithmetic.
+func TestMergeTrustedMatchesMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		nrow, ncol := 1+r.Intn(3), 1+r.Intn(3)
+		a, b := New(nrow, ncol), New(nrow, ncol)
+		for k := 0; k < 1+r.Intn(6); k++ {
+			s := genSnapshot(r, nrow, ncol, 1+r.Intn(8))
+			if err := a.Merge(s); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.MergeTrusted(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		requireBitsEqual(t, b.Snapshot(), a.Snapshot(), "MergeTrusted vs Merge")
+	}
+}
+
+// TestPrefixStagingBitIdentical pins the associativity the sharded
+// collector's reduction tree actually needs: accumulating any prefix of
+// a push sequence into a staging accumulator first, then folding the
+// stage into a fresh total and merging the remaining pushes one by one,
+// is bit-identical to merging the whole sequence one by one. Both
+// orderings perform the same pairwise additions in the same left-fold
+// order — the fixed reduction tree — so staging is exact, which is why
+// a single worker's run reports identical bits whether its pushes were
+// staged in a shard or merged directly.
+func TestPrefixStagingBitIdentical(t *testing.T) {
+	for _, seed := range []int64{5, 17, 271828} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			nrow, ncol := 1+r.Intn(3), 1+r.Intn(3)
+			pushes := make([]Snapshot, 2+r.Intn(10))
+			for i := range pushes {
+				pushes[i] = genSnapshot(r, nrow, ncol, 1+r.Intn(6))
+			}
+
+			direct := New(nrow, ncol)
+			for _, p := range pushes {
+				if err := direct.Merge(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			for cut := 0; cut <= len(pushes); cut++ {
+				stage := New(nrow, ncol)
+				for _, p := range pushes[:cut] {
+					if err := stage.MergeTrusted(p); err != nil {
+						t.Fatal(err)
+					}
+				}
+				total := New(nrow, ncol)
+				if err := total.MergeFrom(stage); err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range pushes[cut:] {
+					if err := total.MergeTrusted(p); err != nil {
+						t.Fatal(err)
+					}
+				}
+				requireBitsEqual(t, total.Snapshot(), direct.Snapshot(),
+					fmt.Sprintf("staged prefix of %d vs direct", cut))
+			}
+		})
+	}
+}
+
+// TestFoldDeterministicUnderShardArrivalOrder: the fold is a function
+// of (worker index → shard content) only. Build the same shard set in
+// several seeded-shuffled construction orders, fold in ascending worker
+// index, and require identical bits every time — arrival order across
+// workers must not leak into the report.
+func TestFoldDeterministicUnderShardArrivalOrder(t *testing.T) {
+	const workers = 6
+	r := rand.New(rand.NewSource(404))
+	nrow, ncol := 2, 3
+	base := genSnapshot(r, nrow, ncol, 5)
+	// Each worker's deterministic push list.
+	pushes := make([][]Snapshot, workers)
+	for w := range pushes {
+		wr := rand.New(rand.NewSource(1000 + int64(w)))
+		pushes[w] = make([]Snapshot, 1+wr.Intn(5))
+		for i := range pushes[w] {
+			pushes[w][i] = genSnapshot(wr, nrow, ncol, 1+wr.Intn(4))
+		}
+	}
+
+	var reference Snapshot
+	for trial := 0; trial < 8; trial++ {
+		// A seeded random global arrival order of (worker, push) moves
+		// that preserves each worker's own push order: repeatedly pick a
+		// worker with pushes left and deliver its next one.
+		type move struct{ w, i int }
+		var schedule []move
+		cursor := make([]int, workers)
+		remaining := 0
+		for w := range pushes {
+			remaining += len(pushes[w])
+		}
+		sr := rand.New(rand.NewSource(int64(trial)*77 + 1))
+		for remaining > 0 {
+			w := sr.Intn(workers)
+			if cursor[w] >= len(pushes[w]) {
+				continue
+			}
+			schedule = append(schedule, move{w, cursor[w]})
+			cursor[w]++
+			remaining--
+		}
+
+		shards := make([]*Accumulator, workers)
+		for w := range shards {
+			shards[w] = New(nrow, ncol)
+		}
+		for _, m := range schedule {
+			if err := shards[m.w].MergeTrusted(pushes[m.w][m.i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		total := New(nrow, ncol)
+		if err := total.MergeTrusted(base); err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < workers; w++ { // ascending worker index: the fixed fold order
+			if err := total.MergeFrom(shards[w]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := total.Snapshot()
+		if trial == 0 {
+			reference = snap
+			continue
+		}
+		requireBitsEqual(t, snap, reference, fmt.Sprintf("trial %d vs trial 0", trial))
+	}
+}

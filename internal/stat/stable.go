@@ -115,6 +115,13 @@ func (a *StableAccumulator) Merge(s Snapshot) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
+	return a.MergeTrusted(s)
+}
+
+// MergeTrusted is Merge without the snapshot revalidation, for callers
+// that already validated s at their boundary; see
+// Accumulator.MergeTrusted.
+func (a *StableAccumulator) MergeTrusted(s Snapshot) error {
 	if s.Nrow != a.nrow || s.Ncol != a.ncol {
 		return fmt.Errorf("stat: cannot merge %d×%d snapshot into %d×%d accumulator", s.Nrow, s.Ncol, a.nrow, a.ncol)
 	}

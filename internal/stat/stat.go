@@ -134,7 +134,17 @@ func (a *Accumulator) Snapshot() Snapshot {
 }
 
 // Validate checks internal consistency of a snapshot (dimensions, slice
-// lengths, non-negative volume, finite moments).
+// lengths, non-negative volume, finite moments, and moments consistent
+// with a zero sample volume).
+//
+// Validation sits on every transport's merge path, so the finiteness
+// scan is aggregate-first: four-way striped running sums detect any
+// NaN/Inf in one pass (a non-finite element always poisons the total,
+// since Inf never cancels back to a finite value), and the per-element
+// scan that names the offending index runs only once something looks
+// wrong. The striped pass can fire falsely when finite values overflow
+// the aggregate; the precise pass then finds nothing and the snapshot
+// is accepted.
 func (s Snapshot) Validate() error {
 	if s.Nrow <= 0 || s.Ncol <= 0 {
 		return fmt.Errorf("stat: snapshot has invalid dimensions %d×%d", s.Nrow, s.Ncol)
@@ -149,6 +159,96 @@ func (s Snapshot) Validate() error {
 	if s.SimTimeNS < 0 {
 		return fmt.Errorf("stat: snapshot has negative simulation time %d", s.SimTimeNS)
 	}
+	if !momentsLookValid(s.Sum, s.Sum2) {
+		if err := s.validateElements(); err != nil {
+			return err
+		}
+	}
+	if s.N == 0 {
+		for i, v := range s.Sum {
+			if v != 0 || s.Sum2[i] != 0 {
+				return fmt.Errorf("stat: snapshot has zero sample volume but nonzero moment sums (Sum[%d] = %g, Sum2[%d] = %g)", i, v, i, s.Sum2[i])
+			}
+		}
+	}
+	return nil
+}
+
+// momentsLookValid reports whether every element of sum is finite and
+// every element of sum2 is finite and non-negative, by checking striped
+// aggregates: a running total is finite iff every addend was (t-t == 0
+// iff t is finite — Inf never cancels back), and a striped running
+// minimum catches negative Sum2 entries in the same pass (a NaN there
+// fails the total instead, since NaN < x is always false). Both arrays
+// are walked in one fused loop with the subslice-advance pattern so the
+// loads run without bounds checks. May return false on finite inputs
+// whose aggregate overflows; never returns true when a NaN, Inf, or
+// negative second moment is present. Callers guarantee equal lengths.
+func momentsLookValid(sum, sum2 []float64) bool {
+	sum2 = sum2[:len(sum)]
+	var t0, t1, t2, t3 float64
+	var m0, m1, m2, m3 float64
+	for len(sum) >= 8 {
+		s, q := sum[:8], sum2[:8]
+		t0 += s[0]
+		t1 += s[1]
+		t2 += s[2]
+		t3 += s[3]
+		t0 += s[4]
+		t1 += s[5]
+		t2 += s[6]
+		t3 += s[7]
+		v0, v1, v2, v3 := q[0], q[1], q[2], q[3]
+		v4, v5, v6, v7 := q[4], q[5], q[6], q[7]
+		t0 += v0
+		t1 += v1
+		t2 += v2
+		t3 += v3
+		t0 += v4
+		t1 += v5
+		t2 += v6
+		t3 += v7
+		if v0 < m0 {
+			m0 = v0
+		}
+		if v1 < m1 {
+			m1 = v1
+		}
+		if v2 < m2 {
+			m2 = v2
+		}
+		if v3 < m3 {
+			m3 = v3
+		}
+		if v4 < m0 {
+			m0 = v4
+		}
+		if v5 < m1 {
+			m1 = v5
+		}
+		if v6 < m2 {
+			m2 = v6
+		}
+		if v7 < m3 {
+			m3 = v7
+		}
+		sum, sum2 = sum[8:], sum2[8:]
+	}
+	for i, v := range sum {
+		t0 += v
+		w := sum2[i]
+		t0 += w
+		if w < m0 {
+			m0 = w
+		}
+	}
+	t := t0 + t1 + t2 + t3
+	return t-t == 0 && m0 >= 0 && m1 >= 0 && m2 >= 0 && m3 >= 0
+}
+
+// validateElements is the precise per-element scan behind Validate's
+// aggregate fast path; it names the first offending index.
+func (s Snapshot) validateElements() error {
 	for i, v := range s.Sum {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("stat: snapshot Sum[%d] = %g is not finite", i, v)
@@ -163,6 +263,33 @@ func (s Snapshot) Validate() error {
 		}
 	}
 	return nil
+}
+
+// addInto adds src into dst elementwise: dst[i] += src[i]. Every merge
+// funnels through here — it sits on the collector's push hot path, so
+// it is tuned: the up-front reslice makes the equal-length guarantee
+// (established by the callers' dimension checks) visible to the
+// compiler, and the eight-way unrolled body advances both subslices so
+// the adds run without bounds checks. Each element receives exactly one
+// addition — no reassociation — so the result is bit-identical to the
+// naive indexed loop.
+func addInto(dst, src []float64) {
+	dst = dst[:len(src)]
+	for len(src) >= 8 {
+		d, s := dst[:8], src[:8]
+		d[0] += s[0]
+		d[1] += s[1]
+		d[2] += s[2]
+		d[3] += s[3]
+		d[4] += s[4]
+		d[5] += s[5]
+		d[6] += s[6]
+		d[7] += s[7]
+		dst, src = dst[8:], src[8:]
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
 }
 
 // FromSnapshot reconstructs an accumulator from a snapshot.
@@ -189,12 +316,43 @@ func (a *Accumulator) Merge(s Snapshot) error {
 		return fmt.Errorf("stat: cannot merge %d×%d snapshot into %d×%d accumulator",
 			s.Nrow, s.Ncol, a.nrow, a.ncol)
 	}
-	for i := range a.sum {
-		a.sum[i] += s.Sum[i]
-		a.sum2[i] += s.Sum2[i]
-	}
+	addInto(a.sum, s.Sum)
+	addInto(a.sum2, s.Sum2)
 	a.n += s.N
 	a.simTime += time.Duration(s.SimTimeNS)
+	return nil
+}
+
+// MergeTrusted is Merge without the snapshot revalidation — the same
+// arithmetic, for callers that already validated s at their boundary
+// (the collector validates each push exactly once and then folds it
+// through staging accumulators). Only the dimension check remains,
+// because merging mismatched shapes corrupts state rather than
+// statistics.
+func (a *Accumulator) MergeTrusted(s Snapshot) error {
+	if s.Nrow != a.nrow || s.Ncol != a.ncol {
+		return fmt.Errorf("stat: cannot merge %d×%d snapshot into %d×%d accumulator",
+			s.Nrow, s.Ncol, a.nrow, a.ncol)
+	}
+	addInto(a.sum, s.Sum)
+	addInto(a.sum2, s.Sum2)
+	a.n += s.N
+	a.simTime += time.Duration(s.SimTimeNS)
+	return nil
+}
+
+// MergeFrom adds another accumulator's moments directly — bitwise the
+// same result as MergeTrusted(b.Snapshot()) without materializing the
+// snapshot copy. This is the reduction step of the sharded collector's
+// deterministic fold.
+func (a *Accumulator) MergeFrom(b *Accumulator) error {
+	if b.nrow != a.nrow || b.ncol != a.ncol {
+		return fmt.Errorf("stat: cannot merge %d×%d into %d×%d", b.nrow, b.ncol, a.nrow, a.ncol)
+	}
+	addInto(a.sum, b.sum)
+	addInto(a.sum2, b.sum2)
+	a.n += b.n
+	a.simTime += b.simTime
 	return nil
 }
 
@@ -206,6 +364,7 @@ func (a *Accumulator) Merge(s Snapshot) error {
 // changing any transport.
 type Moments interface {
 	Merge(Snapshot) error
+	MergeTrusted(Snapshot) error
 	Snapshot() Snapshot
 	Report(gamma float64) Report
 	N() int64

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Run the tracked microbenchmarks (collector push throughput, the RNG
-# kernels, and the per-workload realization sweep
-# BenchmarkRealization/<name>) and write a machine-readable snapshot BENCH_<date>.json
+# Run the tracked microbenchmarks (collector push throughput — serial
+# and contended —, the RNG kernels, and the per-workload realization
+# sweep BenchmarkRealization/<name>) and write a machine-readable snapshot BENCH_<date>.json
 # at the repo root. CI runs this on every push and uploads the snapshot
 # as an artifact; the checked-in baseline is the reference point for
 # the "collector push must not regress" budget.
@@ -15,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
-PATTERN="${BENCH_PATTERN:-^(BenchmarkCollectorPush|BenchmarkRNG|BenchmarkRealization)$}"
+PATTERN="${BENCH_PATTERN:-^(BenchmarkCollectorPush|BenchmarkCollectorPushContended|BenchmarkRNG|BenchmarkRealization)$}"
 DATE="$(date +%F)"
 OUT="${BENCH_OUT:-BENCH_${DATE}.json}"
 
