@@ -1,9 +1,16 @@
 // Command parmonc runs a built-in Monte Carlo workload under the
-// library, in one of three modes:
+// library:
 //
 //	parmonc run   -workload pi -maxsv 1000000 -workers 8   # single process
 //	parmonc coord -workload pi -maxsv 1000000 -addr :7070  # rank 0 of a cluster
 //	parmonc worker -addr host:7070 -workload pi            # additional rank
+//
+// or hosts many runs at once behind a JSON control API:
+//
+//	parmonc serve -http :8080 -fleet :7071 -local-workers 4
+//	parmonc worker -service -addr host:7071                # extra fleet capacity
+//	parmonc submit -workload mm1 -set lambda=0.8 -maxsv 1000000 -wait
+//	parmonc status; parmonc results r0001
 //
 // Workloads come from the internal/workload registry and are
 // parameterized on the command line:
@@ -42,6 +49,7 @@ import (
 	"parmonc/internal/obs"
 	"parmonc/internal/report"
 	"parmonc/internal/rng"
+	"parmonc/internal/runmgr"
 	"parmonc/internal/store"
 	"parmonc/internal/workload"
 )
@@ -61,6 +69,14 @@ func main() {
 		err = cmdWorker(os.Args[2:])
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "results":
+		err = cmdResults(os.Args[2:])
 	case "list":
 		err = cmdList(os.Args[2:])
 	case "-h", "--help", "help":
@@ -83,10 +99,14 @@ modes:
   run          simulate with in-process workers (goroutines)
   experiments  run several independent stochastic experiments and pool them
   coord        start the rank-0 coordinator of a distributed job
-  worker       join a distributed job as a worker
+  worker       join a distributed job (or, with -service, a run service fleet)
+  serve        host many runs at once behind a JSON control API
+  submit       send one run to a "parmonc serve" service
+  status       list a service's runs, or show one
+  results      fetch (or -cancel) one service run
   list         list built-in workloads and their parameter schemas
 
-workload selection (run, experiments, coord, worker):
+workload selection (run, experiments, coord, worker, submit):
   -workload <name>      pick a registered workload
   -set key=value        override one schema parameter (repeatable)
   -scenario spec.json   load workload and parameters from a JSON spec
@@ -238,7 +258,7 @@ func cmdRun(args []string) error {
 		}
 		defer srv.Close()
 		if !*jsonOut {
-			fmt.Printf("ops server on http://%s (metrics, healthz, statusz, pprof)\n", srv.Addr())
+			fmt.Printf("ops server on %s (metrics, healthz, statusz, pprof)\n", srv.URL())
 		}
 	}
 
@@ -432,7 +452,7 @@ func cmdCoord(args []string) error {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("ops server on http://%s (metrics, healthz, statusz, pprof)\n", srv.Addr())
+		fmt.Printf("ops server on %s (metrics, healthz, statusz, pprof)\n", srv.URL())
 	}
 	fmt.Printf("coordinator listening on %s (workload %s, target %d)\n", coord.Addr(), w.id.Fingerprint(), *maxsv)
 
@@ -503,7 +523,8 @@ func cmdExperiments(args []string) error {
 func cmdWorker(args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
 	wf := addWorkloadFlags(fs)
-	addr := fs.String("addr", "127.0.0.1:7070", "coordinator address")
+	addr := fs.String("addr", "127.0.0.1:7070", "coordinator (or, with -service, fleet) address")
+	service := fs.Bool("service", false, "join a \"parmonc serve\" fleet instead of a single-job coordinator")
 	defaults := cluster.DefaultRetryPolicy()
 	attempts := fs.Int("retry-attempts", defaults.MaxAttempts, "RPC attempts before the worker gives up")
 	base := fs.Duration("retry-base", defaults.BaseDelay, "first retry backoff delay")
@@ -514,21 +535,34 @@ func cmdWorker(args []string) error {
 	journalPath := fs.String("journal", "", "append worker run events to this JSONL file")
 	fs.Parse(args)
 
+	ctx, cancel := signalContext()
+	defer cancel()
+	retry := cluster.RetryPolicy{
+		MaxAttempts: *attempts,
+		BaseDelay:   *base,
+		MaxDelay:    *max,
+		CallTimeout: *callTimeout,
+		DialTimeout: *dialTimeout,
+	}
+	if *service {
+		// Fleet workers take their workloads from the tasks they pull,
+		// so the -workload/-set/-scenario flags do not apply here.
+		fmt.Printf("fleet worker joining %s\n", *addr)
+		rep, err := runmgr.RunFleetWorker(ctx, *addr, runmgr.FleetWorkerConfig{Retry: retry})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fleet worker %d done: %d realizations, %d pushes (%d retries, %d reconnects)\n",
+			rep.Worker, rep.Realizations, rep.Pushes, rep.Retries, rep.Reconnects)
+		return nil
+	}
 	w, err := wf.resolve()
 	if err != nil {
 		return err
 	}
-	ctx, cancel := signalContext()
-	defer cancel()
 	wcfg := cluster.WorkerConfig{
 		Workload: w.id,
-		Retry: cluster.RetryPolicy{
-			MaxAttempts: *attempts,
-			BaseDelay:   *base,
-			MaxDelay:    *max,
-			CallTimeout: *callTimeout,
-			DialTimeout: *dialTimeout,
-		},
+		Retry:    retry,
 	}
 	if *journalPath != "" {
 		j, err := obs.OpenJournal(*journalPath)
@@ -555,7 +589,7 @@ func cmdWorker(args []string) error {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("ops server on http://%s (metrics, healthz, statusz, pprof)\n", srv.Addr())
+		fmt.Printf("ops server on %s (metrics, healthz, statusz, pprof)\n", srv.URL())
 	}
 	fmt.Printf("worker joining %s (workload %s)\n", *addr, w.id.Fingerprint())
 	rep, err := cluster.RunResilientWorker(ctx, *addr, wcfg, w.factory)

@@ -5,9 +5,10 @@
 // is that "it is desirable to control the absolute and relative
 // stochastic errors during the simulation". This program does exactly
 // that: an unbounded run (MaxSamples = 0, the paper's "endless"
-// simulation) watches its own error bounds through Config.OnSave and
-// cancels the context once the maximal relative error of the estimate
-// drops below a target.
+// simulation) carries the library's target-relative-error stop rule
+// (parmonc.TargetRelErr, the 3σ̄·L^(−1/2) bound) in Config.Stop, and
+// the run ends on its own once the maximal relative error of the
+// estimate drops below the target. Config.OnSave only watches.
 //
 // The estimated quantity is the slab-transmission probability of the
 // transport example (pure absorber, thickness 2: exact value e⁻²).
@@ -30,26 +31,21 @@ import (
 const targetRelErr = 0.5 // percent
 
 func main() {
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-
 	var saves atomic.Int64
 	cfg := parmonc.Config{
 		Nrow: 1, Ncol: 1,
 		MaxSamples: 0, // unbounded: accuracy decides when to stop
 		PassPeriod: 20 * time.Millisecond,
 		AverPeriod: 50 * time.Millisecond,
+		Stop:       parmonc.TargetRelErr(targetRelErr, 1000),
 		OnSave: func(p parmonc.Progress) {
 			n := saves.Add(1)
 			fmt.Printf("  save %2d: L = %8d  ρ_max = %6.3f%%  (target %.1f%%)\n",
 				n, p.N, p.MaxRelErr, targetRelErr)
-			if p.N > 1000 && p.MaxRelErr < targetRelErr {
-				cancel()
-			}
 		},
 	}
 
-	res, err := parmonc.Run(ctx, cfg, func(src *parmonc.Stream, out []float64) error {
+	res, err := parmonc.Run(context.Background(), cfg, func(src *parmonc.Stream, out []float64) error {
 		if dist.Exponential(src, 1) >= 2 {
 			out[0] = 1
 		}

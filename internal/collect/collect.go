@@ -108,6 +108,13 @@ type Config struct {
 	// for long and must not call back into the Collector.
 	OnSave func(Progress)
 
+	// Stop, if non-nil, is the run's statistical completion rule (see
+	// StopRule): it is evaluated with the freshly folded progress after
+	// every averaging + save cycle, and on demand via EvalStop. The
+	// first true latches; transports poll StopSatisfied alongside
+	// TargetReached to decide when to wind the run down.
+	Stop StopRule
+
 	// Hook, if non-nil, receives one Event per collector occurrence
 	// (push, reject, merge, save, prune) in addition to the atomic
 	// counters. Events from one worker's pushes arrive in order, but
@@ -167,6 +174,8 @@ type Collector struct {
 	saveMu   sync.Mutex
 	saveErr  error // first save failure, sticky
 	lastSave atomic.Int64
+
+	stopHit atomic.Bool // latched verdict of Config.Stop
 
 	metrics *Metrics
 }
@@ -936,6 +945,15 @@ func (c *Collector) saveHolding() (stat.Report, error) {
 	total := c.fold()
 	t0 := c.now()
 	rep := total.Report(c.meta.Gamma)
+	if c.cfg.Stop != nil && !c.stopHit.Load() && c.cfg.Stop(Progress{
+		N:         rep.N,
+		MaxAbsErr: rep.MaxAbsErr,
+		MaxRelErr: rep.MaxRelErr,
+		MaxVar:    rep.MaxVar,
+		Elapsed:   t0.Sub(c.start),
+	}) {
+		c.stopHit.Store(true)
+	}
 	var err error
 	if c.dir != nil {
 		meta := c.stampedMeta()

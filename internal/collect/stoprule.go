@@ -1,0 +1,61 @@
+package collect
+
+// StopRule is a statistical completion criterion: given the current
+// progress snapshot it reports whether the run has reached its target
+// accuracy. It is the paper's "control the absolute and relative
+// stochastic errors during the simulation" promoted from a per-program
+// OnSave idiom (examples/errorcontrol cancelling its own context) to a
+// first-class engine option: set Config.Stop and the collector latches
+// the verdict the first time the rule fires, after an averaging cycle
+// or an explicit EvalStop. The engine never stops anything itself —
+// transports poll StopSatisfied and wind the run down, exactly as they
+// poll TargetReached for the sample-volume target.
+//
+// A rule must be a pure function of its Progress argument: it may be
+// evaluated from any goroutine that triggers a save, and it must not
+// call back into the Collector.
+type StopRule func(Progress) bool
+
+// TargetRelErr returns the stop rule of the error-control workflow:
+// the run is complete once the maximal relative error over the
+// realization matrix — the γ·σ̄·L^(−1/2) confidence bound relative to
+// the mean, in percent — has dropped below maxRelErrPct. The bound is
+// meaningless at tiny sample volumes (σ̄ is itself an estimate, and an
+// all-zero prefix reports zero error), so the rule only fires once at
+// least minSamples realizations have merged; minSamples <= 0 selects
+// the default of 1000.
+func TargetRelErr(maxRelErrPct float64, minSamples int64) StopRule {
+	if minSamples <= 0 {
+		minSamples = 1000
+	}
+	return func(p Progress) bool {
+		return p.N >= minSamples && p.MaxRelErr < maxRelErrPct
+	}
+}
+
+// EvalStop evaluates the configured stop rule against the current
+// progress (folding the shards) and returns the latched verdict. With
+// no rule configured it reports false. The verdict is sticky: once a
+// rule has fired, EvalStop and StopSatisfied keep reporting true even
+// if later samples would push the error back over the target —
+// stopping is a one-way decision, and re-opening it would make the
+// stopping sample volume depend on evaluation timing.
+func (c *Collector) EvalStop() bool {
+	if c.cfg.Stop == nil {
+		return false
+	}
+	if c.stopHit.Load() {
+		return true
+	}
+	if c.cfg.Stop(c.Progress()) {
+		c.stopHit.Store(true)
+	}
+	return c.stopHit.Load()
+}
+
+// StopSatisfied reports whether the configured stop rule has fired
+// (always false without one). It only reads the latched verdict —
+// rules are evaluated after averaging cycles and by EvalStop.
+func (c *Collector) StopSatisfied() bool {
+	return c.stopHit.Load()
+}

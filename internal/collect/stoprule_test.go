@@ -1,0 +1,149 @@
+package collect
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"parmonc/internal/stat"
+	"parmonc/internal/store"
+)
+
+func TestTargetRelErrRule(t *testing.T) {
+	rule := TargetRelErr(0.5, 100)
+	cases := []struct {
+		name string
+		p    Progress
+		want bool
+	}{
+		{"below min samples", Progress{N: 99, MaxRelErr: 0.1}, false},
+		{"error above target", Progress{N: 1000, MaxRelErr: 0.6}, false},
+		{"error at target", Progress{N: 1000, MaxRelErr: 0.5}, false},
+		{"both satisfied", Progress{N: 100, MaxRelErr: 0.49}, true},
+		{"infinite error", Progress{N: 100000, MaxRelErr: math.Inf(1)}, false},
+	}
+	for _, c := range cases {
+		if got := rule(c.p); got != c.want {
+			t.Errorf("%s: rule(%+v) = %v, want %v", c.name, c.p, got, c.want)
+		}
+	}
+}
+
+func TestTargetRelErrDefaultMinSamples(t *testing.T) {
+	rule := TargetRelErr(1.0, 0)
+	if rule(Progress{N: 999, MaxRelErr: 0.1}) {
+		t.Fatal("rule fired below the default minimum of 1000 samples")
+	}
+	if !rule(Progress{N: 1000, MaxRelErr: 0.1}) {
+		t.Fatal("rule did not fire at the default minimum of 1000 samples")
+	}
+}
+
+// snapOf builds a subtotal snapshot of n realizations with value v.
+func snapOf(t *testing.T, n int, v float64) stat.Snapshot {
+	t.Helper()
+	acc := stat.New(1, 1)
+	for i := 0; i < n; i++ {
+		if err := acc.Add([]float64{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return acc.Snapshot()
+}
+
+func stopMeta() store.RunMeta {
+	return store.RunMeta{Nrow: 1, Ncol: 1, Gamma: 3, StartedAt: time.Now()}
+}
+
+func TestCollectorStopRuleLatchesOnSave(t *testing.T) {
+	fired := 0
+	eng, err := New(nil, stopMeta(), Config{
+		Stop: func(p Progress) bool {
+			fired++
+			return p.N >= 50
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Register(0)
+	if eng.StopSatisfied() {
+		t.Fatal("stop satisfied before any samples")
+	}
+	if err := eng.Push(0, snapOf(t, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.StopSatisfied() {
+		t.Fatal("stop satisfied at N=10 with a rule requiring 50")
+	}
+	if err := eng.Push(0, snapOf(t, 40, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.StopSatisfied() {
+		t.Fatal("stop not satisfied at N=50")
+	}
+	if fired == 0 {
+		t.Fatal("rule was never evaluated")
+	}
+	// Latching: once fired, further saves must not consult the rule and
+	// the verdict must not flip back even though the rule would now say
+	// false again.
+	evals := fired
+	if err := eng.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != evals {
+		t.Fatalf("rule re-evaluated after latching (%d evals, had %d)", fired, evals)
+	}
+	if !eng.StopSatisfied() {
+		t.Fatal("latched verdict flipped back")
+	}
+}
+
+func TestCollectorEvalStopWithoutSave(t *testing.T) {
+	eng, err := New(nil, stopMeta(), Config{Stop: TargetRelErr(100, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Register(0)
+	// Alternating values give a nonzero variance and a finite relative
+	// error; with a 100% target the rule fires as soon as N >= 10.
+	acc := stat.New(1, 1)
+	for i := 0; i < 20; i++ {
+		if err := acc.Add([]float64{float64(i%2) + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Push(0, acc.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if eng.StopSatisfied() {
+		t.Fatal("stop satisfied before any evaluation")
+	}
+	if !eng.EvalStop() {
+		t.Fatal("EvalStop did not fire on a satisfied rule")
+	}
+	if !eng.StopSatisfied() {
+		t.Fatal("EvalStop verdict did not latch")
+	}
+}
+
+func TestCollectorNoStopRule(t *testing.T) {
+	eng, err := New(nil, stopMeta(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Register(0)
+	if err := eng.Push(0, snapOf(t, 100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if eng.EvalStop() || eng.StopSatisfied() {
+		t.Fatal("stop reported satisfied with no rule configured")
+	}
+}

@@ -124,6 +124,14 @@ type Config struct {
 	// back into the running simulation.
 	OnSave func(Progress)
 
+	// Stop, if non-nil, is the run's statistical completion rule: it is
+	// evaluated by the collector after every periodic save, and once it
+	// fires the workers stop at their next realization boundary and the
+	// run finalizes normally (Result.Interrupted stays false). Combine
+	// with MaxSamples = 0 for a pure accuracy-targeted run — see
+	// collect.TargetRelErr for the standard target-relative-error rule.
+	Stop collect.StopRule
+
 	// Hook, if non-nil, receives the collector engine's events (pushes,
 	// merges, saves, rejections); see collect.Hook for the contract.
 	Hook collect.Hook
@@ -351,6 +359,7 @@ func RunFactory(ctx context.Context, cfg Config, factory Factory) (Result, error
 		SaveWorkerSnapshots: cfg.SaveWorkerSnapshots,
 		StableMoments:       cfg.StableMoments,
 		OnSave:              cfg.OnSave,
+		Stop:                cfg.Stop,
 		Hook:                collect.MultiHook(cfg.Hook, collect.JournalHook(cfg.Journal)),
 		Registry:            cfg.Registry,
 	})
@@ -526,7 +535,7 @@ func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, leases
 			return err
 		}
 		for k := int64(0); ; k++ {
-			if ctx.Err() != nil {
+			if ctx.Err() != nil || eng.StopSatisfied() {
 				return nil
 			}
 			if k > 0 {
@@ -546,7 +555,7 @@ func runWorker(ctx context.Context, cfg Config, params rng.Params, m int, leases
 			return err
 		}
 		for k := int64(0); k < l.Count; k++ {
-			if ctx.Err() != nil {
+			if ctx.Err() != nil || eng.StopSatisfied() {
 				return nil
 			}
 			if k > 0 {

@@ -679,3 +679,31 @@ func TestCollectorFailureDoesNotDeadlock(t *testing.T) {
 		t.Fatal("expected collector error")
 	}
 }
+
+func TestRunStopRuleEndsUnboundedRun(t *testing.T) {
+	cfg := fastCfg(t.TempDir())
+	cfg.MaxSamples = 0 // unbounded: the stop rule decides
+	cfg.Stop = func(p collect.Progress) bool { return p.N >= 2000 }
+
+	done := make(chan struct{})
+	var res Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = Run(context.Background(), cfg, uniformMean)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stop rule never ended the unbounded run")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupted {
+		t.Fatal("stop-rule completion reported as interrupted")
+	}
+	if res.Report.N < 2000 {
+		t.Fatalf("run stopped at N = %d, before the rule's threshold", res.Report.N)
+	}
+}

@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,14 +41,26 @@ type Event struct {
 // Close — buffered appends off the push hot path. When the channel is
 // full the event is dropped and counted (a slow disk must degrade the
 // audit trail, never the simulation).
+//
+// A journal opened with OpenJournalRotating additionally rotates by
+// size: once the current file reaches the byte cap it is renamed
+// events.<n>.jsonl (n increasing across rotations and reopens) and a
+// fresh events.jsonl is started, so a long-lived serve process never
+// grows one file unboundedly.
 type Journal struct {
 	f     *os.File
+	path  string
 	start time.Time
 
-	ch      chan Event
-	done    chan struct{}
-	dropped atomic.Int64
-	written atomic.Int64
+	maxBytes int64 // rotation threshold; 0 disables rotation
+	size     int64 // bytes in the current file; writer goroutine only
+	nextRot  int   // index the next rotated file gets; writer goroutine only
+
+	ch        chan Event
+	done      chan struct{}
+	dropped   atomic.Int64
+	written   atomic.Int64
+	rotations atomic.Int64
 
 	closeMu   sync.RWMutex // guards closed vs in-flight Record sends
 	closed    bool
@@ -63,20 +78,66 @@ const journalDepth = 4096
 const journalFlushPeriod = 250 * time.Millisecond
 
 // OpenJournal opens (appending) or creates the JSONL journal at path
-// and starts its background writer.
+// and starts its background writer. The file grows without bound; use
+// OpenJournalRotating for long-lived processes.
 func OpenJournal(path string) (*Journal, error) {
+	return OpenJournalRotating(path, 0)
+}
+
+// OpenJournalRotating is OpenJournal with a size cap: once the current
+// file reaches maxBytes it is renamed to the next free events.<n>.jsonl
+// sibling and a fresh file is started at path. Rotation indices pick up
+// where previous sessions left off (existing events.<n>.jsonl files are
+// scanned at open), so reopening never clobbers rotated history.
+// maxBytes <= 0 disables rotation.
+func OpenJournalRotating(path string, maxBytes int64) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("obs: opening journal: %w", err)
 	}
 	j := &Journal{
-		f:     f,
-		start: time.Now(),
-		ch:    make(chan Event, journalDepth),
-		done:  make(chan struct{}),
+		f:        f,
+		path:     path,
+		start:    time.Now(),
+		maxBytes: maxBytes,
+		ch:       make(chan Event, journalDepth),
+		done:     make(chan struct{}),
+	}
+	if st, err := f.Stat(); err == nil {
+		j.size = st.Size()
+	}
+	if maxBytes > 0 {
+		j.nextRot = nextRotationIndex(path)
 	}
 	go j.writeLoop()
 	return j, nil
+}
+
+// rotatedName returns the name rotation n of path gets: the numbered
+// sibling with the index spliced in before the extension
+// (events.jsonl → events.3.jsonl).
+func rotatedName(path string, n int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.%d%s", strings.TrimSuffix(path, ext), n, ext)
+}
+
+// nextRotationIndex scans path's directory for previously rotated
+// siblings and returns one past the highest index found (1 for none).
+func nextRotationIndex(path string) int {
+	ext := filepath.Ext(path)
+	stem := strings.TrimSuffix(path, ext)
+	matches, err := filepath.Glob(stem + ".*" + ext)
+	if err != nil {
+		return 1
+	}
+	next := 1
+	for _, m := range matches {
+		mid := strings.TrimSuffix(strings.TrimPrefix(m, stem+"."), ext)
+		if n, err := strconv.Atoi(mid); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return next
 }
 
 // Record enqueues one event, stamping its timestamps. It never blocks:
@@ -111,26 +172,71 @@ func (j *Journal) Dropped() int64 { return j.dropped.Load() }
 // Written reports how many events reached the file buffer.
 func (j *Journal) Written() int64 { return j.written.Load() }
 
+// Rotations reports how many size rotations have happened this session.
+func (j *Journal) Rotations() int64 { return j.rotations.Load() }
+
 func (j *Journal) writeLoop() {
 	w := bufio.NewWriterSize(j.f, 64<<10)
-	enc := json.NewEncoder(w)
 	tick := time.NewTicker(journalFlushPeriod)
 	defer tick.Stop()
 	for {
 		select {
 		case e, ok := <-j.ch:
 			if !ok {
-				w.Flush()
+				if w != nil {
+					w.Flush()
+				}
 				close(j.done)
 				return
 			}
-			if err := enc.Encode(e); err == nil {
+			if w == nil {
+				// A rotation failed to open a fresh file; the journal
+				// degrades to counting drops, never blocks the run.
+				j.dropped.Add(1)
+				continue
+			}
+			b, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			b = append(b, '\n')
+			if _, err := w.Write(b); err == nil {
 				j.written.Add(1)
+				j.size += int64(len(b))
+			}
+			if j.maxBytes > 0 && j.size >= j.maxBytes {
+				w = j.rotate(w)
 			}
 		case <-tick.C:
-			w.Flush()
+			if w != nil {
+				w.Flush()
+			}
 		}
 	}
+}
+
+// rotate renames the full current file to its numbered sibling and
+// starts a fresh one. Runs on the writer goroutine. If the rename
+// fails the current file keeps growing (rotation retries on the next
+// write); if reopening fails the journal degrades to dropping events.
+func (j *Journal) rotate(w *bufio.Writer) *bufio.Writer {
+	w.Flush()
+	j.f.Close()
+	if err := os.Rename(j.path, rotatedName(j.path, j.nextRot)); err == nil {
+		j.nextRot++
+		j.rotations.Add(1)
+	}
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.f = nil
+		return nil
+	}
+	j.f = f
+	j.size = 0
+	if st, err := f.Stat(); err == nil {
+		j.size = st.Size() // nonzero when the rename failed: retry soon
+	}
+	return bufio.NewWriterSize(f, 64<<10)
 }
 
 // Close drains pending events, flushes, and closes the file. Safe to
@@ -142,7 +248,9 @@ func (j *Journal) Close() error {
 		close(j.ch)
 		j.closeMu.Unlock()
 		<-j.done
-		j.closeErr = j.f.Close()
+		if j.f != nil {
+			j.closeErr = j.f.Close()
+		}
 	})
 	return j.closeErr
 }

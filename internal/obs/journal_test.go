@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -118,5 +119,134 @@ func TestJournalRecordAfterClose(t *testing.T) {
 	}
 	if err := j.Close(); err != nil { // idempotent
 		t.Fatal(err)
+	}
+}
+
+// TestJournalRotation: past the byte cap the file is renamed to
+// events.<n>.jsonl and a fresh events.jsonl starts; no event is lost
+// across the rotation boundary.
+func TestJournalRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	j, err := OpenJournalRotating(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 100 // ~80 bytes each: several rotations
+	for i := 0; i < total; i++ {
+		j.Record(Event{Kind: "push", Worker: i, Samples: int64(i)})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Rotations() < 2 {
+		t.Fatalf("expected at least 2 rotations, got %d", j.Rotations())
+	}
+	if j.Written() != total || j.Dropped() != 0 {
+		t.Fatalf("written %d dropped %d", j.Written(), j.Dropped())
+	}
+
+	var events []Event
+	for n := 1; ; n++ {
+		rot := filepath.Join(dir, fmt.Sprintf("events.%d.jsonl", n))
+		if _, err := os.Stat(rot); err != nil {
+			break
+		}
+		es, err := ReadJournal(rot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, es...)
+	}
+	tail, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events = append(events, tail...)
+	if len(events) != total {
+		t.Fatalf("recovered %d events across rotations, want %d", len(events), total)
+	}
+	for i, e := range events {
+		if e.Worker != i {
+			t.Fatalf("event %d out of order: worker %d", i, e.Worker)
+		}
+	}
+	// Rotated files all respect the cap (plus at most one record).
+	for n := int64(1); n <= j.Rotations(); n++ {
+		st, err := os.Stat(filepath.Join(dir, fmt.Sprintf("events.%d.jsonl", n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() > 512+256 {
+			t.Fatalf("rotated file %d is %d bytes, cap 512", n, st.Size())
+		}
+	}
+}
+
+// TestJournalRotationResumesIndices: a reopened journal continues the
+// rotation numbering instead of clobbering rotated history.
+func TestJournalRotationResumesIndices(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	for session := 0; session < 2; session++ {
+		j, err := OpenJournalRotating(path, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			j.Record(Event{Kind: "push", Worker: session*30 + i})
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if j.Rotations() == 0 {
+			t.Fatalf("session %d: no rotation at this volume", session)
+		}
+	}
+	var events []Event
+	for n := 1; ; n++ {
+		rot := filepath.Join(dir, fmt.Sprintf("events.%d.jsonl", n))
+		if _, err := os.Stat(rot); err != nil {
+			break
+		}
+		es, err := ReadJournal(rot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, es...)
+	}
+	tail, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events = append(events, tail...)
+	if len(events) != 60 {
+		t.Fatalf("recovered %d events over two sessions, want 60", len(events))
+	}
+	for i, e := range events {
+		if e.Worker != i {
+			t.Fatalf("event %d out of order: worker %d", i, e.Worker)
+		}
+	}
+}
+
+func TestJournalNoRotationWithoutCap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		j.Record(Event{Kind: "push", Worker: i})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Rotations() != 0 {
+		t.Fatalf("uncapped journal rotated %d times", j.Rotations())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "events.1.jsonl")); err == nil {
+		t.Fatal("uncapped journal produced a rotated file")
 	}
 }

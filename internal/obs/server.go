@@ -25,6 +25,12 @@ type ServerConfig struct {
 	// Journal, when set, adds its write/drop counters to /statusz
 	// under "journal".
 	Journal *Journal
+
+	// Routes mounts extra handlers on the ops mux by pattern
+	// (http.ServeMux syntax) — how a subsystem like the run manager
+	// exposes its control API on the same listener as /metrics and
+	// /statusz. Patterns must not collide with the built-in endpoints.
+	Routes map[string]http.Handler
 }
 
 // NewHandler builds the ops mux: /metrics (Prometheus text format),
@@ -65,6 +71,9 @@ func NewHandler(cfg ServerConfig) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(body)
 	})
+	for pattern, h := range cfg.Routes {
+		mux.Handle(pattern, h)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -100,6 +109,22 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns a dialable base URL for the bound address: a wildcard
+// listen host (":0", "0.0.0.0", "[::]") is rewritten to loopback, so
+// what a CLI prints — and what a test scrapes — can always be
+// connected to verbatim.
+func (s *Server) URL() string {
+	addr := s.Addr()
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://" + addr
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
 
 // Close stops the server and its listener.
 func (s *Server) Close() error { return s.srv.Close() }

@@ -123,3 +123,44 @@ func TestServerNoStatus(t *testing.T) {
 		t.Fatal("nil Health should be healthy")
 	}
 }
+
+// TestServerRoutesAndURL: ServerConfig.Routes handlers mount alongside
+// the built-ins, and URL() rewrites wildcard hosts to something
+// dialable.
+func TestServerRoutesAndURL(t *testing.T) {
+	srv, err := Serve(":0", ServerConfig{
+		Routes: map[string]http.Handler{
+			"/runs": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(http.StatusAccepted)
+				fmt.Fprint(w, "mounted")
+			}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	url := srv.URL()
+	if strings.Contains(url, "[::]") || strings.Contains(url, "0.0.0.0") {
+		t.Fatalf("URL %q is not dialable", url)
+	}
+	resp, err := http.Get(url + "/runs")
+	if err != nil {
+		t.Fatalf("GET %s/runs via URL(): %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted || string(body) != "mounted" {
+		t.Fatalf("mounted route: status %d body %q", resp.StatusCode, body)
+	}
+	// Built-ins still serve next to the mounted route.
+	resp2, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp2.StatusCode)
+	}
+}

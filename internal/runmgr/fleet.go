@@ -1,0 +1,530 @@
+package runmgr
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/rpc"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parmonc/internal/cluster"
+	"parmonc/internal/collect"
+	"parmonc/internal/core"
+	"parmonc/internal/rng"
+	"parmonc/internal/stat"
+	"parmonc/internal/workload"
+)
+
+// FleetServiceName is the RPC service the run manager exposes to its
+// worker fleet. It is distinct from the single-run cluster protocol
+// (cluster.ServiceName): a fleet worker serves many runs and pulls
+// work instead of being bound to one job at registration.
+const FleetServiceName = "ParmoncFleet"
+
+// AttachArgs/AttachReply: a fleet worker joins the pool. ClientID makes
+// the attach idempotent across at-least-once retries — a retried attach
+// with the same ClientID returns the original worker index.
+type AttachArgs struct {
+	Hostname string
+	ClientID string
+}
+
+type AttachReply struct {
+	Worker int
+}
+
+// PullArgs/PullReply: a worker asks the fair-share scheduler for work.
+// Granted=false means "nothing for you right now, poll again"; Stop
+// means the service is shutting down.
+type PullArgs struct {
+	Worker int
+}
+
+type PullReply struct {
+	Granted bool
+	Stop    bool
+	Task    Task
+}
+
+// Task is one granted lease plus everything a worker needs to execute
+// it without any local state about the run: the canonical scenario (the
+// worker resolves it against its own registry and must reproduce the
+// coordinator's fingerprint bit-for-bit), the matrix dimensions, the
+// RNG parameters and experiment subsequence, and the push cadence.
+type Task struct {
+	RunID       string
+	Scenario    string // canonical workload.Spec JSON
+	Fingerprint string
+	Nrow, Ncol  int
+	SeqNum      uint64
+	Params      rng.Params
+	Gamma       float64
+	PassEvery   int64
+	Lease       collect.Lease
+}
+
+// TaskPushArgs/TaskPushReply: one subtotal push. Done is cumulative
+// within the granted lease window. Fenced tells the worker its grant
+// was revoked (abandon the task, pull again); Final tells it the run
+// finished (same reaction).
+type TaskPushArgs struct {
+	Worker  int
+	RunID   string
+	LeaseID uint64
+	Done    int64
+	Snap    stat.Snapshot
+}
+
+type TaskPushReply struct {
+	Fenced bool
+	Final  bool
+}
+
+// NackArgs: the worker cannot serve this task's scenario (workload not
+// registered, or it resolves to a different fingerprint). The lease is
+// requeued for other workers and this worker is excluded from the run.
+type NackArgs struct {
+	Worker  int
+	RunID   string
+	LeaseID uint64
+	Reason  string
+}
+
+type NackReply struct{}
+
+// FailArgs: a realization failed definitively; the run fails.
+type FailArgs struct {
+	Worker  int
+	RunID   string
+	LeaseID uint64
+	Reason  string
+}
+
+type FailReply struct{}
+
+// DetachArgs: the worker leaves the pool; its leases are reissued.
+type DetachArgs struct {
+	Worker int
+}
+
+type DetachReply struct{}
+
+// fleetAPI is the transport-neutral fleet protocol: implemented by
+// localFleet (direct method calls, the in-process fleet) and rpcFleet
+// (net/rpc over TCP through a ResilientClient). The worker loop is
+// written against this interface once, so both transports execute
+// byte-identical work.
+type fleetAPI interface {
+	Attach(ctx context.Context, a AttachArgs) (AttachReply, error)
+	Pull(ctx context.Context, a PullArgs) (PullReply, error)
+	Push(ctx context.Context, a TaskPushArgs) (TaskPushReply, error)
+	Nack(ctx context.Context, a NackArgs) error
+	Fail(ctx context.Context, a FailArgs) error
+	Detach(ctx context.Context, a DetachArgs) error
+}
+
+// localFleet calls the manager directly — the in-process transport.
+type localFleet struct{ m *Manager }
+
+func (lf localFleet) Attach(_ context.Context, a AttachArgs) (AttachReply, error) {
+	return lf.m.attach(a)
+}
+func (lf localFleet) Pull(_ context.Context, a PullArgs) (PullReply, error) {
+	return lf.m.pullTask(a)
+}
+func (lf localFleet) Push(_ context.Context, a TaskPushArgs) (TaskPushReply, error) {
+	return lf.m.pushTask(a)
+}
+func (lf localFleet) Nack(_ context.Context, a NackArgs) error { return lf.m.nackTask(a) }
+func (lf localFleet) Fail(_ context.Context, a FailArgs) error { return lf.m.failTask(a) }
+func (lf localFleet) Detach(_ context.Context, a DetachArgs) error {
+	return lf.m.detach(a)
+}
+
+// fleetService adapts the manager to net/rpc method shapes.
+type fleetService struct{ m *Manager }
+
+func (s *fleetService) Attach(a AttachArgs, r *AttachReply) error {
+	rep, err := s.m.attach(a)
+	*r = rep
+	return err
+}
+
+func (s *fleetService) Pull(a PullArgs, r *PullReply) error {
+	rep, err := s.m.pullTask(a)
+	*r = rep
+	return err
+}
+
+func (s *fleetService) Push(a TaskPushArgs, r *TaskPushReply) error {
+	rep, err := s.m.pushTask(a)
+	*r = rep
+	return err
+}
+
+func (s *fleetService) Nack(a NackArgs, _ *NackReply) error { return s.m.nackTask(a) }
+
+func (s *fleetService) Fail(a FailArgs, _ *FailReply) error { return s.m.failTask(a) }
+
+func (s *fleetService) Detach(a DetachArgs, _ *DetachReply) error { return s.m.detach(a) }
+
+// ServeFleet exposes the fleet protocol on ln. Multiple listeners may
+// serve one manager; all close with the manager.
+func (m *Manager) ServeFleet(ln net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(FleetServiceName, &fleetService{m}); err != nil {
+		return err
+	}
+	m.lnMu.Lock()
+	if m.lnClosed {
+		m.lnMu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	m.lns = append(m.lns, ln)
+	m.lnMu.Unlock()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			m.lnMu.Lock()
+			if m.lnClosed {
+				m.lnMu.Unlock()
+				conn.Close()
+				return
+			}
+			m.conns[conn] = struct{}{}
+			m.lnMu.Unlock()
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				srv.ServeConn(conn)
+				m.lnMu.Lock()
+				delete(m.conns, conn)
+				m.lnMu.Unlock()
+				conn.Close()
+			}()
+		}
+	}()
+	return nil
+}
+
+// rpcFleet is the TCP transport: every call goes through a
+// ResilientClient, so transport faults are retried with backoff and
+// reconnect while application rejections (rpc.ServerError) stay
+// definitive. The protocol is retry-safe by construction: Attach is
+// idempotent per ClientID, Push dedups on the absolute substream
+// sequence, and Nack/Fail/Detach are no-ops once applied.
+type rpcFleet struct{ rc *cluster.ResilientClient }
+
+func (rf rpcFleet) Attach(ctx context.Context, a AttachArgs) (AttachReply, error) {
+	var r AttachReply
+	err := rf.rc.Call(ctx, FleetServiceName+".Attach", a, &r)
+	return r, err
+}
+
+func (rf rpcFleet) Pull(ctx context.Context, a PullArgs) (PullReply, error) {
+	var r PullReply
+	err := rf.rc.Call(ctx, FleetServiceName+".Pull", a, &r)
+	return r, err
+}
+
+func (rf rpcFleet) Push(ctx context.Context, a TaskPushArgs) (TaskPushReply, error) {
+	var r TaskPushReply
+	err := rf.rc.Call(ctx, FleetServiceName+".Push", a, &r)
+	return r, err
+}
+
+func (rf rpcFleet) Nack(ctx context.Context, a NackArgs) error {
+	var r NackReply
+	return rf.rc.Call(ctx, FleetServiceName+".Nack", a, &r)
+}
+
+func (rf rpcFleet) Fail(ctx context.Context, a FailArgs) error {
+	var r FailReply
+	return rf.rc.Call(ctx, FleetServiceName+".Fail", a, &r)
+}
+
+func (rf rpcFleet) Detach(ctx context.Context, a DetachArgs) error {
+	var r DetachReply
+	return rf.rc.Call(ctx, FleetServiceName+".Detach", a, &r)
+}
+
+// FleetWorkerConfig tunes one fleet worker.
+type FleetWorkerConfig struct {
+	// Hostname labels the worker in journals; default os.Hostname.
+	Hostname string
+	// ClientID makes attach idempotent across retries; default a
+	// process-unique string.
+	ClientID string
+	// Poll is how long the worker sleeps when the scheduler has nothing
+	// for it. Default 50 ms.
+	Poll time.Duration
+	// Retry tunes the TCP transport (ignored by local workers).
+	Retry cluster.RetryPolicy
+}
+
+var fleetClientSeq atomic.Int64
+
+func (cfg FleetWorkerConfig) withDefaults() FleetWorkerConfig {
+	if cfg.Hostname == "" {
+		cfg.Hostname, _ = os.Hostname()
+	}
+	if cfg.ClientID == "" {
+		cfg.ClientID = fmt.Sprintf("%s-%d-%d", cfg.Hostname, os.Getpid(), fleetClientSeq.Add(1))
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 50 * time.Millisecond
+	}
+	return cfg
+}
+
+// FleetWorkerReport summarizes one worker's service.
+type FleetWorkerReport struct {
+	Worker       int
+	Realizations int64
+	Pushes       int64
+	Nacks        int64
+	Retries      int64 // transport retries (TCP workers only)
+	Reconnects   int64 // redials after connection loss (TCP workers only)
+}
+
+// runFleetLoop is the worker side of the fleet protocol, shared by
+// both transports: attach once, then pull → execute → push until the
+// service says Stop or the context is canceled.
+func runFleetLoop(ctx context.Context, api fleetAPI, cfg FleetWorkerConfig) (FleetWorkerReport, error) {
+	cfg = cfg.withDefaults()
+	var rep FleetWorkerReport
+	at, err := api.Attach(ctx, AttachArgs{Hostname: cfg.Hostname, ClientID: cfg.ClientID})
+	if err != nil {
+		return rep, fmt.Errorf("runmgr: fleet attach: %w", err)
+	}
+	rep.Worker = at.Worker
+	defer func() {
+		// Detach even when the context is already canceled, so the
+		// scheduler reissues our leases immediately instead of waiting
+		// for the lease timeout.
+		dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = api.Detach(dctx, DetachArgs{Worker: at.Worker})
+	}()
+	realizers := map[string]core.Realization{}
+	for {
+		if ctx.Err() != nil {
+			return rep, nil
+		}
+		pr, err := api.Pull(ctx, PullArgs{Worker: at.Worker})
+		if err != nil {
+			if ctx.Err() != nil {
+				return rep, nil
+			}
+			return rep, fmt.Errorf("runmgr: fleet pull: %w", err)
+		}
+		if pr.Stop {
+			return rep, nil
+		}
+		if !pr.Granted {
+			select {
+			case <-ctx.Done():
+				return rep, nil
+			case <-time.After(cfg.Poll):
+			}
+			continue
+		}
+		executeTask(ctx, api, at.Worker, pr.Task, realizers, &rep)
+	}
+}
+
+// executeTask simulates one granted lease window, pushing subtotals at
+// PassEvery boundaries and at the window end. It never flushes a
+// partial window: an abandoned task (cancellation, fencing, run
+// completion) leaves the done ledger at the last acked boundary and the
+// remainder is recomputed from there — that discipline is what makes
+// each processor shard's push-window sequence a pure function of the
+// lease partition and PassEvery, and so the report bit-identical no
+// matter how execution interleaves.
+func executeTask(ctx context.Context, api fleetAPI, worker int, task Task, realizers map[string]core.Realization, rep *FleetWorkerReport) {
+	realize, ok := realizers[task.RunID]
+	if !ok {
+		r, err := resolveTask(task, worker)
+		if err != nil {
+			rep.Nacks++
+			_ = api.Nack(ctx, NackArgs{Worker: worker, RunID: task.RunID, LeaseID: task.Lease.ID, Reason: err.Error()})
+			return
+		}
+		realize = r
+		realizers[task.RunID] = realize
+	}
+	l := task.Lease
+	stream, err := rng.NewStream(task.Params, rng.Coord{
+		Experiment: task.SeqNum, Processor: l.Proc, Realization: l.Start,
+	})
+	if err != nil {
+		_ = api.Fail(ctx, FailArgs{Worker: worker, RunID: task.RunID, LeaseID: l.ID, Reason: err.Error()})
+		return
+	}
+	local := stat.New(task.Nrow, task.Ncol)
+	out := make([]float64, task.Nrow*task.Ncol)
+	var done int64
+	for k := int64(0); k < l.Count; k++ {
+		if ctx.Err() != nil {
+			return // abandon mid-window; nothing partial leaves this worker
+		}
+		if k > 0 {
+			if err := stream.NextRealization(); err != nil {
+				_ = api.Fail(ctx, FailArgs{Worker: worker, RunID: task.RunID, LeaseID: l.ID, Reason: err.Error()})
+				return
+			}
+		}
+		for i := range out {
+			out[i] = 0
+		}
+		t0 := time.Now()
+		if err := callRealization(realize, stream, out); err != nil {
+			_ = api.Fail(ctx, FailArgs{
+				Worker: worker, RunID: task.RunID, LeaseID: l.ID,
+				Reason: fmt.Sprintf("realization %d: %v", uint64(k)+l.Start, err),
+			})
+			return
+		}
+		if err := local.AddTimed(out, time.Since(t0)); err != nil {
+			_ = api.Fail(ctx, FailArgs{Worker: worker, RunID: task.RunID, LeaseID: l.ID, Reason: err.Error()})
+			return
+		}
+		rep.Realizations++
+		if local.N() >= task.PassEvery || k == l.Count-1 {
+			done += local.N()
+			pres, err := api.Push(ctx, TaskPushArgs{
+				Worker: worker, RunID: task.RunID, LeaseID: l.ID, Done: done, Snap: local.Snapshot(),
+			})
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				// Either the coordinator definitively rejected the
+				// snapshot or the transport gave up; in both cases this
+				// worker cannot advance the run. Report and abandon —
+				// an unreachable coordinator ignores the report and the
+				// lease times out.
+				_ = api.Fail(ctx, FailArgs{Worker: worker, RunID: task.RunID, LeaseID: l.ID, Reason: err.Error()})
+				return
+			}
+			rep.Pushes++
+			if pres.Fenced || pres.Final {
+				return
+			}
+			local.Reset()
+		}
+	}
+}
+
+// resolveTask resolves the task's scenario against this process's
+// workload registry and verifies the fingerprint matches the
+// coordinator's — the cluster identity check, extended to a fleet that
+// serves many scenarios.
+func resolveTask(task Task, worker int) (core.Realization, error) {
+	spec, err := workload.ParseSpec([]byte(task.Scenario))
+	if err != nil {
+		return nil, err
+	}
+	def, v, err := spec.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	id, err := def.Identity(v)
+	if err != nil {
+		return nil, err
+	}
+	if fp := id.Fingerprint(); fp != task.Fingerprint {
+		return nil, fmt.Errorf("workload %s resolves to %s here, but the run wants %s",
+			spec.Workload, fp, task.Fingerprint)
+	}
+	if id.Nrow != task.Nrow || id.Ncol != task.Ncol {
+		return nil, fmt.Errorf("workload %s is %d×%d here, but the run is %d×%d",
+			spec.Workload, id.Nrow, id.Ncol, task.Nrow, task.Ncol)
+	}
+	factory, err := def.Factory(v)
+	if err != nil {
+		return nil, err
+	}
+	return factory(worker)
+}
+
+// callRealization converts a panicking user routine into an error, as
+// the single-run engine does — one bad realization fails its run
+// cleanly instead of taking the whole fleet worker down.
+func callRealization(r core.Realization, stream *rng.Stream, out []float64) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("runmgr: realization panicked: %v", p)
+		}
+	}()
+	return r(stream, out)
+}
+
+// FleetGroup is a set of running fleet workers.
+type FleetGroup struct {
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	reports []FleetWorkerReport
+	errs    []error
+}
+
+// Wait blocks until every worker in the group has exited and returns
+// their reports and the first error, if any.
+func (g *FleetGroup) Wait() ([]FleetWorkerReport, error) {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var err error
+	if len(g.errs) > 0 {
+		err = g.errs[0]
+	}
+	return g.reports, err
+}
+
+// StartLocalWorkers runs n in-process fleet workers against the
+// manager — the goroutine transport. They exit when ctx is canceled or
+// the manager closes.
+func (m *Manager) StartLocalWorkers(ctx context.Context, n int, cfg FleetWorkerConfig) *FleetGroup {
+	g := &FleetGroup{}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 5 * time.Millisecond // in-process polling is cheap
+	}
+	for i := 0; i < n; i++ {
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			c := cfg
+			c.ClientID = "" // each worker gets its own identity
+			rep, err := runFleetLoop(ctx, localFleet{m}, c)
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			g.reports = append(g.reports, rep)
+			if err != nil {
+				g.errs = append(g.errs, err)
+			}
+		}()
+	}
+	return g
+}
+
+// RunFleetWorker serves the manager at addr over TCP until ctx is
+// canceled or the service stops — the `parmonc worker -service` loop.
+func RunFleetWorker(ctx context.Context, addr string, cfg FleetWorkerConfig) (FleetWorkerReport, error) {
+	cfg = cfg.withDefaults()
+	rc := cluster.NewResilientClient(addr, cfg.Retry)
+	defer rc.Close()
+	rep, err := runFleetLoop(ctx, rpcFleet{rc}, cfg)
+	stats := rc.Stats()
+	rep.Retries = stats.Retries
+	rep.Reconnects = stats.Reconnects
+	return rep, err
+}

@@ -49,6 +49,7 @@ import (
 	"context"
 
 	"parmonc/internal/cluster"
+	"parmonc/internal/collect"
 	"parmonc/internal/core"
 	"parmonc/internal/rng"
 	"parmonc/internal/stat"
@@ -113,6 +114,19 @@ type Factory = core.Factory
 // Config.OnSave — the hook for controlling the stochastic errors during
 // the simulation.
 type Progress = core.Progress
+
+// StopRule is a statistical completion criterion evaluated after every
+// periodic save. Set Config.Stop to end a run when a target accuracy is
+// reached instead of (or in addition to) a fixed sample volume.
+type StopRule = collect.StopRule
+
+// TargetRelErr returns the standard error-control stop rule: complete
+// once the maximal relative error — the γ·σ̄·L^(−1/2) bound relative to
+// the mean, in percent — drops below maxRelErrPct, after at least
+// minSamples realizations (<= 0 selects the default of 1000).
+func TargetRelErr(maxRelErrPct float64, minSamples int64) StopRule {
+	return collect.TargetRelErr(maxRelErrPct, minSamples)
+}
 
 // Run executes the simulation described by cfg, calling r once per
 // independent realization across cfg.Workers parallel workers. It is the
