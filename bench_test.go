@@ -20,6 +20,7 @@ package parmonc_test
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -212,6 +213,45 @@ func BenchmarkCollectorMerge(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := total.Merge(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkManifestAppend measures the durable-persist cost every run
+// lifecycle transition pays in the service: one WAL record appended to
+// the service log plus one atomic (tmp + rename) rewrite of the run's
+// checksummed manifest. The WAL append is a single unsynced write by
+// design; the manifest rewrite dominates. This bounds how often the
+// manager can afford to persist transitions on the submit/admit path.
+func BenchmarkManifestAppend(b *testing.B) {
+	dir := b.TempDir()
+	now := time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)
+	w, _, err := store.OpenWAL(filepath.Join(dir, store.WALFile), 0, now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	type manifest struct {
+		ID    string    `json:"id"`
+		Seq   int       `json:"seq"`
+		State string    `json:"state"`
+		Nrow  int       `json:"nrow"`
+		Ncol  int       `json:"ncol"`
+		MaxSV int64     `json:"maxsv"`
+		At    time.Time `json:"at"`
+	}
+	body := manifest{ID: "r0001", Seq: 1, Nrow: 3, Ncol: 3, MaxSV: 1_000_000, At: now}
+	path := filepath.Join(dir, store.ManifestFile)
+	states := []string{"queued", "admitted", "running", "done"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body.State = states[i%len(states)]
+		if err := w.Append(body.State, body.ID, now, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := store.SaveManifest(path, body); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -34,6 +34,7 @@ func cmdServe(args []string) error {
 	peraver := fs.Duration("peraver", 2*time.Minute, "per-run period of averaging and saving results")
 	leaseTimeout := fs.Duration("lease-timeout", 30*time.Second, "reissue a lease after this long without a push (0 disables)")
 	journalCap := fs.Int64("journal-max-bytes", 64<<20, "size-rotate each journal past this many bytes (0 disables)")
+	recoverPolicy := fs.String("recover", "strict", "corrupt-state policy at startup: strict (refuse to start) or discard (quarantine and continue)")
 	fs.Parse(args)
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -56,11 +57,21 @@ func cmdServe(args []string) error {
 		JournalMaxBytes: *journalCap,
 		Registry:        reg,
 		Journal:         journal,
+		Recover:         runmgr.RecoverPolicy(*recoverPolicy),
 	})
 	if err != nil {
 		return err
 	}
 	defer m.Close()
+
+	if info := m.Recovery(); info.Terminal+info.Requeued > 0 {
+		fmt.Printf("recovered service state (epoch %d): %d terminal runs listed, %d runs requeued (%d resumed with %d samples)",
+			info.Epoch, info.Terminal, info.Requeued, info.Resumed, info.SamplesRestored)
+		if !info.CleanShutdown {
+			fmt.Printf("; previous incarnation did not shut down cleanly (%d WAL records replayed)", info.WALRecords)
+		}
+		fmt.Println()
+	}
 
 	ln, err := net.Listen("tcp", *fleetAddr)
 	if err != nil {
@@ -94,8 +105,12 @@ func cmdServe(args []string) error {
 	fmt.Printf("run service on %s (POST /runs; metrics, statusz, pprof)\n", srv.URL())
 	fmt.Printf("fleet endpoint on %s (%d local workers)\n", ln.Addr(), *localWorkers)
 	<-ctx.Done()
-	fmt.Println("shutting down: canceling live runs, saving partial results")
-	return m.Close()
+	// Graceful drain: in-flight pushes land, every active run saves a
+	// final checkpoint and recovery image, the WAL records a clean
+	// shutdown — the next `parmonc serve` on this data root resumes the
+	// runs with nothing to replay.
+	fmt.Println("shutting down: draining pushes, checkpointing active runs")
+	return m.Shutdown()
 }
 
 // serviceClient is the CLI side of the control API.

@@ -88,6 +88,22 @@ type Config struct {
 	// Requires a non-nil store.
 	Resume bool
 
+	// Restore, if non-nil, rebuilds this collector from a recovery
+	// image of the *same* run (same experiments subsequence) captured
+	// by ExportRecovery — shards, dedup cursors and lease ledgers, not
+	// just the folded total — so a restarted coordinator reproduces the
+	// exact reduction tree and its reports stay bit-identical to an
+	// uninterrupted run. Restored shards start inactive and their
+	// incomplete leases revoked: pre-crash grants must fence, and the
+	// caller reissues the uncomputed remainders. Mutually exclusive
+	// with Resume, StableMoments and SaveWorkerSnapshots.
+	Restore *store.RecoveryState
+
+	// PersistRecovery writes the recovery image (store.RecoveryFile)
+	// after every successful save cycle, enabling Restore on the next
+	// incarnation. Requires a store.
+	PersistRecovery bool
+
 	// AverPeriod is the paper's peraver: pushes arriving at least this
 	// long after the previous save trigger averaging + save. Zero or
 	// negative disables periodic saves; Save and Finalize still work.
@@ -260,8 +276,29 @@ func New(dir *store.Dir, meta store.RunMeta, cfg Config) (*Collector, error) {
 		c.mono = func() time.Duration { return time.Since(base) }
 	}
 
+	if cfg.Restore != nil {
+		switch {
+		case cfg.Resume:
+			return nil, fmt.Errorf("collect: Restore and Resume are mutually exclusive")
+		case cfg.StableMoments:
+			return nil, fmt.Errorf("collect: Restore requires raw moments (StableMoments unsupported)")
+		case cfg.SaveWorkerSnapshots:
+			return nil, fmt.Errorf("collect: Restore does not carry per-worker snapshot accumulators (SaveWorkerSnapshots unsupported)")
+		}
+	}
+	if cfg.PersistRecovery && dir == nil {
+		return nil, fmt.Errorf("collect: PersistRecovery requires a store")
+	}
+
 	base := stat.New(meta.Nrow, meta.Ncol)
-	if cfg.Resume {
+	if cfg.Restore != nil {
+		// The base moments come from the image: the interrupted run may
+		// itself have started from a resume base, and the restored fold
+		// must start from the same bits.
+		if err := base.Merge(cfg.Restore.Base); err != nil {
+			return nil, fmt.Errorf("collect: recovery base: %w", err)
+		}
+	} else if cfg.Resume {
 		if dir == nil {
 			return nil, fmt.Errorf("collect: resume requires a store")
 		}
@@ -294,11 +331,17 @@ func New(dir *store.Dir, meta store.RunMeta, cfg Config) (*Collector, error) {
 	c.baseN = base.N()
 	c.metrics.resumedSamples.Set(float64(c.baseN))
 
+	if cfg.Restore != nil {
+		if err := c.restoreFrom(cfg.Restore); err != nil {
+			return nil, err
+		}
+	}
+
 	if dir != nil {
 		if err := dir.SaveBaseCheckpoint(c.baseSnap, meta); err != nil {
 			return nil, err
 		}
-		if err := dir.AppendExperiment(meta, cfg.Resume); err != nil {
+		if err := dir.AppendExperiment(meta, cfg.Resume || cfg.Restore != nil); err != nil {
 			return nil, err
 		}
 	}
@@ -962,6 +1005,11 @@ func (c *Collector) saveHolding() (stat.Report, error) {
 		}
 		if e := c.dir.SaveCheckpoint(total.Snapshot(), meta); e != nil && err == nil {
 			err = e
+		}
+		if c.cfg.PersistRecovery {
+			if e := c.SaveRecovery(); e != nil && err == nil {
+				err = e
+			}
 		}
 	}
 	now := c.now()

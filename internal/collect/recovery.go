@@ -1,0 +1,123 @@
+package collect
+
+import (
+	"fmt"
+	"sort"
+
+	"parmonc/internal/stat"
+	"parmonc/internal/store"
+)
+
+// Recovery support: exporting a collector's full working state so the
+// *same* run can be restarted bit-identically after a coordinator
+// crash, and importing it again in New (Config.Restore).
+//
+// The plain checkpoint cannot serve this purpose. It stores the folded
+// total, and float addition is not associative: restarting from the
+// total as a new base would change the reduction tree (base' + fresh
+// shards instead of base + original shards), and with it the report
+// bits. The recovery image instead captures every shard's staging
+// accumulator and lease ledger — each frozen consistently under its own
+// shard lock, which is exactly the consistency the merge path maintains
+// (a lease's done cursor and its shard's sums advance under one lock).
+// Restoring the shards and replaying only the uncomputed lease
+// remainders reproduces the exact fold an uninterrupted run performs.
+
+// ExportRecovery captures the collector's recovery image: base moments,
+// every shard's staging accumulator, dedup cursor and lease ledger.
+// Each shard is captured atomically under its own lock; shards appear
+// in ascending worker order and leases in ascending ID order, so two
+// exports of identical state are byte-identical.
+func (c *Collector) ExportRecovery() store.RecoveryState {
+	rs := store.RecoveryState{
+		Meta: c.stampedMeta(),
+		Base: c.baseSnap,
+	}
+	for _, sh := range c.shardList() {
+		sh.mu.Lock()
+		rec := store.ShardRecord{
+			Worker:  sh.worker,
+			Epoch:   sh.epoch,
+			LastSeq: sh.lastSeq,
+		}
+		if sh.raw != nil {
+			rec.Snap = sh.raw.Snapshot()
+		} else {
+			rec.Snap = sh.stable.Snapshot()
+		}
+		for id, ls := range sh.leases {
+			rec.Leases = append(rec.Leases, store.LeaseLedgerEntry{
+				ID:        id,
+				Proc:      ls.lease.Proc,
+				Start:     ls.lease.Start,
+				Count:     ls.lease.Count,
+				Done:      ls.done,
+				Completed: ls.completed,
+				Revoked:   ls.revoked,
+			})
+		}
+		sh.mu.Unlock()
+		sort.Slice(rec.Leases, func(i, j int) bool { return rec.Leases[i].ID < rec.Leases[j].ID })
+		rs.Shards = append(rs.Shards, rec)
+	}
+	return rs
+}
+
+// SaveRecovery persists the recovery image into the collector's store.
+func (c *Collector) SaveRecovery() error {
+	if c.dir == nil {
+		return fmt.Errorf("collect: recovery image requires a store")
+	}
+	return c.dir.SaveRecovery(c.ExportRecovery())
+}
+
+// restoreFrom rebuilds the shard map from a recovery image. Called from
+// New before the collector is shared, so no locking is needed. Every
+// restored shard starts inactive (its worker session died with the
+// previous incarnation) and every incomplete lease is marked revoked:
+// a zombie push against a pre-crash grant must fence, and the
+// coordinator reissues the uncomputed remainders under fresh IDs.
+func (c *Collector) restoreFrom(rs *store.RecoveryState) error {
+	if rs.Meta.Nrow != c.meta.Nrow || rs.Meta.Ncol != c.meta.Ncol {
+		return fmt.Errorf("collect: recovery image is %d×%d, this run is %d×%d",
+			rs.Meta.Nrow, rs.Meta.Ncol, c.meta.Nrow, c.meta.Ncol)
+	}
+	if rs.Meta.SeqNum != c.meta.SeqNum {
+		return fmt.Errorf("collect: recovery image is for experiments subsequence %d, this run uses %d",
+			rs.Meta.SeqNum, c.meta.SeqNum)
+	}
+	var restored int64
+	for _, rec := range rs.Shards {
+		if _, dup := c.shards[rec.Worker]; dup {
+			return fmt.Errorf("collect: recovery image repeats worker %d", rec.Worker)
+		}
+		acc, err := stat.FromSnapshot(rec.Snap)
+		if err != nil {
+			return fmt.Errorf("collect: restoring shard %d: %w", rec.Worker, err)
+		}
+		sh := &shard{
+			worker:  rec.Worker,
+			epoch:   rec.Epoch,
+			lastSeq: rec.LastSeq,
+			raw:     acc,
+			leases:  map[uint64]*leaseState{},
+		}
+		for _, le := range rec.Leases {
+			if _, dup := c.leaseIdx[le.ID]; dup {
+				return fmt.Errorf("collect: recovery image repeats lease %d", le.ID)
+			}
+			sh.leases[le.ID] = &leaseState{
+				lease:     Lease{ID: le.ID, Proc: le.Proc, Start: le.Start, Count: le.Count},
+				epoch:     rec.Epoch,
+				done:      le.Done,
+				completed: le.Completed,
+				revoked:   le.Revoked || !le.Completed,
+			}
+			c.leaseIdx[le.ID] = rec.Worker
+		}
+		c.shards[rec.Worker] = sh
+		restored += rec.Snap.N
+	}
+	c.samples.Store(restored)
+	return nil
+}

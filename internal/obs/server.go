@@ -31,6 +31,16 @@ type ServerConfig struct {
 	// exposes its control API on the same listener as /metrics and
 	// /statusz. Patterns must not collide with the built-in endpoints.
 	Routes map[string]http.Handler
+
+	// ReadHeaderTimeout bounds how long a client may dribble request
+	// headers before the connection is dropped (slowloris protection).
+	// Zero selects 10s; negative disables the bound.
+	ReadHeaderTimeout time.Duration
+
+	// ReadTimeout bounds reading one whole request, body included. The
+	// ops API only ever receives small bodies (a run submission), so a
+	// tight bound costs nothing. Zero selects 1m; negative disables.
+	ReadTimeout time.Duration
 }
 
 // NewHandler builds the ops mux: /metrics (Prometheus text format),
@@ -96,11 +106,26 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: ops server listen: %w", err)
 	}
+	headerTO := cfg.ReadHeaderTimeout
+	switch {
+	case headerTO == 0:
+		headerTO = 10 * time.Second
+	case headerTO < 0:
+		headerTO = 0
+	}
+	readTO := cfg.ReadTimeout
+	switch {
+	case readTO == 0:
+		readTO = time.Minute
+	case readTO < 0:
+		readTO = 0
+	}
 	s := &Server{
 		ln: ln,
 		srv: &http.Server{
 			Handler:           NewHandler(cfg),
-			ReadHeaderTimeout: 10 * time.Second,
+			ReadHeaderTimeout: headerTO,
+			ReadTimeout:       readTO,
 		},
 	}
 	go func() { _ = s.srv.Serve(ln) }()

@@ -226,11 +226,13 @@ func (m *Manager) Report(id string) (ReportPayload, error) {
 
 // ServiceStatus is the manager's /statusz contribution.
 type ServiceStatus struct {
-	Runs    int            `json:"runs"`
-	Active  int            `json:"active"`
-	Queued  int            `json:"queued"`
-	Workers int            `json:"workers"`
-	States  map[string]int `json:"states"`
+	Runs     int            `json:"runs"`
+	Active   int            `json:"active"`
+	Queued   int            `json:"queued"`
+	Workers  int            `json:"workers"`
+	States   map[string]int `json:"states"`
+	Epoch    uint64         `json:"epoch"`
+	Recovery RecoveryInfo   `json:"recovery"`
 }
 
 // Status summarizes the service for /statusz.
@@ -238,11 +240,13 @@ func (m *Manager) Status() ServiceStatus {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := ServiceStatus{
-		Runs:    len(m.order),
-		Active:  m.active,
-		Queued:  len(m.queue),
-		Workers: len(m.workers),
-		States:  map[string]int{},
+		Runs:     len(m.order),
+		Active:   m.active,
+		Queued:   len(m.queue),
+		Workers:  len(m.workers),
+		States:   map[string]int{},
+		Epoch:    m.epoch,
+		Recovery: m.recInfo,
 	}
 	for _, r := range m.order {
 		st.States[string(r.state)]++
@@ -286,13 +290,23 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 //
 // Mount it on the ops server via obs.ServerConfig.Routes so one
 // listener serves /metrics, /statusz and the control plane.
+//
+// While startup recovery is replaying, every route answers 503 with a
+// Retry-After header; submission bodies are capped at 1 MiB (413).
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /runs", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxSubmissionBytes)
 		var sub Submission
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&sub); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeJSON(w, http.StatusRequestEntityTooLarge,
+					map[string]string{"error": fmt.Sprintf("runmgr: submission exceeds %d bytes", tooBig.Limit)})
+				return
+			}
 			httpError(w, fmt.Errorf("runmgr: invalid submission: %w", err))
 			return
 		}
@@ -332,5 +346,25 @@ func (m *Manager) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
-	return mux
+	return m.recoveryGate(mux)
+}
+
+// maxSubmissionBytes caps POST /runs bodies: a submission is a small
+// scenario document, and an unbounded read is a trivial way to wedge
+// the coordinator's ops listener.
+const maxSubmissionBytes = 1 << 20
+
+// recoveryGate answers 503 with Retry-After while startup recovery is
+// still replaying durable state — clients see a retriable condition
+// instead of a half-rehydrated registry.
+func (m *Manager) recoveryGate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if m.recovering.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]string{"error": "runmgr: service recovery in progress, retry shortly"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }

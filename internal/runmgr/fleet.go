@@ -34,19 +34,30 @@ type AttachArgs struct {
 
 type AttachReply struct {
 	Worker int
+	// Epoch is the service epoch of the incarnation that admitted the
+	// worker. The worker echoes it on every subsequent call; after a
+	// coordinator restart the echo no longer matches and the call is
+	// fenced (pushes) or redirected to re-attach (pulls) — the guarantee
+	// that a grant from a dead incarnation can never double-merge.
+	Epoch uint64
 }
 
 // PullArgs/PullReply: a worker asks the fair-share scheduler for work.
 // Granted=false means "nothing for you right now, poll again"; Stop
-// means the service is shutting down.
+// means the service is shutting down; Reattach means the worker's
+// incarnation died and it should attach again (keeping its caches).
+// Epoch zero on any args means unfenced — the in-process protocol tests
+// predate epochs and a direct caller opts out of fencing.
 type PullArgs struct {
 	Worker int
+	Epoch  uint64
 }
 
 type PullReply struct {
-	Granted bool
-	Stop    bool
-	Task    Task
+	Granted  bool
+	Stop     bool
+	Reattach bool
+	Task     Task
 }
 
 // Task is one granted lease plus everything a worker needs to execute
@@ -72,6 +83,7 @@ type Task struct {
 // finished (same reaction).
 type TaskPushArgs struct {
 	Worker  int
+	Epoch   uint64
 	RunID   string
 	LeaseID uint64
 	Done    int64
@@ -88,6 +100,7 @@ type TaskPushReply struct {
 // requeued for other workers and this worker is excluded from the run.
 type NackArgs struct {
 	Worker  int
+	Epoch   uint64
 	RunID   string
 	LeaseID uint64
 	Reason  string
@@ -95,9 +108,13 @@ type NackArgs struct {
 
 type NackReply struct{}
 
-// FailArgs: a realization failed definitively; the run fails.
+// FailArgs: a realization failed definitively; the run fails. Epoch is
+// captured when the task starts: a failure detected against a dead
+// incarnation (e.g. its push path went down with it) is ignored by the
+// restarted service instead of killing a recovering run.
 type FailArgs struct {
 	Worker  int
+	Epoch   uint64
 	RunID   string
 	LeaseID uint64
 	Reason  string
@@ -108,6 +125,7 @@ type FailReply struct{}
 // DetachArgs: the worker leaves the pool; its leases are reissued.
 type DetachArgs struct {
 	Worker int
+	Epoch  uint64
 }
 
 type DetachReply struct{}
@@ -313,14 +331,14 @@ func runFleetLoop(ctx context.Context, api fleetAPI, cfg FleetWorkerConfig) (Fle
 		// for the lease timeout.
 		dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
-		_ = api.Detach(dctx, DetachArgs{Worker: at.Worker})
+		_ = api.Detach(dctx, DetachArgs{Worker: at.Worker, Epoch: at.Epoch})
 	}()
 	realizers := map[string]core.Realization{}
 	for {
 		if ctx.Err() != nil {
 			return rep, nil
 		}
-		pr, err := api.Pull(ctx, PullArgs{Worker: at.Worker})
+		pr, err := api.Pull(ctx, PullArgs{Worker: at.Worker, Epoch: at.Epoch})
 		if err != nil {
 			if ctx.Err() != nil {
 				return rep, nil
@@ -330,6 +348,20 @@ func runFleetLoop(ctx context.Context, api fleetAPI, cfg FleetWorkerConfig) (Fle
 		if pr.Stop {
 			return rep, nil
 		}
+		if pr.Reattach {
+			// The coordinator restarted under a new epoch. Re-attach and
+			// keep serving — realizer caches stay valid (same scenarios),
+			// only the worker identity and epoch are reissued.
+			at, err = api.Attach(ctx, AttachArgs{Hostname: cfg.Hostname, ClientID: cfg.ClientID})
+			if err != nil {
+				if ctx.Err() != nil {
+					return rep, nil
+				}
+				return rep, fmt.Errorf("runmgr: fleet re-attach: %w", err)
+			}
+			rep.Worker = at.Worker
+			continue
+		}
 		if !pr.Granted {
 			select {
 			case <-ctx.Done():
@@ -338,7 +370,7 @@ func runFleetLoop(ctx context.Context, api fleetAPI, cfg FleetWorkerConfig) (Fle
 			}
 			continue
 		}
-		executeTask(ctx, api, at.Worker, pr.Task, realizers, &rep)
+		executeTask(ctx, api, at.Worker, at.Epoch, pr.Task, realizers, &rep)
 	}
 }
 
@@ -350,13 +382,13 @@ func runFleetLoop(ctx context.Context, api fleetAPI, cfg FleetWorkerConfig) (Fle
 // each processor shard's push-window sequence a pure function of the
 // lease partition and PassEvery, and so the report bit-identical no
 // matter how execution interleaves.
-func executeTask(ctx context.Context, api fleetAPI, worker int, task Task, realizers map[string]core.Realization, rep *FleetWorkerReport) {
+func executeTask(ctx context.Context, api fleetAPI, worker int, epoch uint64, task Task, realizers map[string]core.Realization, rep *FleetWorkerReport) {
 	realize, ok := realizers[task.RunID]
 	if !ok {
 		r, err := resolveTask(task, worker)
 		if err != nil {
 			rep.Nacks++
-			_ = api.Nack(ctx, NackArgs{Worker: worker, RunID: task.RunID, LeaseID: task.Lease.ID, Reason: err.Error()})
+			_ = api.Nack(ctx, NackArgs{Worker: worker, Epoch: epoch, RunID: task.RunID, LeaseID: task.Lease.ID, Reason: err.Error()})
 			return
 		}
 		realize = r
@@ -367,7 +399,7 @@ func executeTask(ctx context.Context, api fleetAPI, worker int, task Task, reali
 		Experiment: task.SeqNum, Processor: l.Proc, Realization: l.Start,
 	})
 	if err != nil {
-		_ = api.Fail(ctx, FailArgs{Worker: worker, RunID: task.RunID, LeaseID: l.ID, Reason: err.Error()})
+		_ = api.Fail(ctx, FailArgs{Worker: worker, Epoch: epoch, RunID: task.RunID, LeaseID: l.ID, Reason: err.Error()})
 		return
 	}
 	local := stat.New(task.Nrow, task.Ncol)
@@ -379,7 +411,7 @@ func executeTask(ctx context.Context, api fleetAPI, worker int, task Task, reali
 		}
 		if k > 0 {
 			if err := stream.NextRealization(); err != nil {
-				_ = api.Fail(ctx, FailArgs{Worker: worker, RunID: task.RunID, LeaseID: l.ID, Reason: err.Error()})
+				_ = api.Fail(ctx, FailArgs{Worker: worker, Epoch: epoch, RunID: task.RunID, LeaseID: l.ID, Reason: err.Error()})
 				return
 			}
 		}
@@ -389,20 +421,20 @@ func executeTask(ctx context.Context, api fleetAPI, worker int, task Task, reali
 		t0 := time.Now()
 		if err := callRealization(realize, stream, out); err != nil {
 			_ = api.Fail(ctx, FailArgs{
-				Worker: worker, RunID: task.RunID, LeaseID: l.ID,
+				Worker: worker, Epoch: epoch, RunID: task.RunID, LeaseID: l.ID,
 				Reason: fmt.Sprintf("realization %d: %v", uint64(k)+l.Start, err),
 			})
 			return
 		}
 		if err := local.AddTimed(out, time.Since(t0)); err != nil {
-			_ = api.Fail(ctx, FailArgs{Worker: worker, RunID: task.RunID, LeaseID: l.ID, Reason: err.Error()})
+			_ = api.Fail(ctx, FailArgs{Worker: worker, Epoch: epoch, RunID: task.RunID, LeaseID: l.ID, Reason: err.Error()})
 			return
 		}
 		rep.Realizations++
 		if local.N() >= task.PassEvery || k == l.Count-1 {
 			done += local.N()
 			pres, err := api.Push(ctx, TaskPushArgs{
-				Worker: worker, RunID: task.RunID, LeaseID: l.ID, Done: done, Snap: local.Snapshot(),
+				Worker: worker, Epoch: epoch, RunID: task.RunID, LeaseID: l.ID, Done: done, Snap: local.Snapshot(),
 			})
 			if err != nil {
 				if ctx.Err() != nil {
@@ -413,7 +445,7 @@ func executeTask(ctx context.Context, api fleetAPI, worker int, task Task, reali
 				// worker cannot advance the run. Report and abandon —
 				// an unreachable coordinator ignores the report and the
 				// lease times out.
-				_ = api.Fail(ctx, FailArgs{Worker: worker, RunID: task.RunID, LeaseID: l.ID, Reason: err.Error()})
+				_ = api.Fail(ctx, FailArgs{Worker: worker, Epoch: epoch, RunID: task.RunID, LeaseID: l.ID, Reason: err.Error()})
 				return
 			}
 			rep.Pushes++

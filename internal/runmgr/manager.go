@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parmonc/internal/collect"
@@ -131,6 +132,11 @@ type Config struct {
 
 	// Now supplies the clock; nil means time.Now.
 	Now func() time.Time
+
+	// Recover selects how startup recovery treats corrupt durable state
+	// found under DataRoot: RecoverStrict (the default) refuses to
+	// start, RecoverDiscard quarantines the file and continues.
+	Recover RecoverPolicy
 }
 
 func (cfg Config) withDefaults() (Config, error) {
@@ -160,6 +166,13 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if err := cfg.Params.Validate(); err != nil {
 		return cfg, err
+	}
+	switch cfg.Recover {
+	case "":
+		cfg.Recover = RecoverStrict
+	case RecoverStrict, RecoverDiscard:
+	default:
+		return cfg, fmt.Errorf("runmgr: unknown recover policy %q (want %q or %q)", cfg.Recover, RecoverStrict, RecoverDiscard)
 	}
 	return cfg, nil
 }
@@ -259,6 +272,11 @@ type run struct {
 
 	rep       stat.Report
 	hasReport bool
+
+	// restoreImg is the recovery image pre-loaded at startup for a run
+	// that survived a restart; admission consumes it (Config.Restore)
+	// and clears it.
+	restoreImg *store.RecoveryState
 }
 
 // fleetWorker is one attached fleet member.
@@ -284,6 +302,17 @@ type Manager struct {
 	byClient   map[string]int
 	nextWorker int
 	closed     bool
+	draining   bool // Shutdown in progress: pulls see Stop, pushes still land
+
+	// Durable service state. The WAL and the per-run manifests survive
+	// the process; epoch is this incarnation's service epoch (strictly
+	// increasing across restarts — the fence against zombie grants).
+	wal     *store.WAL
+	epoch   uint64
+	recInfo RecoveryInfo
+
+	inflight   atomic.Int64 // fleet pushes currently executing (drain barrier)
+	recovering atomic.Bool  // startup recovery replaying: control API answers 503
 
 	mono func() time.Duration
 
@@ -303,6 +332,13 @@ type Manager struct {
 	mFailed    *obs.Counter
 	mCanceled  *obs.Counter
 	mReissued  *obs.Counter
+
+	mStale       *obs.Counter // fleet calls carrying a previous incarnation's epoch
+	mRecCorrupt  *obs.Counter
+	mRecResumed  *obs.Counter
+	mRecRequeued *obs.Counter
+	mRecTerminal *obs.Counter
+	mRecReplayed *obs.Counter
 }
 
 // New creates a Manager. Close releases it.
@@ -343,6 +379,37 @@ func New(cfg Config) (*Manager, error) {
 			defer m.mu.Unlock()
 			return float64(len(m.workers))
 		})
+		m.mStale = reg.Counter("parmonc_fleet_stale_epoch_total", "Fleet calls fenced or ignored for carrying a previous incarnation's epoch.")
+		m.mRecCorrupt = reg.Counter("parmonc_recovery_corrupt_files_total", "Durable state files quarantined during startup recovery.")
+		m.mRecResumed = reg.Counter("parmonc_recovery_runs_total", "Runs rehydrated at startup, by outcome.", obs.L("outcome", "resumed"))
+		m.mRecRequeued = reg.Counter("parmonc_recovery_runs_total", "Runs rehydrated at startup, by outcome.", obs.L("outcome", "requeued"))
+		m.mRecTerminal = reg.Counter("parmonc_recovery_runs_total", "Runs rehydrated at startup, by outcome.", obs.L("outcome", "terminal"))
+		m.mRecReplayed = reg.Counter("parmonc_recovery_replayed_total", "Recovered runs whose manifest lagged the WAL (transition reconciled from the log).")
+		reg.GaugeFunc("parmonc_service_epoch", "Service epoch of this incarnation (increases on every restart).", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(m.epoch)
+		})
+		reg.GaugeFunc("parmonc_recovery_samples_restored", "Sample volume carried across the last restart.", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(m.recInfo.SamplesRestored)
+		})
+	}
+	m.recovering.Store(true)
+	err = m.recover()
+	m.recovering.Store(false)
+	if err != nil {
+		if m.wal != nil {
+			m.wal.Close()
+		}
+		return nil, err
+	}
+	if m.mRecResumed != nil {
+		m.mRecResumed.Add(int64(m.recInfo.Resumed))
+		m.mRecRequeued.Add(int64(m.recInfo.Requeued))
+		m.mRecTerminal.Add(int64(m.recInfo.Terminal))
+		m.mRecReplayed.Add(int64(m.recInfo.Replayed))
 	}
 	if cfg.LeaseTimeout > 0 {
 		m.reaperStop = make(chan struct{})
@@ -436,6 +503,15 @@ func (m *Manager) Submit(sub Submission) (RunStatus, error) {
 		granted:     map[uint64]collect.Lease{},
 		incompat:    map[int]bool{},
 		submitted:   m.now(),
+	}
+	// A submission the service cannot make durable is rejected outright:
+	// accepting it would mean silently forgetting it on the next restart.
+	if err := m.persistRunErrLocked(r, walSubmit); err != nil {
+		m.nextRunID--
+		if m.mRejected != nil {
+			m.mRejected.Inc()
+		}
+		return RunStatus{}, fmt.Errorf("runmgr: persisting submission: %w", err)
 	}
 	m.usedSeq[norm.SeqNum] = r.id
 	m.runs[r.id] = r
@@ -591,6 +667,7 @@ func (m *Manager) admitLocked() {
 			if m.mFailed != nil {
 				m.mFailed.Inc()
 			}
+			m.persistRunLocked(r, walFailed)
 			m.jevent("run_failed", map[string]any{"run": r.id, "err": err.Error()})
 		}
 	}
@@ -624,11 +701,20 @@ func (m *Manager) admitRunLocked(r *run) error {
 		Fingerprint: r.fingerprint,
 		Scenario:    r.scenario,
 	}
+	restore := r.restoreImg
+	r.restoreImg = nil
 	eng, err := collect.New(d, meta, collect.Config{
 		AverPeriod: m.cfg.AverPeriod,
 		Stop:       stop,
 		Hook:       collect.JournalHook(j),
 		Now:        m.cfg.Now,
+		// Restore rebuilds the collector's shards and lease ledgers from
+		// the recovery image when the run survived a service restart —
+		// the fold topology is preserved, so the final report stays
+		// bit-identical to an uninterrupted run. PersistRecovery keeps
+		// that image fresh at every periodic save.
+		Restore:         restore,
+		PersistRecovery: true,
 		// Registry stays nil on purpose: the collector registers
 		// fixed-name series, and two runs must not share counters. The
 		// manager's labeled parmonc_run_* gauges are the shared view.
@@ -639,15 +725,32 @@ func (m *Manager) admitRunLocked(r *run) error {
 	}
 	r.journal = j
 	r.eng = eng
-	r.pending = collect.PartitionLeases(r.sub.MaxSamples, r.sub.LeaseSize)
-	r.leaseTotal = len(r.pending)
+	partition := collect.PartitionLeases(r.sub.MaxSamples, r.sub.LeaseSize)
+	r.leaseTotal = len(partition)
+	if restore != nil {
+		r.pending, r.nCompleted = remainingLeases(partition, restore)
+	} else {
+		r.pending = partition
+	}
 	r.state = StateAdmitted
 	m.active++
+	m.persistRunLocked(r, walAdmit)
 	r.revent("run_admit", map[string]any{
 		"run": r.id, "workload": r.fingerprint, "scenario": r.scenario,
 		"maxsv": r.sub.MaxSamples, "seqnum": r.sub.SeqNum, "leases": r.leaseTotal,
 	})
 	m.jevent("run_admit", map[string]any{"run": r.id, "leases": r.leaseTotal})
+	if restore != nil {
+		r.revent("run_restore", map[string]any{
+			"run": r.id, "n": eng.N(), "pending": len(r.pending), "completed": r.nCompleted,
+		})
+		// A run that crashed after its last lease merged but before the
+		// completion transition was recorded finishes right here, with
+		// the report computed from the restored shards — same bits.
+		if eng.TargetReached() || eng.EvalStop() {
+			m.finishRunLocked(r, StateDone, "")
+		}
+	}
 	return nil
 }
 
@@ -659,10 +762,23 @@ func (m *Manager) admitRunLocked(r *run) error {
 func (m *Manager) pullTask(a PullArgs) (PullReply, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.closed {
+	if m.closed || m.draining {
 		return PullReply{Stop: true}, nil
 	}
+	if a.Epoch != 0 && a.Epoch != m.epoch {
+		// A worker attached to a previous incarnation: tell it to
+		// re-attach rather than erroring — it keeps its realizer cache
+		// and rejoins the fleet under the current epoch.
+		m.staleLocked("pull", a.Epoch)
+		return PullReply{Reattach: true}, nil
+	}
 	if m.workers[a.Worker] == nil {
+		if a.Epoch != 0 {
+			// Correct epoch but unknown index can still happen when the
+			// service restarted twice between two polls; re-attach.
+			m.staleLocked("pull", a.Epoch)
+			return PullReply{Reattach: true}, nil
+		}
 		return PullReply{}, fmt.Errorf("runmgr: pull from unattached worker %d", a.Worker)
 	}
 	var best *run
@@ -683,7 +799,11 @@ func (m *Manager) pullTask(a PullArgs) (PullReply, error) {
 	l := best.pending[0]
 	best.pending = best.pending[1:]
 	best.nextLease++
-	l.ID = best.nextLease
+	// The service epoch occupies the lease ID's high bits, so an ID
+	// minted by this incarnation can never collide with a grant restored
+	// from a previous one — the ledger stays collision-free across
+	// restarts without any coordination.
+	l.ID = m.epoch<<32 | best.nextLease
 	proc := int(l.Proc)
 	// The processor subsequence is the shard: fold order — and so the
 	// report bits — cannot depend on which fleet worker executes what.
@@ -699,7 +819,10 @@ func (m *Manager) pullTask(a PullArgs) (PullReply, error) {
 	best.nGranted++
 	if best.state == StateAdmitted {
 		best.state = StateRunning
-		best.started = m.now()
+		if best.started.IsZero() {
+			best.started = m.now()
+		}
+		m.persistRunLocked(best, walStart)
 		best.revent("run_start", map[string]any{"run": best.id})
 		m.jevent("run_start", map[string]any{"run": best.id})
 	}
@@ -726,7 +849,18 @@ func (m *Manager) pullTask(a PullArgs) (PullReply, error) {
 // different procs of one run) proceed concurrently, exactly as the
 // sharded collector is designed to be fed.
 func (m *Manager) pushTask(a TaskPushArgs) (TaskPushReply, error) {
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
 	m.mu.Lock()
+	if a.Epoch != 0 && a.Epoch != m.epoch {
+		// A zombie push: the grant was minted by a previous incarnation
+		// and its lease ledger was restored revoked. Fencing here (and
+		// in the ledger itself, belt and braces) is what makes a restart
+		// unable to double-merge a window.
+		m.staleLocked("push", a.Epoch)
+		m.mu.Unlock()
+		return TaskPushReply{Fenced: true}, nil
+	}
 	r := m.runs[a.RunID]
 	if r == nil {
 		m.mu.Unlock()
@@ -789,6 +923,10 @@ func (m *Manager) pushTask(a TaskPushArgs) (TaskPushReply, error) {
 func (m *Manager) nackTask(a NackArgs) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if a.Epoch != 0 && a.Epoch != m.epoch {
+		m.staleLocked("nack", a.Epoch)
+		return nil
+	}
 	r := m.runs[a.RunID]
 	if r == nil || r.state.Terminal() {
 		return nil
@@ -808,12 +946,28 @@ func (m *Manager) nackTask(a NackArgs) error {
 func (m *Manager) failTask(a FailArgs) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if a.Epoch != 0 && a.Epoch != m.epoch {
+		// The failure happened against a previous incarnation (e.g. its
+		// push path died with the service). The restarted run recomputes
+		// that window; failing it now would kill a healthy recovery.
+		m.staleLocked("fail", a.Epoch)
+		return nil
+	}
 	r := m.runs[a.RunID]
 	if r == nil || r.state.Terminal() {
 		return nil
 	}
 	m.finishRunLocked(r, StateFailed, a.Reason)
 	return nil
+}
+
+// staleLocked counts one fleet call fenced or ignored for carrying a
+// previous incarnation's service epoch. Caller holds m.mu.
+func (m *Manager) staleLocked(op string, epoch uint64) {
+	if m.mStale != nil {
+		m.mStale.Inc()
+	}
+	m.jevent("stale_epoch", map[string]any{"op": op, "epoch": epoch, "service_epoch": m.epoch})
 }
 
 // reclaimGrantLocked revokes one outstanding grant, requeues its
@@ -867,6 +1021,7 @@ func (m *Manager) finishRunLocked(r *run, state State, errMsg string) {
 	r.state = state
 	r.errMsg = errMsg
 	r.finished = m.now()
+	m.persistRunLocked(r, string(state))
 	fields := map[string]any{"run": r.id, "state": string(state)}
 	if r.eng != nil {
 		fields["n"] = r.eng.N()
@@ -934,7 +1089,7 @@ func (m *Manager) attach(a AttachArgs) (AttachReply, error) {
 	}
 	if a.ClientID != "" {
 		if id, ok := m.byClient[a.ClientID]; ok {
-			return AttachReply{Worker: id}, nil
+			return AttachReply{Worker: id, Epoch: m.epoch}, nil
 		}
 	}
 	m.nextWorker++
@@ -944,13 +1099,19 @@ func (m *Manager) attach(a AttachArgs) (AttachReply, error) {
 		m.byClient[a.ClientID] = w.id
 	}
 	m.jevent("worker_attach", map[string]any{"fleet_worker": w.id, "host": a.Hostname})
-	return AttachReply{Worker: w.id}, nil
+	return AttachReply{Worker: w.id, Epoch: m.epoch}, nil
 }
 
 // detach removes a fleet worker; leases it still holds are reissued.
 func (m *Manager) detach(a DetachArgs) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if a.Epoch != 0 && a.Epoch != m.epoch {
+		// The worker index belongs to a previous incarnation — possibly
+		// to a different worker now. Ignore rather than detach a stranger.
+		m.staleLocked("detach", a.Epoch)
+		return nil
+	}
 	m.detachWorkerLocked(a.Worker)
 	return nil
 }
@@ -1044,5 +1205,120 @@ func (m *Manager) Close() error {
 	m.conns = map[interface{ Close() error }]struct{}{}
 	m.lnMu.Unlock()
 	m.wg.Wait()
+	if m.wal != nil {
+		m.wal.Close()
+	}
 	return nil
+}
+
+// Shutdown drains the service gracefully: fleet pulls see Stop,
+// in-flight pushes land, every active run saves a final checkpoint and
+// recovery image, manifests and the WAL record a clean shutdown, and
+// all resources close. Runs are left running/queued in their durable
+// state — the next incarnation resumes them with nothing to replay
+// (the regression the clean-shutdown test pins down).
+func (m *Manager) Shutdown() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	m.mu.Unlock()
+
+	// Drain: pushes already past the door finish merging (bounded wait —
+	// a wedged fleet must not block shutdown forever).
+	for i := 0; i < 400 && m.inflight.Load() > 0; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	m.mu.Lock()
+	m.closed = true
+	for _, r := range m.order {
+		if r.state.Terminal() || r.eng == nil {
+			continue
+		}
+		// Save folds the shards into a fresh checkpoint and, with
+		// PersistRecovery, rewrites the recovery image — the state the
+		// next incarnation restores bit-identically.
+		if err := r.eng.Save(); err != nil {
+			r.revent("suspend_save_error", map[string]any{"run": r.id, "err": err.Error()})
+		}
+		r.revent("run_suspend", map[string]any{"run": r.id, "n": r.eng.N()})
+		if r.journal != nil {
+			r.journal.Close()
+		}
+		m.persistRunLocked(r, walSuspend)
+	}
+	if m.wal != nil {
+		if err := m.wal.Append(store.WALKindShutdown, "", m.now(), nil); err != nil {
+			m.jevent("persist_error", map[string]any{"kind": "shutdown", "err": err.Error()})
+		}
+		m.wal.Close()
+	}
+	m.mu.Unlock()
+
+	if m.reaperStop != nil {
+		close(m.reaperStop)
+		<-m.reaperDone
+	}
+	m.lnMu.Lock()
+	m.lnClosed = true
+	for _, ln := range m.lns {
+		ln.Close()
+	}
+	m.lns = nil
+	for c := range m.conns {
+		c.Close()
+	}
+	m.conns = map[interface{ Close() error }]struct{}{}
+	m.lnMu.Unlock()
+	m.wg.Wait()
+	m.jevent("service_shutdown", map[string]any{"drained": true})
+	return nil
+}
+
+// kill simulates a crash for the chaos tests: listeners and
+// connections drop and goroutines stop, but nothing drains, saves,
+// finalizes or records a shutdown — the durable state left behind is
+// exactly what a SIGKILLed process leaves (any prefix of the periodic
+// saves, plus whatever the WAL had already been told).
+func (m *Manager) kill() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	m.lnMu.Lock()
+	m.lnClosed = true
+	for _, ln := range m.lns {
+		ln.Close()
+	}
+	m.lns = nil
+	for c := range m.conns {
+		c.Close()
+	}
+	m.conns = map[interface{ Close() error }]struct{}{}
+	m.lnMu.Unlock()
+	if m.reaperStop != nil {
+		close(m.reaperStop)
+		<-m.reaperDone
+	}
+	m.wg.Wait()
+
+	// Only fd hygiene below — the in-memory state is abandoned, not
+	// persisted. The WAL's appends already reached the OS.
+	m.mu.Lock()
+	if m.wal != nil {
+		m.wal.Close()
+	}
+	for _, r := range m.order {
+		if r.journal != nil && !r.state.Terminal() {
+			r.journal.Close()
+		}
+	}
+	m.mu.Unlock()
 }

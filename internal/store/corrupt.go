@@ -1,0 +1,118 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// ErrCorrupt is the sentinel every corruption failure in this package
+// wraps: test with errors.Is(err, ErrCorrupt). A corrupt file is never
+// a transient condition — the bytes on disk cannot be parsed — so the
+// loaders quarantine it (rename to <name>.corrupt) before returning,
+// which makes the error path idempotent: the next load sees a missing
+// file, not the same garbage again.
+var ErrCorrupt = errors.New("store: corrupt file")
+
+// CorruptError describes one detected corruption: which file, what was
+// wrong with it, and where the quarantined copy went (empty if the
+// rename itself failed). It matches ErrCorrupt under errors.Is.
+type CorruptError struct {
+	Path        string // the file that failed to load
+	Reason      string // what the detector saw (truncation, checksum, ...)
+	Quarantined string // post-quarantine path, "" if quarantine failed
+}
+
+func (e *CorruptError) Error() string {
+	if e.Quarantined != "" {
+		return fmt.Sprintf("store: corrupt file %s (%s; quarantined as %s)", e.Path, e.Reason, e.Quarantined)
+	}
+	return fmt.Sprintf("store: corrupt file %s (%s)", e.Path, e.Reason)
+}
+
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// QuarantineSuffix is appended to a corrupt file's name when the loader
+// moves it aside.
+const QuarantineSuffix = ".corrupt"
+
+// quarantine moves path aside and builds the typed error. An existing
+// quarantine file from an earlier incident is overwritten — the newest
+// corpse is the one worth examining.
+func quarantine(path, reason string) *CorruptError {
+	e := &CorruptError{Path: path, Reason: reason}
+	q := path + QuarantineSuffix
+	if err := os.Rename(path, q); err == nil {
+		e.Quarantined = q
+	}
+	return e
+}
+
+// Binary frame wrapped around every gob payload this package persists
+// (checkpoints, worker snapshots, recovery state): a magic string, the
+// payload length, and a CRC-32 (IEEE) of the payload. Gob alone detects
+// most garbage but happily decodes a truncated stream that happens to
+// end on a value boundary; the explicit length + checksum turns every
+// torn or bit-flipped file into a detected corruption instead of a
+// silently short checkpoint.
+const frameMagic = "parmonc-frame v1\n"
+
+// writeFramed emits the frame around payload.
+func writeFramed(w *bufio.Writer, payload []byte) error {
+	if _, err := w.WriteString(frameMagic); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[:8], uint64(len(payload)))
+	binary.BigEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFramed loads path and returns the verified payload. A missing
+// file surfaces as the original os error (os.IsNotExist works); any
+// framing violation quarantines the file and returns a *CorruptError.
+func readFramed(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.HasPrefix(raw, []byte(frameMagic)) {
+		return nil, quarantine(path, "bad magic")
+	}
+	rest := raw[len(frameMagic):]
+	if len(rest) < 12 {
+		return nil, quarantine(path, "truncated header")
+	}
+	n := binary.BigEndian.Uint64(rest[:8])
+	sum := binary.BigEndian.Uint32(rest[8:12])
+	payload := rest[12:]
+	if uint64(len(payload)) < n {
+		return nil, quarantine(path, fmt.Sprintf("truncated payload: %d of %d bytes", len(payload), n))
+	}
+	if uint64(len(payload)) > n {
+		return nil, quarantine(path, fmt.Sprintf("trailing bytes: %d past the declared %d", uint64(len(payload))-n, n))
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, quarantine(path, "checksum mismatch")
+	}
+	return payload, nil
+}
+
+// framedDecoder returns a reader over the verified payload of path,
+// suitable for gob decoding.
+func framedDecoder(path string) (io.Reader, error) {
+	payload, err := readFramed(path)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(payload), nil
+}

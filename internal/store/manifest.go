@@ -1,0 +1,81 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// ManifestFile is the per-run manifest the run manager keeps beside
+// each run's parmonc_data tree (DataRoot/<runID>/manifest.json): the
+// durable record of what the run is and where its lifecycle stands,
+// sufficient to rehydrate the service registry after a restart.
+const ManifestFile = "manifest.json"
+
+// manifestVersion is bumped only for incompatible envelope changes.
+const manifestVersion = 1
+
+// manifestEnvelope is the on-disk shape: a version, a CRC-32 (IEEE) of
+// the body's exact bytes, and the body itself. The body stays a
+// json.RawMessage on both paths so the checksum is computed over
+// byte-identical input — encoding/json preserves RawMessage bytes
+// verbatim, and the writer emits the body compactly.
+type manifestEnvelope struct {
+	V    int             `json:"v"`
+	CRC  string          `json:"crc32"`
+	Body json.RawMessage `json:"body"`
+}
+
+// SaveManifest atomically writes body (any JSON-marshalable value)
+// under a checksummed envelope at path.
+func SaveManifest(path string, body any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("store: manifest body: %w", err)
+	}
+	env := manifestEnvelope{
+		V:    manifestVersion,
+		CRC:  fmt.Sprintf("%08x", crc32.ChecksumIEEE(b)),
+		Body: b,
+	}
+	out, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	return atomicWrite(path, func(w *bufio.Writer) error {
+		if _, err := w.Write(out); err != nil {
+			return err
+		}
+		return w.WriteByte('\n')
+	})
+}
+
+// LoadManifest reads and verifies the manifest at path, unmarshaling
+// its body into out. A missing file surfaces as the original os error
+// (os.IsNotExist works); a torn, truncated or garbage file is
+// quarantined as <name>.corrupt and reported as a *CorruptError.
+func LoadManifest(path string, out any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var env manifestEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return quarantine(path, fmt.Sprintf("invalid envelope: %v", err))
+	}
+	if env.V != manifestVersion {
+		return quarantine(path, fmt.Sprintf("unsupported manifest version %d", env.V))
+	}
+	if len(env.Body) == 0 {
+		return quarantine(path, "empty body")
+	}
+	if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(env.Body)); got != env.CRC {
+		return quarantine(path, fmt.Sprintf("checksum mismatch: body %s, header %s", got, env.CRC))
+	}
+	if err := json.Unmarshal(env.Body, out); err != nil {
+		return quarantine(path, fmt.Sprintf("invalid body: %v", err))
+	}
+	return nil
+}

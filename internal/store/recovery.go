@@ -1,0 +1,89 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"path/filepath"
+
+	"parmonc/internal/stat"
+)
+
+// RecoveryFile holds a collector's full recovery image: the per-shard
+// staging accumulators and lease ledgers, captured consistently under
+// each shard's lock. The plain checkpoint (checkpoint.dat) stores only
+// the folded total — enough to resume a *new* run from, but useless
+// for restarting the *same* run bit-identically: float addition is not
+// associative, so resuming from the folded total would change the fold
+// topology and with it the report bits. Restoring the shards and
+// replaying the remaining lease windows into them reproduces the exact
+// reduction tree of an uninterrupted run.
+const RecoveryFile = "recovery.dat"
+
+// LeaseLedgerEntry is one lease's recovery record: the window, how far
+// its merged prefix extends, and whether it finished or was revoked.
+// Fields mirror collect's internal ledger without importing it (store
+// sits below collect in the layering).
+type LeaseLedgerEntry struct {
+	ID        uint64
+	Proc      uint64
+	Start     uint64
+	Count     int64
+	Done      int64
+	Completed bool
+	Revoked   bool
+}
+
+// ShardRecord is one worker shard's recovery image.
+type ShardRecord struct {
+	Worker  int
+	Epoch   uint64
+	LastSeq uint64
+	Snap    stat.Snapshot
+	Leases  []LeaseLedgerEntry
+}
+
+// RecoveryState is a collector's complete recovery image.
+type RecoveryState struct {
+	Meta   RunMeta
+	Base   stat.Snapshot
+	Shards []ShardRecord
+}
+
+// RecoveryPath returns the path of the recovery image.
+func (d *Dir) RecoveryPath() string { return filepath.Join(d.dataPath(), RecoveryFile) }
+
+// SaveRecovery atomically writes the recovery image.
+func (d *Dir) SaveRecovery(rs RecoveryState) error {
+	if err := rs.Meta.Validate(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rs); err != nil {
+		return err
+	}
+	return atomicWrite(d.RecoveryPath(), func(w *bufio.Writer) error {
+		return writeFramed(w, buf.Bytes())
+	})
+}
+
+// LoadRecovery reads and verifies the recovery image. A missing file
+// surfaces as the original os error; a torn or garbage file is
+// quarantined and reported as a *CorruptError.
+func (d *Dir) LoadRecovery() (RecoveryState, error) {
+	var rs RecoveryState
+	r, err := framedDecoder(d.RecoveryPath())
+	if err != nil {
+		return rs, err
+	}
+	if err := gob.NewDecoder(r).Decode(&rs); err != nil {
+		return rs, quarantine(d.RecoveryPath(), fmt.Sprintf("undecodable payload: %v", err))
+	}
+	for _, sh := range rs.Shards {
+		if err := sh.Snap.Validate(); err != nil {
+			return rs, quarantine(d.RecoveryPath(), fmt.Sprintf("shard %d: %v", sh.Worker, err))
+		}
+	}
+	return rs, nil
+}

@@ -25,6 +25,7 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"os"
@@ -271,6 +272,36 @@ type checkpoint struct {
 	Snap stat.Snapshot
 }
 
+// writeCheckpointFile frames and atomically writes one checkpoint-shaped
+// gob payload. All checkpoint-family files (checkpoint.dat, base.dat,
+// worker-*.dat) share the frame, so torn or garbage files are detected
+// by length + checksum rather than whatever gob happens to make of them.
+func writeCheckpointFile(path string, cp checkpoint) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		return err
+	}
+	return atomicWrite(path, func(w *bufio.Writer) error {
+		return writeFramed(w, buf.Bytes())
+	})
+}
+
+// readCheckpointFile verifies the frame at path and decodes the
+// payload. Missing file: original os error. Corruption (bad frame or
+// undecodable payload): the file is quarantined as <name>.corrupt and a
+// *CorruptError returned.
+func readCheckpointFile(path string) (checkpoint, error) {
+	var cp checkpoint
+	r, err := framedDecoder(path)
+	if err != nil {
+		return cp, err
+	}
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return cp, quarantine(path, fmt.Sprintf("undecodable payload: %v", err))
+	}
+	return cp, nil
+}
+
 // SaveCheckpoint atomically writes the collector checkpoint: the merged
 // moments so far plus the run metadata. A subsequent run with the
 // resumption flag set loads and merges it (formulas (5)).
@@ -281,22 +312,18 @@ func (d *Dir) SaveCheckpoint(snap stat.Snapshot, meta RunMeta) error {
 	if err := snap.Validate(); err != nil {
 		return err
 	}
-	return atomicWrite(d.CheckpointPath(), func(w *bufio.Writer) error {
-		return gob.NewEncoder(w).Encode(checkpoint{Meta: meta, Snap: snap})
-	})
+	return writeCheckpointFile(d.CheckpointPath(), checkpoint{Meta: meta, Snap: snap})
 }
 
 // LoadCheckpoint reads the collector checkpoint. os.IsNotExist(err)
-// distinguishes "no previous simulation" from corruption.
+// distinguishes "no previous simulation" from corruption; a torn,
+// truncated or garbage checkpoint is quarantined as
+// checkpoint.dat.corrupt and reported as a *CorruptError
+// (errors.Is(err, ErrCorrupt)).
 func (d *Dir) LoadCheckpoint() (stat.Snapshot, RunMeta, error) {
-	f, err := os.Open(d.CheckpointPath())
+	cp, err := readCheckpointFile(d.CheckpointPath())
 	if err != nil {
 		return stat.Snapshot{}, RunMeta{}, err
-	}
-	defer f.Close()
-	var cp checkpoint
-	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&cp); err != nil {
-		return stat.Snapshot{}, RunMeta{}, fmt.Errorf("store: corrupt checkpoint: %w", err)
 	}
 	if err := cp.Snap.Validate(); err != nil {
 		return stat.Snapshot{}, RunMeta{}, err
@@ -329,9 +356,7 @@ func (d *Dir) SaveWorkerSnapshot(worker int, snap stat.Snapshot, meta RunMeta) e
 		return err
 	}
 	path := filepath.Join(d.workersPath(), fmt.Sprintf("worker-%06d.dat", worker))
-	return atomicWrite(path, func(w *bufio.Writer) error {
-		return gob.NewEncoder(w).Encode(checkpoint{Meta: meta, Snap: snap})
-	})
+	return writeCheckpointFile(path, checkpoint{Meta: meta, Snap: snap})
 }
 
 // LoadWorkerSnapshots reads every worker snapshot in the directory,
@@ -351,15 +376,9 @@ func (d *Dir) LoadWorkerSnapshots() ([]stat.Snapshot, []RunMeta, error) {
 	var snaps []stat.Snapshot
 	var metas []RunMeta
 	for _, name := range names {
-		f, err := os.Open(filepath.Join(d.workersPath(), name))
+		cp, err := readCheckpointFile(filepath.Join(d.workersPath(), name))
 		if err != nil {
 			return nil, nil, err
-		}
-		var cp checkpoint
-		err = gob.NewDecoder(bufio.NewReader(f)).Decode(&cp)
-		f.Close()
-		if err != nil {
-			return nil, nil, fmt.Errorf("store: corrupt worker snapshot %s: %w", name, err)
 		}
 		if err := cp.Snap.Validate(); err != nil {
 			return nil, nil, fmt.Errorf("store: invalid worker snapshot %s: %w", name, err)
@@ -455,21 +474,15 @@ func (d *Dir) SaveBaseCheckpoint(snap stat.Snapshot, meta RunMeta) error {
 	if err := snap.Validate(); err != nil {
 		return err
 	}
-	return atomicWrite(d.BaseCheckpointPath(), func(w *bufio.Writer) error {
-		return gob.NewEncoder(w).Encode(checkpoint{Meta: meta, Snap: snap})
-	})
+	return writeCheckpointFile(d.BaseCheckpointPath(), checkpoint{Meta: meta, Snap: snap})
 }
 
-// LoadBaseCheckpoint reads the run-base checkpoint.
+// LoadBaseCheckpoint reads the run-base checkpoint. Corruption
+// quarantines the file and returns a *CorruptError, as LoadCheckpoint.
 func (d *Dir) LoadBaseCheckpoint() (stat.Snapshot, RunMeta, error) {
-	f, err := os.Open(d.BaseCheckpointPath())
+	cp, err := readCheckpointFile(d.BaseCheckpointPath())
 	if err != nil {
 		return stat.Snapshot{}, RunMeta{}, err
-	}
-	defer f.Close()
-	var cp checkpoint
-	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&cp); err != nil {
-		return stat.Snapshot{}, RunMeta{}, fmt.Errorf("store: corrupt base checkpoint: %w", err)
 	}
 	if err := cp.Snap.Validate(); err != nil {
 		return stat.Snapshot{}, RunMeta{}, err

@@ -1,0 +1,275 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WALFile is the append-only service write-ahead log the run manager
+// keeps at its data root (DataRoot/service.wal): one record per run
+// lifecycle transition, plus one epoch record per service incarnation.
+// The WAL is the authority for "what was in flight when the process
+// died" — manifests are rewritten after the WAL append, so on recovery
+// a WAL record may be ahead of its manifest but never behind it.
+const WALFile = "service.wal"
+
+// walMagic is the WAL's first line. A file that does not start with it
+// is not a WAL at all (garbage, or a future incompatible version) and
+// is quarantined wholesale.
+const walMagic = "parmonc-wal v1"
+
+// WAL record kinds written by the store itself; the run manager layers
+// its lifecycle kinds (submit/admit/start/done/failed/canceled/...) on
+// top without the store interpreting them.
+const (
+	WALKindEpoch    = "epoch"    // a new service incarnation opened the WAL
+	WALKindShutdown = "shutdown" // the service drained and closed cleanly
+)
+
+// WALRecord is one line of the service WAL.
+type WALRecord struct {
+	Seq   uint64          `json:"seq"`            // strictly increasing across the file
+	Epoch uint64          `json:"epoch"`          // incarnation that wrote the record
+	Kind  string          `json:"kind"`           // transition kind
+	Run   string          `json:"run,omitempty"`  // run ID, for run-scoped kinds
+	Time  time.Time       `json:"ts"`             // wall-clock stamp (informational)
+	Data  json.RawMessage `json:"data,omitempty"` // kind-specific payload
+}
+
+// WALReplay is what reading a WAL yields: the decoded records plus the
+// high-water marks a new incarnation continues from. Torn reports that
+// the final record was truncated mid-write (a crash between write and
+// close) and dropped — expected after a kill, not corruption.
+type WALReplay struct {
+	Records   []WALRecord
+	LastSeq   uint64
+	LastEpoch uint64
+	Torn      bool
+}
+
+// CleanShutdown reports whether the WAL ends with a shutdown record —
+// i.e. the previous incarnation drained and exited gracefully, so
+// recovery needs no replay beyond re-opening state.
+func (r WALReplay) CleanShutdown() bool {
+	if len(r.Records) == 0 {
+		return false
+	}
+	return r.Records[len(r.Records)-1].Kind == WALKindShutdown
+}
+
+// decodeWALLine parses one "crc8hex json" record line.
+func decodeWALLine(line string) (WALRecord, error) {
+	var rec WALRecord
+	i := strings.IndexByte(line, ' ')
+	if i != 8 {
+		return rec, fmt.Errorf("malformed record framing")
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(line[:8], "%08x", &sum); err != nil {
+		return rec, fmt.Errorf("malformed checksum: %v", err)
+	}
+	body := line[9:]
+	if crc32.ChecksumIEEE([]byte(body)) != sum {
+		return rec, fmt.Errorf("checksum mismatch")
+	}
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		return rec, fmt.Errorf("invalid record JSON: %v", err)
+	}
+	return rec, nil
+}
+
+// ReadWAL reads and verifies the WAL at path. A missing file surfaces
+// as the original os error. A torn final record — the signature of a
+// crash mid-append — is dropped and flagged, but a bad record with
+// valid records after it means the file was damaged in place: the WAL
+// is quarantined and a *CorruptError returned.
+func ReadWAL(path string) (WALReplay, error) {
+	var rep WALReplay
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	text := string(raw)
+	if text != walMagic && !strings.HasPrefix(text, walMagic+"\n") {
+		return rep, quarantine(path, "bad magic")
+	}
+	body := strings.TrimPrefix(text, walMagic)
+	body = strings.TrimPrefix(body, "\n")
+	unterminated := body != "" && !strings.HasSuffix(body, "\n")
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if body == "" {
+		lines = nil
+	}
+	for i, line := range lines {
+		if line == "" {
+			// An empty line can only be a torn write boundary; anything
+			// after it is damage.
+			if i != len(lines)-1 {
+				return rep, quarantine(path, fmt.Sprintf("empty record at line %d", i+2))
+			}
+			rep.Torn = true
+			break
+		}
+		rec, derr := decodeWALLine(line)
+		if derr != nil {
+			if i == len(lines)-1 {
+				rep.Torn = true
+				break
+			}
+			return rep, quarantine(path, fmt.Sprintf("record %d: %v", i+1, derr))
+		}
+		if i == len(lines)-1 && unterminated {
+			// Decoded fine but the newline never made it out: treat the
+			// record as committed anyway — its checksum proves it whole.
+			unterminated = false
+		}
+		if rec.Seq <= rep.LastSeq {
+			return rep, quarantine(path, fmt.Sprintf("record %d: sequence %d not increasing (have %d)", i+1, rec.Seq, rep.LastSeq))
+		}
+		rep.LastSeq = rec.Seq
+		if rec.Epoch > rep.LastEpoch {
+			rep.LastEpoch = rec.Epoch
+		}
+		rep.Records = append(rep.Records, rec)
+	}
+	rep.Torn = rep.Torn || unterminated
+	return rep, nil
+}
+
+// WAL is an open, append-only service log. Safe for concurrent use.
+type WAL struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	seq   uint64
+	epoch uint64
+}
+
+// OpenWAL opens (creating if absent) the WAL at path, replays its
+// existing records, starts the next service epoch — one past the
+// highest epoch on record, or past prevEpoch if the caller recovered a
+// higher one from elsewhere (manifests) — and appends the new epoch
+// record. The returned replay describes the file as it stood before
+// this incarnation touched it.
+func OpenWAL(path string, prevEpoch uint64, now time.Time) (*WAL, WALReplay, error) {
+	rep, err := ReadWAL(path)
+	fresh := false
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return nil, rep, err
+		}
+		fresh = true
+		rep = WALReplay{}
+	}
+	if rep.LastEpoch > prevEpoch {
+		prevEpoch = rep.LastEpoch
+	}
+	if rep.Torn {
+		// Drop the torn tail before appending: writing after a partial
+		// line would glue the new record onto the fragment and turn an
+		// ordinary crash artifact into mid-file corruption on the next
+		// read. Rewrite the committed prefix and continue from there.
+		var sb strings.Builder
+		sb.WriteString(walMagic + "\n")
+		for _, rec := range rep.Records {
+			body, merr := json.Marshal(rec)
+			if merr != nil {
+				return nil, rep, merr
+			}
+			fmt.Fprintf(&sb, "%08x %s\n", crc32.ChecksumIEEE(body), body)
+		}
+		tmp := path + ".rewrite"
+		if err := os.WriteFile(tmp, []byte(sb.String()), 0o644); err != nil {
+			return nil, rep, err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return nil, rep, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, rep, err
+	}
+	w := &WAL{f: f, path: path, seq: rep.LastSeq, epoch: prevEpoch + 1}
+	if fresh {
+		if _, err := f.WriteString(walMagic + "\n"); err != nil {
+			f.Close()
+			return nil, rep, err
+		}
+	}
+	if err := w.Append(WALKindEpoch, "", now, nil); err != nil {
+		f.Close()
+		return nil, rep, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, rep, err
+	}
+	return w, rep, nil
+}
+
+// Epoch returns the service epoch this WAL handle writes under.
+func (w *WAL) Epoch() uint64 { return w.epoch }
+
+// Append writes one record. The line reaches the OS in a single write
+// (so a crash can tear at most the final record, which ReadWAL
+// tolerates) but is not fsynced per record — the submit path must stay
+// cheap, and the manifests rewritten after each transition carry the
+// same facts durably.
+func (w *WAL) Append(kind, run string, t time.Time, data any) error {
+	var raw json.RawMessage
+	if data != nil {
+		b, err := json.Marshal(data)
+		if err != nil {
+			return fmt.Errorf("store: wal payload: %w", err)
+		}
+		raw = b
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("store: wal is closed")
+	}
+	w.seq++
+	body, err := json.Marshal(WALRecord{
+		Seq: w.seq, Epoch: w.epoch, Kind: kind, Run: run, Time: t, Data: raw,
+	})
+	if err != nil {
+		return err
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(body), body)
+	if _, err := w.f.WriteString(line); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Sync flushes the WAL to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// Close syncs and closes the WAL. Further appends fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
