@@ -533,6 +533,9 @@ func cmdWorker(args []string) error {
 	dialTimeout := fs.Duration("dial-timeout", defaults.DialTimeout, "per-dial timeout")
 	httpAddr := fs.String("http", "", "serve /metrics, /healthz, /statusz and /debug/pprof on this address")
 	journalPath := fs.String("journal", "", "append worker run events to this JSONL file")
+	pullWait := fs.Duration("pull-wait", 10*time.Second, "with -service: ask the coordinator to hold idle pulls open this long (long-poll; negative polls instead)")
+	pushInterval := fs.Duration("push-interval", 50*time.Millisecond, "with -service: coalesce completed push windows into one batch per interval (negative pushes each window separately)")
+	maxBatch := fs.Int("max-batch", 64, "with -service: most push windows one batch may carry")
 	fs.Parse(args)
 
 	ctx, cancel := signalContext()
@@ -548,12 +551,17 @@ func cmdWorker(args []string) error {
 		// Fleet workers take their workloads from the tasks they pull,
 		// so the -workload/-set/-scenario flags do not apply here.
 		fmt.Printf("fleet worker joining %s\n", *addr)
-		rep, err := runmgr.RunFleetWorker(ctx, *addr, runmgr.FleetWorkerConfig{Retry: retry})
+		rep, err := runmgr.RunFleetWorker(ctx, *addr, runmgr.FleetWorkerConfig{
+			Retry:         retry,
+			PullWait:      *pullWait,
+			FlushInterval: *pushInterval,
+			MaxBatch:      *maxBatch,
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("fleet worker %d done: %d realizations, %d pushes (%d retries, %d reconnects)\n",
-			rep.Worker, rep.Realizations, rep.Pushes, rep.Retries, rep.Reconnects)
+		fmt.Printf("fleet worker %d done: %d realizations, %d pushes in %d batches (%d retries, %d reconnects)\n",
+			rep.Worker, rep.Realizations, rep.Pushes, rep.Batches, rep.Retries, rep.Reconnects)
 		return nil
 	}
 	w, err := wf.resolve()

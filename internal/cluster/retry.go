@@ -188,11 +188,28 @@ func (rc *ResilientClient) drop(client *rpc.Client) {
 	}
 }
 
+// Policy returns the client's retry policy with defaults resolved.
+func (rc *ResilientClient) Policy() RetryPolicy {
+	return rc.policy
+}
+
 // Call invokes method with retry, reconnect and backoff per the policy.
 // The reply each attempt decodes into is a fresh value, copied to reply
 // only on success, so a late response from a timed-out attempt can
 // never corrupt the caller's memory.
 func (rc *ResilientClient) Call(ctx context.Context, method string, args, reply interface{}) error {
+	return rc.CallWithDeadline(ctx, method, args, reply, rc.policy.CallTimeout)
+}
+
+// CallWithDeadline is Call with an explicit per-attempt timeout in
+// place of the policy's CallTimeout. It exists for calls the server
+// intentionally holds open — a long-poll — where the caller knows the
+// maximum server-side hold and adds it as headroom, so a parked call
+// is not mistaken for a dead connection and torn down early.
+func (rc *ResilientClient) CallWithDeadline(ctx context.Context, method string, args, reply interface{}, attemptTimeout time.Duration) error {
+	if attemptTimeout <= 0 {
+		attemptTimeout = rc.policy.CallTimeout
+	}
 	var lastErr error
 	for attempt := 0; attempt < rc.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -213,7 +230,7 @@ func (rc *ResilientClient) Call(ctx context.Context, method string, args, reply 
 		}
 		attemptReply := reflect.New(reflect.TypeOf(reply).Elem()).Interface()
 		call := client.Go(method, args, attemptReply, make(chan *rpc.Call, 1))
-		timer := time.NewTimer(rc.policy.CallTimeout)
+		timer := time.NewTimer(attemptTimeout)
 		select {
 		case <-ctx.Done():
 			timer.Stop()
@@ -221,7 +238,7 @@ func (rc *ResilientClient) Call(ctx context.Context, method string, args, reply 
 			return ctx.Err()
 		case <-timer.C:
 			rc.drop(client)
-			lastErr = fmt.Errorf("cluster: %s timed out after %v", method, rc.policy.CallTimeout)
+			lastErr = fmt.Errorf("cluster: %s timed out after %v", method, attemptTimeout)
 		case done := <-call.Done:
 			timer.Stop()
 			if done.Error == nil {

@@ -190,6 +190,7 @@ type Collector struct {
 	saveMu   sync.Mutex
 	saveErr  error // first save failure, sticky
 	lastSave atomic.Int64
+	saveDur  atomic.Int64 // wall time of the most recent save cycle, ns
 
 	stopHit atomic.Bool // latched verdict of Config.Stop
 
@@ -959,6 +960,16 @@ func (c *Collector) fold() stat.Moments {
 	return total
 }
 
+// SaveLag reports how long the most recent averaging + save cycle
+// took (zero before the first one). A collector whose saves take
+// longer than its AverPeriod can never catch up on its own; callers
+// use this signal to apply backpressure upstream — the run manager
+// turns it into a soft RetryAfter on batched pushes so fleet workers
+// stretch their push cadence instead of piling more work on.
+func (c *Collector) SaveLag() time.Duration {
+	return time.Duration(c.saveDur.Load())
+}
+
 // Save forces an averaging + save cycle regardless of AverPeriod.
 func (c *Collector) Save() error {
 	c.saveMu.Lock()
@@ -1015,6 +1026,7 @@ func (c *Collector) saveHolding() (stat.Report, error) {
 	now := c.now()
 	c.lastSave.Store(now.UnixNano())
 	elapsed := now.Sub(t0)
+	c.saveDur.Store(int64(elapsed)) // slow failing saves count too
 	if err != nil {
 		if c.saveErr == nil {
 			c.saveErr = err

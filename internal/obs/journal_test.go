@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -248,5 +250,109 @@ func TestJournalNoRotationWithoutCap(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "events.1.jsonl")); err == nil {
 		t.Fatal("uncapped journal produced a rotated file")
+	}
+}
+
+// TestJournalRotationAtExactThreshold pins the boundary semantics:
+// the size check runs after each write, so a file sitting exactly at
+// the cap rotates on the next record — that record lands in the
+// rotated file, and the fresh live file starts empty.
+func TestJournalRotationAtExactThreshold(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	pad := []byte(`{"event":"pad"}` + "\n")
+	content := bytes.Repeat(pad, 8)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The cap equals the existing file size byte-for-byte: the journal
+	// opens already at the threshold.
+	j, err := OpenJournalRotating(path, int64(len(content)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(Event{Kind: "tip", Worker: 1})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Rotations(); got != 1 {
+		t.Fatalf("rotations = %d, want exactly 1", got)
+	}
+	rotated, err := ReadJournal(filepath.Join(dir, "events.1.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rotated) != 9 || rotated[8].Kind != "tip" {
+		t.Fatalf("rotated file has %d events (last %q), want 9 ending in the tipping record",
+			len(rotated), rotated[len(rotated)-1].Kind)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 0 {
+		t.Fatalf("fresh live file is %d bytes, want empty", st.Size())
+	}
+}
+
+// TestJournalRotationConcurrentWrites: rotations racing a fleet of
+// recording goroutines lose nothing — every event lands exactly once,
+// per-writer order is preserved across file boundaries, and the
+// counters reconcile.
+func TestJournalRotationConcurrentWrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	j, err := OpenJournalRotating(path, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 200 // 1600 < journalDepth: no drops possible
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				j.Record(Event{Kind: "concurrent", Worker: w, Samples: int64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Rotations() < 2 {
+		t.Fatalf("rotations = %d at this volume, want several", j.Rotations())
+	}
+	if j.Dropped() != 0 || j.Written() != writers*perWriter {
+		t.Fatalf("written %d dropped %d, want %d written and none dropped",
+			j.Written(), j.Dropped(), writers*perWriter)
+	}
+	var events []Event
+	for n := 1; ; n++ {
+		rot := filepath.Join(dir, fmt.Sprintf("events.%d.jsonl", n))
+		if _, err := os.Stat(rot); err != nil {
+			break
+		}
+		es, err := ReadJournal(rot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, es...)
+	}
+	tail, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events = append(events, tail...)
+	if len(events) != writers*perWriter {
+		t.Fatalf("recovered %d events, want %d", len(events), writers*perWriter)
+	}
+	next := make([]int64, writers)
+	for _, e := range events {
+		if e.Samples != next[e.Worker] {
+			t.Fatalf("writer %d: sample %d out of order (want %d)", e.Worker, e.Samples, next[e.Worker])
+		}
+		next[e.Worker]++
 	}
 }

@@ -280,6 +280,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// methodNotAllowed answers 405 with the route's Allow header and the
+// same JSON error envelope every other API error uses — ServeMux's
+// built-in method matching would answer in plain text without Allow,
+// so the routes below dispatch methods by hand.
+func methodNotAllowed(w http.ResponseWriter, r *http.Request, allow string) {
+	w.Header().Set("Allow", allow)
+	writeJSON(w, http.StatusMethodNotAllowed,
+		map[string]string{"error": fmt.Sprintf("runmgr: method %s not allowed (allow: %s)", r.Method, allow)})
+}
+
 // Handler returns the run-control API:
 //
 //	POST   /runs             submit a Submission        → 202 RunStatus
@@ -291,62 +301,89 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // Mount it on the ops server via obs.ServerConfig.Routes so one
 // listener serves /metrics, /statusz and the control plane.
 //
-// While startup recovery is replaying, every route answers 503 with a
-// Retry-After header; submission bodies are capped at 1 MiB (413).
+// Every error — wrong method (405 + Allow), unknown path (404), bad
+// body, manager rejection — is the same JSON envelope:
+// {"error": "..."}. While startup recovery is replaying, every route
+// answers 503 with a Retry-After header; submission bodies are capped
+// at 1 MiB (413).
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /runs", func(w http.ResponseWriter, r *http.Request) {
-		r.Body = http.MaxBytesReader(w, r.Body, maxSubmissionBytes)
-		var sub Submission
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&sub); err != nil {
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				writeJSON(w, http.StatusRequestEntityTooLarge,
-					map[string]string{"error": fmt.Sprintf("runmgr: submission exceeds %d bytes", tooBig.Limit)})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			m.handleSubmit(w, r)
+		case http.MethodGet, http.MethodHead:
+			runs := m.Runs()
+			sort.SliceStable(runs, func(i, j int) bool { return runs[i].ID < runs[j].ID })
+			writeJSON(w, http.StatusOK, map[string]any{"runs": runs})
+		default:
+			methodNotAllowed(w, r, "GET, HEAD, POST")
+		}
+	})
+	mux.HandleFunc("/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet, http.MethodHead:
+			st, err := m.Run(r.PathValue("id"))
+			if err != nil {
+				httpError(w, err)
 				return
 			}
-			httpError(w, fmt.Errorf("runmgr: invalid submission: %w", err))
-			return
+			writeJSON(w, http.StatusOK, st)
+		case http.MethodDelete:
+			st, err := m.Cancel(r.PathValue("id"))
+			if err != nil {
+				httpError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, st)
+		default:
+			methodNotAllowed(w, r, "DELETE, GET, HEAD")
 		}
-		st, err := m.Submit(sub)
-		if err != nil {
-			httpError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusAccepted, st)
 	})
-	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
-		runs := m.Runs()
-		sort.SliceStable(runs, func(i, j int) bool { return runs[i].ID < runs[j].ID })
-		writeJSON(w, http.StatusOK, map[string]any{"runs": runs})
-	})
-	mux.HandleFunc("GET /runs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		st, err := m.Run(r.PathValue("id"))
-		if err != nil {
-			httpError(w, err)
-			return
+	mux.HandleFunc("/runs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet, http.MethodHead:
+			rep, err := m.Report(r.PathValue("id"))
+			if err != nil {
+				httpError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, rep)
+		default:
+			methodNotAllowed(w, r, "GET, HEAD")
 		}
-		writeJSON(w, http.StatusOK, st)
 	})
-	mux.HandleFunc("GET /runs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
-		rep, err := m.Report(r.PathValue("id"))
-		if err != nil {
-			httpError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, rep)
-	})
-	mux.HandleFunc("DELETE /runs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		st, err := m.Cancel(r.PathValue("id"))
-		if err != nil {
-			httpError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, st)
+	// Everything else under this handler is an unknown route; answer in
+	// the API's JSON envelope instead of ServeMux's plain-text 404.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusNotFound,
+			map[string]string{"error": fmt.Sprintf("runmgr: no such route %s", r.URL.Path)})
 	})
 	return m.recoveryGate(mux)
+}
+
+// handleSubmit decodes and submits POST /runs.
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmissionBytes)
+	var sub Submission
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sub); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("runmgr: submission exceeds %d bytes", tooBig.Limit)})
+			return
+		}
+		httpError(w, fmt.Errorf("runmgr: invalid submission: %w", err))
+		return
+	}
+	st, err := m.Submit(sub)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
 }
 
 // maxSubmissionBytes caps POST /runs bodies: a submission is a small

@@ -3,6 +3,7 @@ package runmgr
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/rpc"
 	"os"
@@ -43,20 +44,31 @@ type AttachReply struct {
 }
 
 // PullArgs/PullReply: a worker asks the fair-share scheduler for work.
-// Granted=false means "nothing for you right now, poll again"; Stop
-// means the service is shutting down; Reattach means the worker's
-// incarnation died and it should attach again (keeping its caches).
-// Epoch zero on any args means unfenced — the in-process protocol tests
-// predate epochs and a direct caller opts out of fencing.
+// Granted=false means "nothing for you right now"; Stop means the
+// service is shutting down; Reattach means the worker's incarnation
+// died and it should attach again (keeping its caches). Epoch zero on
+// any args means unfenced — the in-process protocol tests predate
+// epochs and a direct caller opts out of fencing.
+//
+// Wait is the long-poll ask: how long the worker is willing to have
+// the coordinator hold an ungranted pull open waiting for work. The
+// effective hold is the smaller of Wait and the coordinator's
+// Config.PullWait; zero asks for the legacy immediate answer. Waited
+// in the reply tells the worker whether the coordinator honored a
+// hold — when it did, pulling again immediately is the intended
+// cadence; when it did not (long-poll disabled server-side), the
+// worker falls back to jittered polling.
 type PullArgs struct {
 	Worker int
 	Epoch  uint64
+	Wait   time.Duration
 }
 
 type PullReply struct {
 	Granted  bool
 	Stop     bool
 	Reattach bool
+	Waited   bool
 	Task     Task
 }
 
@@ -93,6 +105,47 @@ type TaskPushArgs struct {
 type TaskPushReply struct {
 	Fenced bool
 	Final  bool
+}
+
+// PushEntry is one completed push window inside a PushBatch: the same
+// payload as a TaskPushArgs, minus the per-call worker identity that
+// the batch envelope carries once.
+type PushEntry struct {
+	RunID   string
+	LeaseID uint64
+	Done    int64
+	Snap    stat.Snapshot
+}
+
+// PushBatchArgs/PushBatchReply: the coalesced push path. A worker
+// batches the windows it completed — possibly across several runs and
+// leases — into one RPC; the coordinator applies them in order, so for
+// any single lease the done ledger sees the same strictly-increasing
+// window sequence it would from unbatched pushes, and dedups each
+// entry on the same absolute substream position. Entries answers
+// verdicts positionally; Err carries an application-level rejection of
+// that entry alone (the rest of the batch still lands).
+//
+// RetryAfter is soft backpressure: when positive, some pushed run's
+// collector saves are falling behind its averaging period, and the
+// worker should stretch its flush cadence by at least this much
+// instead of piling more windows on. It is advisory — ignoring it
+// costs throughput, never correctness.
+type PushBatchArgs struct {
+	Worker  int
+	Epoch   uint64
+	Entries []PushEntry
+}
+
+type PushEntryReply struct {
+	Fenced bool
+	Final  bool
+	Err    string
+}
+
+type PushBatchReply struct {
+	Entries    []PushEntryReply
+	RetryAfter time.Duration
 }
 
 // NackArgs: the worker cannot serve this task's scenario (workload not
@@ -139,6 +192,7 @@ type fleetAPI interface {
 	Attach(ctx context.Context, a AttachArgs) (AttachReply, error)
 	Pull(ctx context.Context, a PullArgs) (PullReply, error)
 	Push(ctx context.Context, a TaskPushArgs) (TaskPushReply, error)
+	PushBatch(ctx context.Context, a PushBatchArgs) (PushBatchReply, error)
 	Nack(ctx context.Context, a NackArgs) error
 	Fail(ctx context.Context, a FailArgs) error
 	Detach(ctx context.Context, a DetachArgs) error
@@ -150,11 +204,16 @@ type localFleet struct{ m *Manager }
 func (lf localFleet) Attach(_ context.Context, a AttachArgs) (AttachReply, error) {
 	return lf.m.attach(a)
 }
-func (lf localFleet) Pull(_ context.Context, a PullArgs) (PullReply, error) {
-	return lf.m.pullTask(a)
+func (lf localFleet) Pull(ctx context.Context, a PullArgs) (PullReply, error) {
+	// The worker's context reaches the long-poll, so a canceled local
+	// worker unparks immediately instead of riding out the hold.
+	return lf.m.pullTask(ctx, a)
 }
 func (lf localFleet) Push(_ context.Context, a TaskPushArgs) (TaskPushReply, error) {
 	return lf.m.pushTask(a)
+}
+func (lf localFleet) PushBatch(_ context.Context, a PushBatchArgs) (PushBatchReply, error) {
+	return lf.m.pushBatch(a)
 }
 func (lf localFleet) Nack(_ context.Context, a NackArgs) error { return lf.m.nackTask(a) }
 func (lf localFleet) Fail(_ context.Context, a FailArgs) error { return lf.m.failTask(a) }
@@ -172,13 +231,21 @@ func (s *fleetService) Attach(a AttachArgs, r *AttachReply) error {
 }
 
 func (s *fleetService) Pull(a PullArgs, r *PullReply) error {
-	rep, err := s.m.pullTask(a)
+	// No per-call context over net/rpc; a parked pull is unblocked by
+	// its deadline or by the manager waking/stopping it.
+	rep, err := s.m.pullTask(context.Background(), a)
 	*r = rep
 	return err
 }
 
 func (s *fleetService) Push(a TaskPushArgs, r *TaskPushReply) error {
 	rep, err := s.m.pushTask(a)
+	*r = rep
+	return err
+}
+
+func (s *fleetService) PushBatch(a PushBatchArgs, r *PushBatchReply) error {
+	rep, err := s.m.pushBatch(a)
 	*r = rep
 	return err
 }
@@ -238,8 +305,8 @@ func (m *Manager) ServeFleet(ln net.Listener) error {
 // ResilientClient, so transport faults are retried with backoff and
 // reconnect while application rejections (rpc.ServerError) stay
 // definitive. The protocol is retry-safe by construction: Attach is
-// idempotent per ClientID, Push dedups on the absolute substream
-// sequence, and Nack/Fail/Detach are no-ops once applied.
+// idempotent per ClientID, Push and PushBatch dedup on the absolute
+// substream sequence, and Nack/Fail/Detach are no-ops once applied.
 type rpcFleet struct{ rc *cluster.ResilientClient }
 
 func (rf rpcFleet) Attach(ctx context.Context, a AttachArgs) (AttachReply, error) {
@@ -250,13 +317,23 @@ func (rf rpcFleet) Attach(ctx context.Context, a AttachArgs) (AttachReply, error
 
 func (rf rpcFleet) Pull(ctx context.Context, a PullArgs) (PullReply, error) {
 	var r PullReply
-	err := rf.rc.Call(ctx, FleetServiceName+".Pull", a, &r)
+	// A long-polled pull is parked server-side on purpose; budget the
+	// attempt for the requested hold plus the normal call headroom so
+	// the resilient client does not tear down a healthy parked call.
+	timeout := rf.rc.Policy().CallTimeout + a.Wait
+	err := rf.rc.CallWithDeadline(ctx, FleetServiceName+".Pull", a, &r, timeout)
 	return r, err
 }
 
 func (rf rpcFleet) Push(ctx context.Context, a TaskPushArgs) (TaskPushReply, error) {
 	var r TaskPushReply
 	err := rf.rc.Call(ctx, FleetServiceName+".Push", a, &r)
+	return r, err
+}
+
+func (rf rpcFleet) PushBatch(ctx context.Context, a PushBatchArgs) (PushBatchReply, error) {
+	var r PushBatchReply
+	err := rf.rc.Call(ctx, FleetServiceName+".PushBatch", a, &r)
 	return r, err
 }
 
@@ -282,9 +359,24 @@ type FleetWorkerConfig struct {
 	// ClientID makes attach idempotent across retries; default a
 	// process-unique string.
 	ClientID string
-	// Poll is how long the worker sleeps when the scheduler has nothing
-	// for it. Default 50 ms.
+	// Poll is the base idle period of the polling fallback, used when
+	// long-poll is disabled (and as the first step of its jittered
+	// exponential backoff). Default 50 ms.
 	Poll time.Duration
+	// PullWait asks the coordinator to hold an ungranted pull open this
+	// long waiting for work (long-poll); the coordinator may cap it.
+	// Zero selects 10 s; negative disables long-poll and the worker
+	// polls at Poll cadence with jittered backoff.
+	PullWait time.Duration
+	// FlushInterval is the target push cadence: completed push windows
+	// are coalesced into one PushBatch until this much time has passed
+	// since the last flush (the batch also flushes at MaxBatch, and
+	// always before the next pull). Zero selects 50 ms; negative
+	// disables coalescing — every window is pushed in its own RPC, the
+	// legacy protocol.
+	FlushInterval time.Duration
+	// MaxBatch caps the windows one PushBatch may carry. Default 64.
+	MaxBatch int
 	// Retry tunes the TCP transport (ignored by local workers).
 	Retry cluster.RetryPolicy
 }
@@ -301,6 +393,15 @@ func (cfg FleetWorkerConfig) withDefaults() FleetWorkerConfig {
 	if cfg.Poll <= 0 {
 		cfg.Poll = 50 * time.Millisecond
 	}
+	if cfg.PullWait == 0 {
+		cfg.PullWait = 10 * time.Second
+	}
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = 50 * time.Millisecond
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
 	return cfg
 }
 
@@ -308,10 +409,190 @@ func (cfg FleetWorkerConfig) withDefaults() FleetWorkerConfig {
 type FleetWorkerReport struct {
 	Worker       int
 	Realizations int64
-	Pushes       int64
+	Pushes       int64 // push windows delivered (batched or not)
+	Batches      int64 // PushBatch RPCs sent (coalesced mode only)
 	Nacks        int64
 	Retries      int64 // transport retries (TCP workers only)
 	Reconnects   int64 // redials after connection loss (TCP workers only)
+}
+
+// maxReattachStreak bounds consecutive Reattach redirects: a
+// coordinator stuck answering Reattach (e.g. crash-looping through
+// recovery) must not hold the worker in an infinite attach cycle.
+const maxReattachStreak = 5
+
+// pollBackoff is the reusable idle timer: one time.Timer for the
+// worker's lifetime (instead of a fresh time.After channel every
+// round) plus jittered exponential growth, so a fleet of idle workers
+// neither allocates per poll nor thunders in lockstep.
+type pollBackoff struct {
+	base, max time.Duration
+	streak    int
+	timer     *time.Timer
+	rnd       *rand.Rand
+}
+
+func newPollBackoff(base time.Duration, seed int64) *pollBackoff {
+	if seed == 0 {
+		seed = int64(os.Getpid()) + fleetClientSeq.Load() + 1
+	}
+	max := 16 * base
+	if max > time.Second {
+		max = time.Second
+	}
+	if max < base {
+		max = base
+	}
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return &pollBackoff{base: base, max: max, timer: t, rnd: rand.New(rand.NewSource(seed))}
+}
+
+// next returns the jittered delay for the current idle streak and
+// advances the streak: base, 2·base, 4·base, ... capped, ±10%.
+func (p *pollBackoff) next() time.Duration {
+	d := float64(p.base)
+	for i := 0; i < p.streak && d < float64(p.max); i++ {
+		d *= 2
+	}
+	if d > float64(p.max) {
+		d = float64(p.max)
+	}
+	if p.streak < 30 {
+		p.streak++
+	}
+	d *= 0.9 + 0.2*p.rnd.Float64()
+	return time.Duration(d)
+}
+
+func (p *pollBackoff) reset() { p.streak = 0 }
+
+// sleep waits out the next backoff step on the reused timer; false
+// means the context was canceled first.
+func (p *pollBackoff) sleep(ctx context.Context) bool {
+	p.timer.Reset(p.next())
+	select {
+	case <-ctx.Done():
+		if !p.timer.Stop() {
+			<-p.timer.C
+		}
+		return false
+	case <-p.timer.C:
+		return true
+	}
+}
+
+func (p *pollBackoff) stop() { p.timer.Stop() }
+
+// leaseKey identifies one grant across runs (lease IDs are only unique
+// within a run).
+type leaseKey struct {
+	run string
+	id  uint64
+}
+
+// pushBatcher coalesces completed push windows into PushBatch RPCs.
+// Windows accumulate across tasks (and runs) and flush when the batch
+// is full, when the cadence interval has elapsed, and always before
+// the worker pulls again — a long-poll may park the worker for
+// seconds, and a buffered window may be exactly the one its run's
+// completion is waiting on. Buffering snapshots is safe because
+// stat.Accumulator.Snapshot is a deep copy: the worker resets its
+// local accumulator and keeps simulating while windows wait.
+//
+// The reply's RetryAfter stretches the cadence (backpressure from a
+// collector whose saves are falling behind); replies without it decay
+// the cadence back toward the configured interval.
+type pushBatcher struct {
+	api     fleetAPI
+	cfg     FleetWorkerConfig
+	rep     *FleetWorkerReport
+	entries []PushEntry
+	last    time.Time
+	cadence time.Duration
+	ended   map[leaseKey]bool // leases fenced, finalized or rejected by a flush
+}
+
+func newPushBatcher(api fleetAPI, cfg FleetWorkerConfig, rep *FleetWorkerReport) *pushBatcher {
+	return &pushBatcher{
+		api:     api,
+		cfg:     cfg,
+		rep:     rep,
+		last:    time.Now(),
+		cadence: cfg.FlushInterval,
+		ended:   map[leaseKey]bool{},
+	}
+}
+
+// add appends one completed window and flushes when the batch is full
+// or the cadence elapsed. The returned error reflects a failed flush;
+// callers also check done() for their own lease's verdict.
+func (b *pushBatcher) add(ctx context.Context, worker int, epoch uint64, e PushEntry) error {
+	b.entries = append(b.entries, e)
+	if len(b.entries) >= b.cfg.MaxBatch || time.Since(b.last) >= b.cadence {
+		return b.flush(ctx, worker, epoch)
+	}
+	return nil
+}
+
+// done reports whether a flush ended the given lease: fenced, run
+// finished, or the entry was rejected.
+func (b *pushBatcher) done(runID string, leaseID uint64) bool {
+	return b.ended[leaseKey{runID, leaseID}]
+}
+
+// flush sends the buffered windows as one PushBatch and applies the
+// per-entry verdicts. A transport failure (or a rejected batch call)
+// fails each affected lease the way an unbatched push failure would:
+// report via Fail and abandon — an unreachable coordinator ignores the
+// report and the leases time out and reissue.
+func (b *pushBatcher) flush(ctx context.Context, worker int, epoch uint64) error {
+	if len(b.entries) == 0 {
+		return nil
+	}
+	args := PushBatchArgs{Worker: worker, Epoch: epoch, Entries: b.entries}
+	b.entries = nil
+	b.last = time.Now()
+	r, err := b.api.PushBatch(ctx, args)
+	if err != nil {
+		if ctx.Err() != nil {
+			return err
+		}
+		seen := map[leaseKey]bool{}
+		for _, e := range args.Entries {
+			k := leaseKey{e.RunID, e.LeaseID}
+			b.ended[k] = true
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			_ = b.api.Fail(ctx, FailArgs{Worker: worker, Epoch: epoch, RunID: e.RunID, LeaseID: e.LeaseID, Reason: err.Error()})
+		}
+		return err
+	}
+	b.rep.Pushes += int64(len(args.Entries))
+	b.rep.Batches++
+	for i, er := range r.Entries {
+		if i >= len(args.Entries) {
+			break
+		}
+		e := args.Entries[i]
+		switch {
+		case er.Err != "":
+			b.ended[leaseKey{e.RunID, e.LeaseID}] = true
+			_ = b.api.Fail(ctx, FailArgs{Worker: worker, Epoch: epoch, RunID: e.RunID, LeaseID: e.LeaseID, Reason: er.Err})
+		case er.Fenced || er.Final:
+			b.ended[leaseKey{e.RunID, e.LeaseID}] = true
+		}
+	}
+	if r.RetryAfter > b.cfg.FlushInterval {
+		b.cadence = r.RetryAfter
+	} else if b.cadence > b.cfg.FlushInterval {
+		b.cadence = b.cfg.FlushInterval + (b.cadence-b.cfg.FlushInterval)/2
+	}
+	return nil
 }
 
 // runFleetLoop is the worker side of the fleet protocol, shared by
@@ -334,11 +615,33 @@ func runFleetLoop(ctx context.Context, api fleetAPI, cfg FleetWorkerConfig) (Fle
 		_ = api.Detach(dctx, DetachArgs{Worker: at.Worker, Epoch: at.Epoch})
 	}()
 	realizers := map[string]core.Realization{}
+	var batcher *pushBatcher
+	if cfg.FlushInterval >= 0 {
+		batcher = newPushBatcher(api, cfg, &rep)
+	}
+	idle := newPollBackoff(cfg.Poll, cfg.Retry.Seed)
+	defer idle.stop()
+	reattach := newPollBackoff(cfg.Poll, cfg.Retry.Seed+1)
+	defer reattach.stop()
+	reattaches := 0
+	wait := cfg.PullWait
+	if wait < 0 {
+		wait = 0
+	}
 	for {
 		if ctx.Err() != nil {
 			return rep, nil
 		}
-		pr, err := api.Pull(ctx, PullArgs{Worker: at.Worker, Epoch: at.Epoch})
+		// Flush coalesced windows before asking for more work: the pull
+		// may park in the coordinator's long-poll, and a buffered window
+		// may be the one its run's completion is waiting on.
+		if batcher != nil {
+			_ = batcher.flush(ctx, at.Worker, at.Epoch)
+			if ctx.Err() != nil {
+				return rep, nil
+			}
+		}
+		pr, err := api.Pull(ctx, PullArgs{Worker: at.Worker, Epoch: at.Epoch, Wait: wait})
 		if err != nil {
 			if ctx.Err() != nil {
 				return rep, nil
@@ -351,7 +654,17 @@ func runFleetLoop(ctx context.Context, api fleetAPI, cfg FleetWorkerConfig) (Fle
 		if pr.Reattach {
 			// The coordinator restarted under a new epoch. Re-attach and
 			// keep serving — realizer caches stay valid (same scenarios),
-			// only the worker identity and epoch are reissued.
+			// only the worker identity and epoch are reissued. A
+			// coordinator mid-recovery can keep answering Reattach, so
+			// back off between attempts and give up after a bounded
+			// streak instead of retrying in a tight storm.
+			reattaches++
+			if reattaches > maxReattachStreak {
+				return rep, fmt.Errorf("runmgr: fleet worker %d: %d consecutive re-attach redirects, coordinator not converging", at.Worker, reattaches)
+			}
+			if !reattach.sleep(ctx) {
+				return rep, nil
+			}
 			at, err = api.Attach(ctx, AttachArgs{Hostname: cfg.Hostname, ClientID: cfg.ClientID})
 			if err != nil {
 				if ctx.Err() != nil {
@@ -362,27 +675,36 @@ func runFleetLoop(ctx context.Context, api fleetAPI, cfg FleetWorkerConfig) (Fle
 			rep.Worker = at.Worker
 			continue
 		}
+		reattaches = 0
+		reattach.reset()
 		if !pr.Granted {
-			select {
-			case <-ctx.Done():
+			if pr.Waited {
+				// The coordinator already held this pull for the long-poll
+				// window; pulling right back is the intended ~1 RPC per
+				// wait window cadence.
+				idle.reset()
+				continue
+			}
+			if !idle.sleep(ctx) {
 				return rep, nil
-			case <-time.After(cfg.Poll):
 			}
 			continue
 		}
-		executeTask(ctx, api, at.Worker, at.Epoch, pr.Task, realizers, &rep)
+		idle.reset()
+		executeTask(ctx, api, at.Worker, at.Epoch, pr.Task, realizers, batcher, &rep)
 	}
 }
 
-// executeTask simulates one granted lease window, pushing subtotals at
-// PassEvery boundaries and at the window end. It never flushes a
+// executeTask simulates one granted lease window, recording subtotals
+// at PassEvery boundaries and at the window end — into the batcher
+// when coalescing, as one Push RPC each otherwise. It never flushes a
 // partial window: an abandoned task (cancellation, fencing, run
 // completion) leaves the done ledger at the last acked boundary and the
 // remainder is recomputed from there — that discipline is what makes
 // each processor shard's push-window sequence a pure function of the
 // lease partition and PassEvery, and so the report bit-identical no
-// matter how execution interleaves.
-func executeTask(ctx context.Context, api fleetAPI, worker int, epoch uint64, task Task, realizers map[string]core.Realization, rep *FleetWorkerReport) {
+// matter how execution interleaves or how windows are batched.
+func executeTask(ctx context.Context, api fleetAPI, worker int, epoch uint64, task Task, realizers map[string]core.Realization, batcher *pushBatcher, rep *FleetWorkerReport) {
 	realize, ok := realizers[task.RunID]
 	if !ok {
 		r, err := resolveTask(task, worker)
@@ -433,6 +755,23 @@ func executeTask(ctx context.Context, api fleetAPI, worker int, epoch uint64, ta
 		rep.Realizations++
 		if local.N() >= task.PassEvery || k == l.Count-1 {
 			done += local.N()
+			if batcher != nil {
+				// Coalesced path: buffer the window (Snapshot is a deep
+				// copy) and keep simulating; the batcher decides when the
+				// wire sees it. A flush verdict that ended this lease —
+				// fenced, run finished, entry rejected — abandons the task
+				// exactly as an unbatched reply would.
+				if err := batcher.add(ctx, worker, epoch, PushEntry{
+					RunID: task.RunID, LeaseID: l.ID, Done: done, Snap: local.Snapshot(),
+				}); err != nil {
+					return
+				}
+				if batcher.done(task.RunID, l.ID) {
+					return
+				}
+				local.Reset()
+				continue
+			}
 			pres, err := api.Push(ctx, TaskPushArgs{
 				Worker: worker, Epoch: epoch, RunID: task.RunID, LeaseID: l.ID, Done: done, Snap: local.Snapshot(),
 			})

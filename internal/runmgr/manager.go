@@ -34,6 +34,7 @@
 package runmgr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -114,6 +115,15 @@ type Config struct {
 	// journal (obs.OpenJournalRotating). Zero disables rotation.
 	JournalMaxBytes int64
 
+	// PullWait caps how long an ungranted fleet Pull may be held open
+	// server-side waiting for work (long-poll). Each pull carries the
+	// worker's own ask (PullArgs.Wait) and the effective hold is the
+	// smaller of the two; a pull asking for zero gets the legacy
+	// immediate answer. Zero selects 30s; negative disables long-poll
+	// entirely — every pull answers immediately and workers fall back
+	// to jittered polling.
+	PullWait time.Duration
+
 	// Params are the parallel RNG leap exponents shared by every run;
 	// the zero value means rng.DefaultParams. Runs are kept disjoint by
 	// experiment subsequence number, so one parameter set serves all.
@@ -160,6 +170,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.MaxRealizations < 0 {
 		return cfg, fmt.Errorf("runmgr: negative MaxRealizations %d", cfg.MaxRealizations)
+	}
+	if cfg.PullWait == 0 {
+		cfg.PullWait = 30 * time.Second
 	}
 	if cfg.Params == (rng.Params{}) {
 		cfg.Params = rng.DefaultParams()
@@ -314,6 +327,17 @@ type Manager struct {
 	inflight   atomic.Int64 // fleet pushes currently executing (drain barrier)
 	recovering atomic.Bool  // startup recovery replaying: control API answers 503
 
+	// pullWake is the long-poll wake signal: parked ungranted pulls
+	// select on the current channel, and any event that could make work
+	// grantable (submission, lease reissue, freed capacity, shutdown)
+	// closes and replaces it under m.mu — a lost-wakeup-free broadcast.
+	pullWake chan struct{}
+	parked   atomic.Int64 // pulls currently parked in the long-poll
+	pullBusy atomic.Int64 // Pull handlers in flight (shutdown drain barrier)
+
+	fleetCalls atomic.Int64 // fleet RPCs of any kind (benchmarks read this)
+	pullCalls  atomic.Int64 // Pull RPCs alone (idle-rate accounting)
+
 	mono func() time.Duration
 
 	// fleet listener state (ServeFleet)
@@ -333,7 +357,9 @@ type Manager struct {
 	mCanceled  *obs.Counter
 	mReissued  *obs.Counter
 
-	mStale       *obs.Counter // fleet calls carrying a previous incarnation's epoch
+	mStale *obs.Counter // fleet calls carrying a previous incarnation's epoch
+	hBatch *obs.Histogram
+
 	mRecCorrupt  *obs.Counter
 	mRecResumed  *obs.Counter
 	mRecRequeued *obs.Counter
@@ -354,6 +380,7 @@ func New(cfg Config) (*Manager, error) {
 		workers:  map[int]*fleetWorker{},
 		byClient: map[string]int{},
 		conns:    map[interface{ Close() error }]struct{}{},
+		pullWake: make(chan struct{}),
 	}
 	base := m.now()
 	m.mono = func() time.Duration { return m.now().Sub(base) }
@@ -380,6 +407,11 @@ func New(cfg Config) (*Manager, error) {
 			return float64(len(m.workers))
 		})
 		m.mStale = reg.Counter("parmonc_fleet_stale_epoch_total", "Fleet calls fenced or ignored for carrying a previous incarnation's epoch.")
+		reg.GaugeFunc("parmonc_fleet_pull_parked", "Fleet pulls currently parked in the coordinator-side long-poll.", func() float64 {
+			return float64(m.parked.Load())
+		})
+		m.hBatch = reg.Histogram("parmonc_fleet_batch_size", "Push windows carried per PushBatch RPC.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128})
 		m.mRecCorrupt = reg.Counter("parmonc_recovery_corrupt_files_total", "Durable state files quarantined during startup recovery.")
 		m.mRecResumed = reg.Counter("parmonc_recovery_runs_total", "Runs rehydrated at startup, by outcome.", obs.L("outcome", "resumed"))
 		m.mRecRequeued = reg.Counter("parmonc_recovery_runs_total", "Runs rehydrated at startup, by outcome.", obs.L("outcome", "requeued"))
@@ -525,6 +557,8 @@ func (m *Manager) Submit(sub Submission) (RunStatus, error) {
 		"run": r.id, "workload": r.fingerprint, "maxsv": norm.MaxSamples, "seqnum": norm.SeqNum,
 	})
 	m.admitLocked()
+	// New work may now be grantable: unpark long-polled pulls.
+	m.wakePullersLocked()
 	return m.statusLocked(r), nil
 }
 
@@ -754,32 +788,97 @@ func (m *Manager) admitRunLocked(r *run) error {
 	return nil
 }
 
-// pullTask implements the fair-share scheduler: among the active runs
-// with pending leases that this worker can serve, pick the one with
-// the fewest outstanding grants (earliest-submitted wins ties) — every
-// active run converges to an equal share of the fleet, and capacity
-// freed by a canceled run flows to the survivors on their next pull.
-func (m *Manager) pullTask(a PullArgs) (PullReply, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// wakePullersLocked unparks every pull waiting in the long-poll by
+// closing the current wake channel and installing a fresh one. Called
+// with m.mu held by any transition that could make work grantable —
+// submission/admission, lease reissue, a freed slot — or that must
+// unpark pullers to answer Stop (close, drain, kill). Because parked
+// pullers capture the channel under the same lock that state changes
+// hold, a wakeup can never be lost: either the puller saw the new
+// state, or it parked on a channel the change closed.
+func (m *Manager) wakePullersLocked() {
+	close(m.pullWake)
+	m.pullWake = make(chan struct{})
+}
+
+// pullTask answers one fleet Pull. When nothing is grantable and the
+// worker asked for a long-poll, the call parks — off the manager lock —
+// until a wake or its deadline, so an idle fleet costs ~1 RPC per
+// worker per wait window instead of a fixed-rate poll storm.
+func (m *Manager) pullTask(ctx context.Context, a PullArgs) (PullReply, error) {
+	m.fleetCalls.Add(1)
+	m.pullCalls.Add(1)
+	m.pullBusy.Add(1)
+	defer m.pullBusy.Add(-1)
+	wait := a.Wait
+	if wait > m.cfg.PullWait {
+		wait = m.cfg.PullWait
+	}
+	if wait < 0 || m.cfg.PullWait < 0 {
+		wait = 0
+	}
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		m.mu.Lock()
+		reply, err, decided := m.tryPullLocked(a)
+		if decided || wait <= 0 {
+			m.mu.Unlock()
+			reply.Waited = wait > 0
+			return reply, err
+		}
+		// Nothing grantable: park on the wake channel captured under the
+		// same lock the scheduler state changes hold. The overall hold is
+		// bounded by the single timer across wake/retry rounds.
+		wake := m.pullWake
+		m.mu.Unlock()
+		if timer == nil {
+			timer = time.NewTimer(wait)
+		}
+		m.parked.Add(1)
+		select {
+		case <-wake:
+			m.parked.Add(-1)
+		case <-timer.C:
+			m.parked.Add(-1)
+			return PullReply{Waited: true}, nil
+		case <-ctx.Done():
+			m.parked.Add(-1)
+			return PullReply{Waited: true}, nil
+		}
+	}
+}
+
+// tryPullLocked implements the fair-share scheduler: among the active
+// runs with pending leases that this worker can serve, pick the one
+// with the fewest outstanding grants (earliest-submitted wins ties) —
+// every active run converges to an equal share of the fleet, and
+// capacity freed by a canceled run flows to the survivors on their
+// next pull. The third result is false only for the "nothing grantable
+// right now" answer — the one a long-poll may park on.
+func (m *Manager) tryPullLocked(a PullArgs) (PullReply, error, bool) {
 	if m.closed || m.draining {
-		return PullReply{Stop: true}, nil
+		return PullReply{Stop: true}, nil, true
 	}
 	if a.Epoch != 0 && a.Epoch != m.epoch {
 		// A worker attached to a previous incarnation: tell it to
 		// re-attach rather than erroring — it keeps its realizer cache
 		// and rejoins the fleet under the current epoch.
 		m.staleLocked("pull", a.Epoch)
-		return PullReply{Reattach: true}, nil
+		return PullReply{Reattach: true}, nil, true
 	}
 	if m.workers[a.Worker] == nil {
 		if a.Epoch != 0 {
 			// Correct epoch but unknown index can still happen when the
 			// service restarted twice between two polls; re-attach.
 			m.staleLocked("pull", a.Epoch)
-			return PullReply{Reattach: true}, nil
+			return PullReply{Reattach: true}, nil, true
 		}
-		return PullReply{}, fmt.Errorf("runmgr: pull from unattached worker %d", a.Worker)
+		return PullReply{}, fmt.Errorf("runmgr: pull from unattached worker %d", a.Worker), true
 	}
 	var best *run
 	for _, r := range m.order {
@@ -794,7 +893,7 @@ func (m *Manager) pullTask(a PullArgs) (PullReply, error) {
 		}
 	}
 	if best == nil {
-		return PullReply{}, nil
+		return PullReply{}, nil, false
 	}
 	l := best.pending[0]
 	best.pending = best.pending[1:]
@@ -810,9 +909,10 @@ func (m *Manager) pullTask(a PullArgs) (PullReply, error) {
 	best.eng.Register(proc)
 	if err := best.eng.GrantLease(proc, l); err != nil {
 		// A duplicate lease ID here is a manager bug; fail the run
-		// loudly rather than corrupt its ledger.
+		// loudly rather than corrupt its ledger. Answer "nothing granted"
+		// decisively — another run may have work on the next pull.
 		m.finishRunLocked(best, StateFailed, fmt.Sprintf("lease grant: %v", err))
-		return PullReply{}, nil
+		return PullReply{}, nil, true
 	}
 	best.outstanding[l.ID] = &grant{lease: l, worker: a.Worker, lastActive: m.mono()}
 	best.granted[l.ID] = l
@@ -841,14 +941,84 @@ func (m *Manager) pullTask(a PullArgs) (PullReply, error) {
 		Gamma:       best.sub.Gamma,
 		PassEvery:   best.sub.PassEvery,
 		Lease:       l,
-	}}, nil
+	}}, nil, true
 }
 
-// pushTask merges one subtotal push from the fleet. The engine merge
-// runs outside the manager lock — pushes for different runs (and
-// different procs of one run) proceed concurrently, exactly as the
-// sharded collector is designed to be fed.
+// pushTask merges one subtotal push from the fleet — the unbatched
+// protocol, one RPC per window.
 func (m *Manager) pushTask(a TaskPushArgs) (TaskPushReply, error) {
+	m.fleetCalls.Add(1)
+	return m.pushOne(a)
+}
+
+// pushBatch fans one worker's coalesced push windows out to the
+// per-run collectors. Entries are applied sequentially in wire order:
+// the worker appended each lease's windows in completion order, so
+// every per-lease done ledger sees the same strictly-increasing
+// sequence it would from unbatched pushes, each entry dedups on the
+// same absolute substream position, and the merged bytes — and so the
+// report — are bit-identical. Each entry gets its own verdict; an
+// application-level rejection rides in Err so one bad entry cannot
+// take down the rest of the batch.
+func (m *Manager) pushBatch(a PushBatchArgs) (PushBatchReply, error) {
+	m.fleetCalls.Add(1)
+	if m.hBatch != nil {
+		m.hBatch.Observe(float64(len(a.Entries)))
+	}
+	rep := PushBatchReply{Entries: make([]PushEntryReply, len(a.Entries))}
+	runIDs := make(map[string]struct{}, 1)
+	for i, e := range a.Entries {
+		runIDs[e.RunID] = struct{}{}
+		one, err := m.pushOne(TaskPushArgs{
+			Worker: a.Worker, Epoch: a.Epoch,
+			RunID: e.RunID, LeaseID: e.LeaseID, Done: e.Done, Snap: e.Snap,
+		})
+		if err != nil {
+			rep.Entries[i] = PushEntryReply{Err: err.Error()}
+			continue
+		}
+		rep.Entries[i] = PushEntryReply{Fenced: one.Fenced, Final: one.Final}
+	}
+	rep.RetryAfter = m.retryAfter(runIDs)
+	return rep, nil
+}
+
+// retryAfter computes the soft backpressure delay for a batch that
+// touched the given runs: the worst collector save lag among them,
+// when it exceeds the averaging period (saves falling behind the
+// cadence they are supposed to run at), capped so a stretched worker
+// cadence can never approach the lease timeout.
+func (m *Manager) retryAfter(runIDs map[string]struct{}) time.Duration {
+	if m.cfg.AverPeriod <= 0 {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var worst time.Duration
+	for id := range runIDs {
+		r := m.runs[id]
+		if r == nil || r.eng == nil || r.state.Terminal() {
+			continue
+		}
+		if lag := r.eng.SaveLag(); lag > m.cfg.AverPeriod && lag > worst {
+			worst = lag
+		}
+	}
+	limit := m.cfg.LeaseTimeout / 4
+	if limit <= 0 || limit > time.Second {
+		limit = time.Second
+	}
+	if worst > limit {
+		worst = limit
+	}
+	return worst
+}
+
+// pushOne applies one push window. The engine merge runs outside the
+// manager lock — pushes for different runs (and different procs of one
+// run) proceed concurrently, exactly as the sharded collector is
+// designed to be fed.
+func (m *Manager) pushOne(a TaskPushArgs) (TaskPushReply, error) {
 	m.inflight.Add(1)
 	defer m.inflight.Add(-1)
 	m.mu.Lock()
@@ -921,6 +1091,7 @@ func (m *Manager) pushTask(a TaskPushArgs) (TaskPushReply, error) {
 // lease remainder goes back to the front of the run's queue and the
 // worker is excluded from that run.
 func (m *Manager) nackTask(a NackArgs) error {
+	m.fleetCalls.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if a.Epoch != 0 && a.Epoch != m.epoch {
@@ -944,6 +1115,7 @@ func (m *Manager) nackTask(a NackArgs) error {
 // failTask handles a definitive realization failure: the run fails,
 // partial results are saved.
 func (m *Manager) failTask(a FailArgs) error {
+	m.fleetCalls.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if a.Epoch != 0 && a.Epoch != m.epoch {
@@ -985,6 +1157,9 @@ func (m *Manager) reclaimGrantLocked(r *run, leaseID uint64, why string) {
 		if m.mReissued != nil {
 			m.mReissued.Add(int64(len(rem)))
 		}
+		// Reissued leases are grantable immediately; an idle fleet parked
+		// in the long-poll should not wait out its deadline to claim them.
+		m.wakePullersLocked()
 	}
 	r.revent("lease_reissue", map[string]any{
 		"run": r.id, "lease": leaseID, "proc": g.lease.Proc, "why": why,
@@ -1052,6 +1227,9 @@ func (m *Manager) finishRunLocked(r *run, state State, errMsg string) {
 		m.active--
 		m.admitLocked()
 	}
+	// The freed slot may have admitted a queued run (new pending
+	// leases), and parked pullers must re-evaluate in any case.
+	m.wakePullersLocked()
 }
 
 // Cancel cancels a run: a queued run simply leaves the queue; an
@@ -1082,6 +1260,7 @@ func (m *Manager) Cancel(id string) (RunStatus, error) {
 // attach admits a fleet worker, idempotently per ClientID: a retried
 // attach (lost reply) returns the same worker index.
 func (m *Manager) attach(a AttachArgs) (AttachReply, error) {
+	m.fleetCalls.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -1104,6 +1283,7 @@ func (m *Manager) attach(a AttachArgs) (AttachReply, error) {
 
 // detach removes a fleet worker; leases it still holds are reissued.
 func (m *Manager) detach(a DetachArgs) error {
+	m.fleetCalls.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if a.Epoch != 0 && a.Epoch != m.epoch {
@@ -1187,6 +1367,9 @@ func (m *Manager) Close() error {
 			m.finishRunLocked(r, StateCanceled, "service shutting down")
 		}
 	}
+	// Unpark long-polled pulls so they answer Stop now, not at their
+	// deadline — local workers block Close's wg.Wait otherwise.
+	m.wakePullersLocked()
 	m.mu.Unlock()
 
 	if m.reaperStop != nil {
@@ -1224,11 +1407,21 @@ func (m *Manager) Shutdown() error {
 		return nil
 	}
 	m.draining = true
+	// Parked pulls must re-check and see Stop before the drain barrier.
+	m.wakePullersLocked()
 	m.mu.Unlock()
 
 	// Drain: pushes already past the door finish merging (bounded wait —
 	// a wedged fleet must not block shutdown forever).
 	for i := 0; i < 400 && m.inflight.Load() > 0; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The woken pulls need the lock back to observe draining and carry
+	// their Stop replies out; with long-polling an idle fleet has a pull
+	// in flight almost always, so closing connections without this
+	// barrier would turn nearly every graceful shutdown into worker-side
+	// retry errors instead of clean stops. Bounded like the push drain.
+	for i := 0; i < 400 && m.pullBusy.Load() > 0; i++ {
 		time.Sleep(5 * time.Millisecond)
 	}
 
@@ -1290,6 +1483,10 @@ func (m *Manager) kill() {
 		return
 	}
 	m.closed = true
+	// Even a "crash" must unpark long-polls: the goroutines parked in
+	// pullTask belong to this process and would otherwise outlive the
+	// simulated kill until their deadlines.
+	m.wakePullersLocked()
 	m.mu.Unlock()
 
 	m.lnMu.Lock()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -91,7 +92,7 @@ func TestKillRestartChaos(t *testing.T) {
 					// restart — a fresh worker replaces it, carrying no state
 					// but possibly racing calls from its predecessor.
 					for ctx.Err() == nil {
-						rep, err := RunFleetWorker(ctx, addr, FleetWorkerConfig{
+						wcfg := FleetWorkerConfig{
 							Poll: 5 * time.Millisecond,
 							Retry: cluster.RetryPolicy{
 								MaxAttempts: 8,
@@ -99,7 +100,16 @@ func TestKillRestartChaos(t *testing.T) {
 								CallTimeout: 2 * time.Second,
 								Seed:        seed,
 							},
-						})
+						}
+						if os.Getenv("PARMONC_CHAOS_BATCH") == "1" {
+							// CI runs the suite a second time with coalesced
+							// pushes and short long-polls forced on, so crashes
+							// land mid-batch and mid-park too.
+							wcfg.PullWait = 250 * time.Millisecond
+							wcfg.FlushInterval = 10 * time.Millisecond
+							wcfg.MaxBatch = 8
+						}
+						rep, err := RunFleetWorker(ctx, addr, wcfg)
 						retries.Add(rep.Retries)
 						if err == nil {
 							return

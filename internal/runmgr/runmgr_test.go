@@ -189,7 +189,7 @@ func TestFairSharePull(t *testing.T) {
 	}
 	var got []string
 	for i := 0; i < 4; i++ {
-		pr, err := m.pullTask(PullArgs{Worker: at.Worker})
+		pr, err := m.pullTask(context.Background(), PullArgs{Worker: at.Worker})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -217,7 +217,7 @@ func TestProtocolNack(t *testing.T) {
 	w1, _ := m.attach(AttachArgs{Hostname: "w1"})
 	w2, _ := m.attach(AttachArgs{Hostname: "w2"})
 
-	pr, err := m.pullTask(PullArgs{Worker: w1.Worker})
+	pr, err := m.pullTask(context.Background(), PullArgs{Worker: w1.Worker})
 	if err != nil || !pr.Granted {
 		t.Fatalf("pull: granted=%v err=%v", pr.Granted, err)
 	}
@@ -226,11 +226,11 @@ func TestProtocolNack(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The nacking worker never sees this run again.
-	if pr, _ := m.pullTask(PullArgs{Worker: w1.Worker}); pr.Granted {
+	if pr, _ := m.pullTask(context.Background(), PullArgs{Worker: w1.Worker}); pr.Granted {
 		t.Fatalf("nacking worker was granted %s again", pr.Task.RunID)
 	}
 	// Another worker gets the same window back under a fresh grant ID.
-	pr2, err := m.pullTask(PullArgs{Worker: w2.Worker})
+	pr2, err := m.pullTask(context.Background(), PullArgs{Worker: w2.Worker})
 	if err != nil || !pr2.Granted {
 		t.Fatalf("pull from w2: granted=%v err=%v", pr2.Granted, err)
 	}
@@ -256,7 +256,7 @@ func TestProtocolFail(t *testing.T) {
 		t.Fatal(err)
 	}
 	w, _ := m.attach(AttachArgs{Hostname: "w"})
-	pr, _ := m.pullTask(PullArgs{Worker: w.Worker})
+	pr, _ := m.pullTask(context.Background(), PullArgs{Worker: w.Worker})
 	if !pr.Granted {
 		t.Fatal("no grant")
 	}
@@ -384,7 +384,7 @@ func TestLeaseTimeoutReissue(t *testing.T) {
 	}
 	// A zombie worker takes a lease and never comes back.
 	zw, _ := m.attach(AttachArgs{Hostname: "zombie"})
-	pr, _ := m.pullTask(PullArgs{Worker: zw.Worker})
+	pr, _ := m.pullTask(context.Background(), PullArgs{Worker: zw.Worker})
 	if !pr.Granted {
 		t.Fatal("zombie got no grant")
 	}

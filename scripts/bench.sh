@@ -15,11 +15,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
-PATTERN="${BENCH_PATTERN:-^(BenchmarkCollectorPush|BenchmarkCollectorPushContended|BenchmarkRNG|BenchmarkRealization|BenchmarkManifestAppend)$}"
+PATTERN="${BENCH_PATTERN:-^(BenchmarkCollectorPush|BenchmarkCollectorPushContended|BenchmarkRNG|BenchmarkRealization|BenchmarkManifestAppend|BenchmarkFleetRPCPerRealization|BenchmarkPushBatch)$}"
 DATE="$(date +%F)"
 OUT="${BENCH_OUT:-BENCH_${DATE}.json}"
 
-RAW="$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem .)"
+RAW="$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem . ./internal/runmgr)"
 echo "$RAW"
 
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"

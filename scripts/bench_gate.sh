@@ -15,8 +15,8 @@
 #
 # Environment:
 #   BENCH_TOLERANCE_PCT  allowed ns/op growth in percent (default 20)
-#   BENCH_GATE_PREFIX    benchmark name prefix to gate
-#                        (default BenchmarkCollectorPush)
+#   BENCH_GATE_PREFIX    space-separated benchmark name prefixes to gate
+#                        (default "BenchmarkCollectorPush BenchmarkPushBatch")
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,7 +24,7 @@ cd "$(dirname "$0")/.."
 FRESH="${1:?usage: bench_gate.sh <fresh.json> [baseline.json]}"
 BASELINE="${2:-$(ls BENCH_*.json 2>/dev/null | sort | tail -1)}"
 TOL="${BENCH_TOLERANCE_PCT:-20}"
-PREFIX="${BENCH_GATE_PREFIX:-BenchmarkCollectorPush}"
+PREFIX="${BENCH_GATE_PREFIX:-BenchmarkCollectorPush BenchmarkPushBatch}"
 
 if [ -z "$BASELINE" ]; then
     echo "bench_gate: no committed BENCH_*.json baseline found" >&2
@@ -35,13 +35,16 @@ fi
 # The snapshots are our own one-entry-per-line format (see bench.sh),
 # so a line-oriented scan is exact.
 extract() {
-    awk -v prefix="$PREFIX" '
+    awk -v prefixes="$PREFIX" '
+    BEGIN { np = split(prefixes, pfx, " ") }
     /"name":/ {
         line = $0
         sub(/.*"name": "/, "", line)
         name = line
         sub(/".*/, "", name)
-        if (index(name, prefix) != 1) next
+        hit = 0
+        for (p = 1; p <= np; p++) if (index(name, pfx[p]) == 1) hit = 1
+        if (!hit) next
         line = $0
         if (!sub(/.*"ns_op": /, "", line)) next
         sub(/[,}].*/, "", line)
